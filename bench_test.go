@@ -1,0 +1,327 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure,
+// plus ablations for the design choices DESIGN.md calls out (plan choice,
+// combiners, update-operator variant, parallelism). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use reduced dataset scales so a full sweep stays in the
+// minutes range; the cmd/spinflow binary runs the full-scale experiments.
+package spinflow
+
+import (
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/fixpoint"
+	"repro/internal/graphgen"
+	"repro/internal/harness"
+	"repro/internal/iterative"
+	"repro/internal/optimizer"
+	"repro/internal/pregel"
+	"repro/internal/sparklike"
+)
+
+const benchParallelism = 4
+
+func benchOpts() harness.Options {
+	return harness.Options{
+		Scale:              graphgen.ScaleTiny,
+		Parallelism:        benchParallelism,
+		PageRankIterations: 5,
+	}
+}
+
+// BenchmarkTable1Templates runs the three Table-1 iteration templates on
+// the Figure-1 sample graph.
+func BenchmarkTable1Templates(b *testing.B) {
+	adj := fixpoint.Figure1Graph()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fixpoint.FixpointCC(adj, 100); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fixpoint.IncrementalCC(adj, 100); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := fixpoint.MicrostepCC(adj, 1<<30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Datasets generates all Table-2 datasets.
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, d := range graphgen.AllTable2() {
+			g := graphgen.Load(d, graphgen.ScaleTiny)
+			if g.NumEdges() == 0 {
+				b.Fatal("empty dataset")
+			}
+		}
+	}
+}
+
+// BenchmarkFig2EffectiveWork measures the Figure-2 experiment: incremental
+// Connected Components with full work accounting on the FOAF graph.
+func BenchmarkFig2EffectiveWork(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure2(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4PlanChoice measures pure optimization time for the
+// PageRank plan (enumeration, interesting properties, loop feedback).
+func BenchmarkFig4PlanChoice(b *testing.B) {
+	g := graphgen.Wikipedia(graphgen.ScaleTiny)
+	spec, _ := algorithms.PageRankSpec(g, 20, algorithms.DefaultDamping, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := optimizer.Optimize(spec.Plan, optimizer.Options{
+			Parallelism:        benchParallelism,
+			ExpectedIterations: 20,
+			Feedback:           map[int]int{spec.Input.ID: spec.Output.ID},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7PageRank measures PageRank per engine (Figure 7's bars).
+func BenchmarkFig7PageRank(b *testing.B) {
+	g := graphgen.Wikipedia(graphgen.ScaleTiny)
+	const iters = 5
+	b.Run("Spark", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := sparklike.NewContext(benchParallelism, nil)
+			if _, _, err := sparklike.PageRank(ctx, g, iters, algorithms.DefaultDamping, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Giraph", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := pregel.Config{Parallelism: benchParallelism}
+			if _, _, err := pregel.PageRank(g, iters, algorithms.DefaultDamping, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("StratospherePart", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := iterative.Config{Parallelism: benchParallelism}
+			if _, _, err := algorithms.PageRankVariant(g, iters, algorithms.PlanPartition, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("StratosphereBC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := iterative.Config{Parallelism: benchParallelism}
+			if _, _, err := algorithms.PageRankVariant(g, iters, algorithms.PlanBroadcast, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig8PerIterationTrace measures PageRank with per-iteration
+// tracing enabled (Figure 8's series collection).
+func BenchmarkFig8PerIterationTrace(b *testing.B) {
+	g := graphgen.Wikipedia(graphgen.ScaleTiny)
+	for i := 0; i < b.N; i++ {
+		cfg := iterative.Config{Parallelism: benchParallelism, CollectTrace: true}
+		_, res, err := algorithms.PageRank(g, 5, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trace.NumIterations() != 5 {
+			b.Fatal("trace incomplete")
+		}
+	}
+}
+
+// BenchmarkFig9CC measures Connected Components per engine and variant
+// (Figure 9's bars) on the wikipedia and hollywood stand-ins.
+func BenchmarkFig9CC(b *testing.B) {
+	for _, ds := range []graphgen.Dataset{graphgen.DSWikipedia, graphgen.DSHollywood} {
+		g := graphgen.Load(ds, graphgen.ScaleTiny)
+		name := string(ds)
+		b.Run(name+"/Spark", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := sparklike.NewContext(benchParallelism, nil)
+				if _, err := sparklike.ConnectedComponents(ctx, g, 0, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/Giraph", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := pregel.Config{Parallelism: benchParallelism}
+				if _, _, err := pregel.ConnectedComponents(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/StratosphereFull", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := iterative.Config{Parallelism: benchParallelism}
+				if _, _, err := algorithms.CCBulk(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/StratosphereMicro", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := iterative.Config{Parallelism: benchParallelism}
+				if _, _, err := algorithms.CCIncremental(g, algorithms.CCMatch, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/StratosphereIncr", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := iterative.Config{Parallelism: benchParallelism}
+				if _, _, err := algorithms.CCIncremental(g, algorithms.CCCoGroup, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/StratosphereAsync", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := iterative.Config{Parallelism: benchParallelism}
+				if _, _, err := algorithms.CCMicrostepAsync(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig10WebbaseTail measures incremental Connected Components to
+// full convergence on the high-diameter Webbase stand-in (Figure 10).
+func BenchmarkFig10WebbaseTail(b *testing.B) {
+	g := graphgen.Webbase(graphgen.ScaleTiny)
+	for i := 0; i < b.N; i++ {
+		cfg := iterative.Config{Parallelism: benchParallelism}
+		_, res, err := algorithms.CCIncremental(g, algorithms.CCCoGroup, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Supersteps < 20 {
+			b.Fatalf("tail too short: %d supersteps", res.Supersteps)
+		}
+	}
+}
+
+// BenchmarkFig11SimulatedIncremental measures Spark's
+// simulated-incremental variant (Figure 11's extra curve).
+func BenchmarkFig11SimulatedIncremental(b *testing.B) {
+	g := graphgen.Wikipedia(graphgen.ScaleTiny)
+	for i := 0; i < b.N; i++ {
+		ctx := sparklike.NewContext(benchParallelism, nil)
+		if _, err := sparklike.SimIncrementalCC(ctx, g, 0, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12Variants measures the three Connected Components variants
+// with message accounting (Figure 12's correlation data).
+func BenchmarkFig12Variants(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Figure12(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationCombiner isolates the pre-shuffle combiner's effect on
+// bulk PageRank (§6.1 mentions pre-aggregation as essential).
+func BenchmarkAblationCombiner(b *testing.B) {
+	g := graphgen.Wikipedia(graphgen.ScaleTiny)
+	run := func(b *testing.B, combinable bool) {
+		for i := 0; i < b.N; i++ {
+			spec, initial := algorithms.PageRankSpec(g, 5, algorithms.DefaultDamping, 0)
+			for _, n := range spec.Plan.Nodes() {
+				if n.Name == "sumRanks" {
+					n.Combinable = combinable
+				}
+			}
+			if _, err := iterative.RunBulk(spec, initial, iterative.Config{Parallelism: benchParallelism}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("with", func(b *testing.B) { run(b, true) })
+	b.Run("without", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationUpdateOperator isolates the CoGroup-vs-Match update
+// choice on a dense graph, where the paper finds grouping wins (§6.2:
+// hollywood, "the batch incremental algorithm is here roughly 30% faster").
+func BenchmarkAblationUpdateOperator(b *testing.B) {
+	g := graphgen.Hollywood(graphgen.ScaleTiny)
+	for _, v := range []struct {
+		name    string
+		variant algorithms.CCVariant
+	}{{"CoGroup", algorithms.CCCoGroup}, {"Match", algorithms.CCMatch}} {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := iterative.Config{Parallelism: benchParallelism}
+				if _, _, err := algorithms.CCIncremental(g, v.variant, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelism sweeps the partition count for incremental
+// Connected Components.
+func BenchmarkAblationParallelism(b *testing.B) {
+	g := graphgen.FOAF(graphgen.ScaleTiny)
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "p1", 2: "p2", 4: "p4", 8: "p8"}[par], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := iterative.Config{Parallelism: par}
+				if _, _, err := algorithms.CCIncremental(g, algorithms.CCCoGroup, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCaching isolates the constant-path cache: the same
+// bulk iteration with the executor's loop-invariant caches invalidated
+// before every pass (forcing re-evaluation of the constant path) versus
+// the normal feedback execution.
+func BenchmarkAblationCaching(b *testing.B) {
+	g := graphgen.Wikipedia(graphgen.ScaleTiny)
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := iterative.Config{Parallelism: benchParallelism}
+			if _, _, err := algorithms.PageRank(g, 5, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		// One-iteration runs from scratch approximate uncached execution:
+		// every pass pays the constant path again.
+		for i := 0; i < b.N; i++ {
+			for pass := 0; pass < 5; pass++ {
+				cfg := iterative.Config{Parallelism: benchParallelism}
+				if _, _, err := algorithms.PageRank(g, 1, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+// Command spinflow regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	spinflow [-scale f] [-par n] [-iters n] <experiment>...
+//
+// Experiments: table1 table2 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/algorithms"
+	"repro/internal/graphgen"
+	"repro/internal/harness"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+// explain prints the optimized physical plans (text and Graphviz DOT) for
+// the PageRank bulk iteration and the incremental Connected Components
+// iteration on the wikipedia stand-in.
+func explain(opts harness.Options) error {
+	g := graphgen.Wikipedia(graphgen.ScaleTiny)
+
+	prSpec, _ := algorithms.PageRankSpec(g, 20, algorithms.DefaultDamping, 0)
+	prPlan, err := optimizer.Optimize(prSpec.Plan, optimizer.Options{
+		Parallelism:        4,
+		ExpectedIterations: 20,
+		Feedback:           map[int]int{prSpec.Input.ID: prSpec.Output.ID},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("PageRank bulk iteration (Figure 3) — physical plan:")
+	fmt.Print(prPlan.Explain())
+	fmt.Println("\nDOT:")
+	fmt.Print(prPlan.DOT())
+
+	ccSpec, _, _ := algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
+	ccPlan, err := optimizer.Optimize(ccSpec.Plan, optimizer.Options{
+		Parallelism:        4,
+		ExpectedIterations: 14,
+		PlaceholderProps: map[int]optimizer.Props{
+			ccSpec.Workset.ID: {Part: record.KeyID(ccSpec.WorksetKey)},
+		},
+		SinkPartition: map[int]record.KeyFunc{
+			ccSpec.DeltaSink.ID:   ccSpec.SolutionKey,
+			ccSpec.WorksetSink.ID: ccSpec.WorksetKey,
+		},
+		Feedback: map[int]int{ccSpec.Workset.ID: ccSpec.WorksetSink.ID},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nIncremental Connected Components (Figure 5) — physical plan:")
+	fmt.Print(ccPlan.Explain())
+	fmt.Println("\nDOT:")
+	fmt.Print(ccPlan.DOT())
+	return nil
+}
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default laptop scale)")
+	par := flag.Int("par", 4, "parallelism (number of partitions/workers)")
+	iters := flag.Int("iters", 20, "PageRank iteration count")
+	flag.Parse()
+
+	opts := harness.Options{
+		Scale:              graphgen.Scale(*scale),
+		Parallelism:        *par,
+		PageRankIterations: *iters,
+		Out:                os.Stdout,
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|explain|all>...")
+		os.Exit(2)
+	}
+	for _, name := range args {
+		var err error
+		switch name {
+		case "table1":
+			_, err = harness.Table1(opts)
+		case "table2":
+			_, err = harness.Table2(opts)
+		case "fig2":
+			_, err = harness.Figure2(opts)
+		case "fig4":
+			_, err = harness.Figure4(opts)
+		case "fig7":
+			_, err = harness.Figure7(opts)
+		case "fig8":
+			_, err = harness.Figure8(opts)
+		case "fig9":
+			_, err = harness.Figure9(opts)
+		case "fig10":
+			_, err = harness.Figure10(opts)
+		case "fig11":
+			_, err = harness.Figure11(opts)
+		case "fig12":
+			_, err = harness.Figure12(opts)
+		case "all":
+			err = harness.All(opts)
+		case "explain":
+			err = explain(opts)
+		default:
+			fmt.Fprintf(os.Stderr, "spinflow: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spinflow: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

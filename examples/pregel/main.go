@@ -1,0 +1,153 @@
+// Pregel on top of incremental iterations — the paper's §7.2 argument
+// made executable: "the partial solution holds the state of the vertices,
+// the workset holds the messages". This example defines a tiny
+// vertex-program interface and compiles it onto the public incremental
+// iteration API, then runs Connected Components as a vertex program and
+// checks it against an independent implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	spinflow "repro"
+)
+
+// VertexProgram is a Pregel-style program over int64 vertex state and
+// int64 messages, for "propagate my state to neighbors" algorithms.
+type VertexProgram struct {
+	// Init returns a vertex's initial state.
+	Init func(vid int64) int64
+	// Fold combines an incoming message into the accumulated value.
+	Fold func(acc, msg int64) int64
+	// Update merges the folded messages into the state, reporting whether
+	// the state changed (changed vertices message all their neighbors).
+	Update func(state, folded int64) (int64, bool)
+}
+
+// compile lowers a vertex program onto the incremental iteration operator:
+// solution set = vertex states, working set = messages, Δ = a
+// SolutionCoGroup (receive+update) followed by a Match with the topology
+// (send).
+func compile(prog VertexProgram, edges []spinflow.Record, numVertices int64) (spinflow.IncrementalSpec, []spinflow.Record, []spinflow.Record) {
+	p := spinflow.NewPlan()
+	w := p.IterationPlaceholder("messages", int64(len(edges)))
+
+	recv := p.SolutionCoGroupNode("receive", w, spinflow.KeyA,
+		func(vid int64, msgs []spinflow.Record, s spinflow.Record, found bool, out spinflow.Emitter) {
+			if !found {
+				return
+			}
+			folded := msgs[0].B
+			for _, m := range msgs[1:] {
+				folded = prog.Fold(folded, m.B)
+			}
+			if next, changed := prog.Update(s.B, folded); changed {
+				out.Emit(spinflow.Record{A: vid, B: next})
+			}
+		})
+	recv.Preserve(0, spinflow.KeyA)
+	d := p.SinkNode("D", recv)
+
+	topo := p.SourceOf("topology", edges)
+	send := p.MatchNode("send", recv, topo, spinflow.KeyA, spinflow.KeyA,
+		func(dr, er spinflow.Record, out spinflow.Emitter) {
+			out.Emit(spinflow.Record{A: er.B, B: dr.B})
+		})
+	w2 := p.SinkNode("W'", send)
+
+	spec := spinflow.IncrementalSpec{
+		Plan: p, Workset: w, DeltaSink: d, WorksetSink: w2,
+		SolutionKey: spinflow.KeyA, WorksetKey: spinflow.KeyA,
+	}
+
+	s0 := make([]spinflow.Record, numVertices)
+	w0 := make([]spinflow.Record, 0, len(edges))
+	for i := int64(0); i < numVertices; i++ {
+		s0[i] = spinflow.Record{A: i, B: prog.Init(i)}
+	}
+	// Superstep 0: every vertex messages its initial state to neighbors.
+	for _, e := range edges {
+		w0 = append(w0, spinflow.Record{A: e.B, B: prog.Init(e.A)})
+	}
+	return spec, s0, w0
+}
+
+func main() {
+	g := spinflow.LoadDataset(spinflow.DatasetFOAF, 0.5)
+	// Undirected edge records.
+	edges := make([]spinflow.Record, 0, 2*len(g.Edges))
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		edges = append(edges, spinflow.Record{A: e.Src, B: e.Dst}, spinflow.Record{A: e.Dst, B: e.Src})
+	}
+
+	// Connected Components as a vertex program.
+	cc := VertexProgram{
+		Init: func(vid int64) int64 { return vid },
+		Fold: func(acc, msg int64) int64 {
+			if msg < acc {
+				return msg
+			}
+			return acc
+		},
+		Update: func(state, folded int64) (int64, bool) {
+			if folded < state {
+				return folded, true
+			}
+			return state, false
+		},
+	}
+
+	spec, s0, w0 := compile(cc, edges, g.NumVertices)
+	start := time.Now()
+	res, err := spinflow.RunIncremental(spec, s0, w0, spinflow.Config{Parallelism: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Verify against a direct union-find.
+	parent := make([]int64, g.NumVertices)
+	for i := range parent {
+		parent[i] = int64(i)
+	}
+	var find func(int64) int64
+	find = func(x int64) int64 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges {
+		a, b := find(e.Src), find(e.Dst)
+		if a != b {
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+			}
+		}
+	}
+	mismatches := 0
+	comps := map[int64]bool{}
+	for _, r := range res.Solution {
+		comps[r.B] = true
+		if find(r.A) != r.B {
+			mismatches++
+		}
+	}
+
+	fmt.Printf("Pregel-style Connected Components on %s via incremental iterations\n", g.Name)
+	fmt.Printf("  %d vertices, %d directed message edges\n", g.NumVertices, len(edges))
+	fmt.Printf("  %d supersteps in %v\n", res.Supersteps, elapsed.Round(time.Millisecond))
+	fmt.Printf("  %d components, %d mismatches vs union-find\n", len(comps), mismatches)
+	if mismatches > 0 {
+		log.Fatal("vertex program produced wrong components")
+	}
+	fmt.Println("  ✓ vertex-program semantics reproduced on the workset abstraction")
+}

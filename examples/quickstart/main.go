@@ -1,0 +1,71 @@
+// Quickstart: build and execute a non-iterative dataflow with the public
+// API — compute each vertex's out-degree, join it back to the edge list,
+// and count how many edges originate at "hub" vertices.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	spinflow "repro"
+)
+
+func main() {
+	// A small synthetic graph: 1000 vertices, power-law degrees.
+	g := spinflow.PowerLawGraph(1000, 3, 42)
+	edges := make([]spinflow.Record, len(g.Edges))
+	for i, e := range g.Edges {
+		edges[i] = spinflow.Record{A: e.Src, B: e.Dst}
+	}
+
+	p := spinflow.NewPlan()
+	src := p.SourceOf("edges", edges)
+
+	// Total degree per vertex: emit both endpoints, group, count.
+	endpoints := p.MapNode("endpoints", src,
+		func(e spinflow.Record, out spinflow.Emitter) {
+			out.Emit(spinflow.Record{A: e.A})
+			out.Emit(spinflow.Record{A: e.B})
+		})
+	deg := p.ReduceNode("degree", endpoints, spinflow.KeyA,
+		func(vid int64, group []spinflow.Record, out spinflow.Emitter) {
+			out.Emit(spinflow.Record{A: vid, B: int64(len(group))})
+		})
+
+	// Keep the hubs (degree >= 10).
+	hubs := p.FilterNode("hubs", deg, func(r spinflow.Record) bool { return r.B >= 10 })
+
+	// Join the hubs back to the edges: every edge leaving a hub.
+	hubEdges := p.MatchNode("hubEdges", hubs, src, spinflow.KeyA, spinflow.KeyA,
+		func(hub, edge spinflow.Record, out spinflow.Emitter) {
+			out.Emit(spinflow.Record{A: hub.A, B: edge.B, X: float64(hub.B)})
+		})
+
+	hubSink := p.SinkNode("hubs", hubs)
+	edgeSink := p.SinkNode("hubEdges", hubEdges)
+
+	res, err := spinflow.Execute(p, spinflow.Config{Parallelism: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hubList := res[hubSink]
+	sort.Slice(hubList, func(i, j int) bool { return hubList[i].B > hubList[j].B })
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices, g.NumEdges())
+	fmt.Printf("hubs (degree >= 10): %d, edges leaving hubs: %d\n", len(hubList), len(res[edgeSink]))
+	fmt.Println("top hubs:")
+	for i, h := range hubList {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  vertex %4d  out-degree %d\n", h.A, h.B)
+	}
+
+	// Show the optimizer's chosen strategy for this plan.
+	explain, err := spinflow.Explain(p, spinflow.Config{Parallelism: 4}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nphysical plan:\n%s", explain)
+}

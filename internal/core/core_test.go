@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+// The core package re-exports the iteration abstraction; these tests pin
+// the facade to the underlying implementations.
+
+func TestFacadeBulkIteration(t *testing.T) {
+	p := NewPlan()
+	in := p.IterationPlaceholder("I", 1)
+	m := p.MapNode("inc", in, func(r Record, out Emitter) {
+		r.A++
+		out.Emit(r)
+	})
+	o := p.SinkNode("O", m)
+	res, err := RunBulk(BulkSpec{Plan: p, Input: in, Output: o, FixedIterations: 3},
+		[]Record{{A: 0}}, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solution) != 1 || res.Solution[0].A != 3 {
+		t.Fatalf("solution %v", res.Solution)
+	}
+}
+
+func TestFacadeIncrementalAndMicrostep(t *testing.T) {
+	build := func() (IncrementalSpec, []Record, []Record) {
+		p := NewPlan()
+		w := p.IterationPlaceholder("W", 2)
+		upd := p.SolutionJoinNode("upd", w, func(r Record) int64 { return r.A },
+			func(c, s Record, found bool, out Emitter) {
+				if found && c.B < s.B {
+					out.Emit(Record{A: c.A, B: c.B})
+				}
+			})
+		// Preserve needs the same KeyFunc value for identity matching;
+		// use the node's own key selector.
+		upd.Preserve(0, upd.Keys[0])
+		d := p.SinkNode("D", upd)
+		e := p.SourceOf("E", []Record{{A: 0, B: 1}})
+		prop := p.MatchNode("prop", upd, e, upd.Keys[0], upd.Keys[0],
+			func(dr, er Record, out Emitter) {
+				out.Emit(Record{A: er.B, B: dr.B})
+			})
+		w2 := p.SinkNode("W2", prop)
+		return IncrementalSpec{
+			Plan: p, Workset: w, DeltaSink: d, WorksetSink: w2,
+			SolutionKey: upd.Keys[0], WorksetKey: upd.Keys[0],
+		}, []Record{{A: 0, B: 5}, {A: 1, B: 9}}, []Record{{A: 0, B: 0}}
+	}
+
+	spec, s0, w0 := build()
+	if _, err := ValidateMicrostep(spec); err != nil {
+		t.Fatalf("facade validate: %v", err)
+	}
+	res, err := RunIncremental(spec, s0, w0, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]int64{}
+	for _, r := range res.Solution {
+		got[r.A] = r.B
+	}
+	if got[0] != 0 || got[1] != 0 {
+		t.Fatalf("propagation failed: %v", got)
+	}
+
+	spec2, s02, w02 := build()
+	res2, err := RunMicrostep(spec2, s02, w02, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Solution) != 2 {
+		t.Fatalf("microstep solution %v", res2.Solution)
+	}
+}

@@ -1,0 +1,32 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the logical plan in Graphviz DOT format for documentation
+// and debugging: operators as boxes, sources/sinks as ovals, edges in
+// dataflow direction.
+func (p *Plan) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n  rankdir=BT;\n")
+	for _, n := range p.nodes {
+		shape := "box"
+		switch n.Contract {
+		case Source, Sink, IterationInput:
+			shape = "ellipse"
+		case SolutionJoin, SolutionCoGroup:
+			shape = "box3d"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n",
+			n.ID, fmt.Sprintf("%s\n%s", n.Name, n.Contract), shape)
+	}
+	for _, n := range p.nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

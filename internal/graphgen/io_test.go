@@ -1,0 +1,91 @@
+package graphgen
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := Uniform("rt", 50, 200, 3)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d != %d", back.NumEdges(), g.NumEdges())
+	}
+	for i := range g.Edges {
+		if g.Edges[i] != back.Edges[i] {
+			t.Fatalf("edge %d mismatch", i)
+		}
+	}
+}
+
+func TestEdgeListFileRoundTrip(t *testing.T) {
+	g := Uniform("file", 30, 90, 4)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := g.SaveEdgeList(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "g.txt" {
+		t.Errorf("name = %q", back.Name)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges lost: %d != %d", back.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\n% another\n1 2\n3\t4\n"
+	g, err := ReadEdgeList("c", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || g.NumVertices != 5 {
+		t.Fatalf("got E=%d V=%d", g.NumEdges(), g.NumVertices)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"1\n",    // one field
+		"a b\n",  // bad source
+		"1 b\n",  // bad target
+		"-1 2\n", // negative id
+		"1 -2\n", // negative id
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList("bad", strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestRelabelDense(t *testing.T) {
+	g := &Graph{Name: "sparse", NumVertices: 1001, Edges: []Edge{
+		{Src: 1000, Dst: 5}, {Src: 5, Dst: 77}, {Src: 77, Dst: 1000},
+	}}
+	dense, old := g.Relabel()
+	if dense.NumVertices != 3 {
+		t.Fatalf("dense vertices = %d", dense.NumVertices)
+	}
+	for _, e := range dense.Edges {
+		if e.Src < 0 || e.Src >= 3 || e.Dst < 0 || e.Dst >= 3 {
+			t.Fatalf("id out of dense range: %+v", e)
+		}
+	}
+	// The mapping must be invertible and consistent.
+	if old[dense.Edges[0].Src] != 1000 || old[dense.Edges[0].Dst] != 5 {
+		t.Errorf("relabel mapping broken: %v", old)
+	}
+}

@@ -1,0 +1,196 @@
+package iterative
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/record"
+)
+
+// Checkpointing (§4.2): "iterative dataflows may log intermediate results
+// for recovery just as non-iterative dataflows ... a new version of the
+// log needs to be created for every logged iteration". The iteration
+// drivers can snapshot the loop state every k passes; after a failure a
+// run resumes from the last snapshot instead of from scratch.
+//
+// A bulk checkpoint holds the partial solution; an incremental checkpoint
+// holds the solution set and the pending working set.
+
+// Checkpoint is a recoverable snapshot of an iteration's loop state.
+type Checkpoint struct {
+	// Kind is "bulk" or "incremental".
+	Kind string
+	// Iteration is the number of completed passes/supersteps.
+	Iteration int
+	// Solution is the partial solution (bulk) or solution set
+	// (incremental).
+	Solution []record.Record
+	// Workset is the pending working set (incremental only).
+	Workset []record.Record
+}
+
+const (
+	checkpointMagic   = uint32(0x53464c57) // "SFLW"
+	checkpointVersion = uint32(1)
+)
+
+// WriteTo serializes the checkpoint.
+func (c *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	writeU32 := func(v uint32) error {
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], v)
+		n, err := w.Write(buf[:])
+		total += int64(n)
+		return err
+	}
+	if err := writeU32(checkpointMagic); err != nil {
+		return total, err
+	}
+	if err := writeU32(checkpointVersion); err != nil {
+		return total, err
+	}
+	kind := []byte(c.Kind)
+	if err := writeU32(uint32(len(kind))); err != nil {
+		return total, err
+	}
+	n, err := w.Write(kind)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	if err := writeU32(uint32(c.Iteration)); err != nil {
+		return total, err
+	}
+	for _, recs := range [][]record.Record{c.Solution, c.Workset} {
+		buf := record.EncodeBatch(nil, recs)
+		n, err := w.Write(buf)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadCheckpoint deserializes a checkpoint written by WriteTo.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("iterative: reading checkpoint: %w", err)
+	}
+	readU32 := func() (uint32, error) {
+		if len(data) < 4 {
+			return 0, fmt.Errorf("iterative: checkpoint truncated")
+		}
+		v := binary.LittleEndian.Uint32(data[:4])
+		data = data[4:]
+		return v, nil
+	}
+	magic, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("iterative: not a checkpoint (magic %#x)", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("iterative: unsupported checkpoint version %d", version)
+	}
+	kindLen, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(kindLen) > len(data) {
+		return nil, fmt.Errorf("iterative: checkpoint truncated in kind")
+	}
+	c := &Checkpoint{Kind: string(data[:kindLen])}
+	data = data[kindLen:]
+	iter, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	c.Iteration = int(iter)
+	c.Solution, data, err = record.DecodeBatch(data)
+	if err != nil {
+		return nil, fmt.Errorf("iterative: checkpoint solution: %w", err)
+	}
+	c.Workset, data, err = record.DecodeBatch(data)
+	if err != nil {
+		return nil, fmt.Errorf("iterative: checkpoint workset: %w", err)
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("iterative: %d trailing bytes in checkpoint", len(data))
+	}
+	return c, nil
+}
+
+// SaveCheckpoint writes a checkpoint file atomically (write + rename).
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := c.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// ResumeBulk restarts a bulk iteration from a checkpoint: the snapshot's
+// partial solution becomes the initial input, and fixed-count runs only
+// execute the remaining passes.
+func ResumeBulk(spec BulkSpec, cp *Checkpoint, cfg Config) (*BulkResult, error) {
+	if cp.Kind != "bulk" {
+		return nil, fmt.Errorf("iterative: cannot resume bulk iteration from %q checkpoint", cp.Kind)
+	}
+	if spec.FixedIterations > 0 {
+		remaining := spec.FixedIterations - cp.Iteration
+		if remaining <= 0 {
+			return &BulkResult{Solution: cp.Solution, Iterations: 0}, nil
+		}
+		spec.FixedIterations = remaining
+	}
+	res, err := RunBulk(spec, cp.Solution, cfg)
+	if res != nil {
+		res.Iterations += cp.Iteration
+	}
+	return res, err
+}
+
+// ResumeIncremental restarts an incremental iteration from a checkpoint:
+// the snapshot's solution set and pending working set continue where the
+// failed run left off.
+func ResumeIncremental(spec IncrementalSpec, cp *Checkpoint, cfg Config) (*IncrementalResult, error) {
+	if cp.Kind != "incremental" {
+		return nil, fmt.Errorf("iterative: cannot resume incremental iteration from %q checkpoint", cp.Kind)
+	}
+	res, err := RunIncremental(spec, cp.Solution, cp.Workset, cfg)
+	if res != nil {
+		res.Supersteps += cp.Iteration
+	}
+	return res, err
+}

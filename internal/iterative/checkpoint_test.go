@@ -1,0 +1,194 @@
+package iterative
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/record"
+)
+
+func TestCheckpointSerializationRoundTrip(t *testing.T) {
+	cp := &Checkpoint{
+		Kind:      "incremental",
+		Iteration: 17,
+		Solution:  []record.Record{{A: 1, B: 2, X: 3.5, Tag: 4}, {A: -1}},
+		Workset:   []record.Record{{A: 9}},
+	}
+	var buf bytes.Buffer
+	if _, err := cp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != cp.Kind || back.Iteration != cp.Iteration {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	if len(back.Solution) != 2 || !back.Solution[0].Equal(cp.Solution[0]) {
+		t.Errorf("solution mismatch: %v", back.Solution)
+	}
+	if len(back.Workset) != 1 || back.Workset[0].A != 9 {
+		t.Errorf("workset mismatch: %v", back.Workset)
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("not a checkpoint")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte{0x57, 0x4c, 0x46, 0x53})); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.bin")
+	cp := &Checkpoint{Kind: "bulk", Iteration: 3, Solution: []record.Record{{A: 42}}}
+	if err := SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Iteration != 3 || back.Solution[0].A != 42 {
+		t.Fatalf("file round trip lost data: %+v", back)
+	}
+}
+
+func TestBulkCheckpointAndResume(t *testing.T) {
+	// A 10-pass doubler checkpointed every 3 passes, resumed after a
+	// simulated failure, must equal an uninterrupted run.
+	build := func() (BulkSpec, []record.Record) {
+		spec, init := doubler()
+		spec.FixedIterations = 10
+		return spec, init
+	}
+
+	spec, init := build()
+	uninterrupted, err := RunBulk(spec, init, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var last *Checkpoint
+	spec2, init2 := build()
+	spec2.FixedIterations = 6 // "failure" after pass 6
+	spec2.CheckpointEvery = 3
+	spec2.OnCheckpoint = func(cp *Checkpoint) error { last = cp; return nil }
+	if _, err := RunBulk(spec2, init2, Config{Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil || last.Iteration != 6 {
+		t.Fatalf("checkpoint not taken: %+v", last)
+	}
+
+	spec3, _ := build()
+	resumed, err := ResumeBulk(spec3, last, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Iterations != 10 {
+		t.Errorf("resumed total iterations = %d, want 10", resumed.Iterations)
+	}
+	sum := func(rs []record.Record) int64 {
+		var s int64
+		for _, r := range rs {
+			s += r.A
+		}
+		return s
+	}
+	if sum(resumed.Solution) != sum(uninterrupted.Solution) {
+		t.Errorf("resumed %d != uninterrupted %d", sum(resumed.Solution), sum(uninterrupted.Solution))
+	}
+}
+
+func TestIncrementalCheckpointAndResumeAfterFailure(t *testing.T) {
+	// Ring propagation with a UDF that fails exactly once mid-run; the
+	// checkpoint taken before the failure lets the job finish and reach
+	// the same fixpoint.
+	const n = 24
+	var failAt atomic.Int64
+	failAt.Store(8) // supersteps before the injected crash
+
+	build := func() (IncrementalSpec, []record.Record, []record.Record) {
+		spec, s0, w0 := incrSpec(n)
+		// Wrap the solution join with a failure injector.
+		for _, node := range spec.Plan.Nodes() {
+			if node.Contract == dataflow.SolutionJoin {
+				orig := node.SolJoin
+				node.SolJoin = func(c, s record.Record, found bool, out dataflow.Emitter) {
+					if failAt.Load() == 0 {
+						panic("injected failure")
+					}
+					orig(c, s, found, out)
+				}
+			}
+		}
+		return spec, s0, w0
+	}
+
+	spec, s0, w0 := build()
+	spec.CheckpointEvery = 2
+	spec.MaxSupersteps = 1000
+	var last *Checkpoint
+	// The failure countdown ticks at every checkpoint (every 2 supersteps),
+	// so the crash lands a few supersteps after the last good snapshot.
+	spec.OnCheckpoint = func(cp *Checkpoint) error {
+		last = cp
+		failAt.Add(-2)
+		return nil
+	}
+	_, err := RunIncremental(spec, s0, w0, Config{Parallelism: 2})
+	if err == nil {
+		t.Fatal("injected failure did not surface")
+	}
+	if last == nil {
+		t.Fatal("no checkpoint before the failure")
+	}
+
+	// Recovery: disable the injector and resume.
+	failAt.Store(1 << 30)
+	spec2, _, _ := build()
+	res, err := ResumeIncremental(spec2, last, Config{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Solution {
+		if r.B != 0 {
+			t.Fatalf("vertex %d did not converge after resume (got %d)", r.A, r.B)
+		}
+	}
+	if res.Supersteps <= last.Iteration {
+		t.Errorf("resumed supersteps (%d) should extend the checkpoint (%d)", res.Supersteps, last.Iteration)
+	}
+}
+
+func TestResumeKindMismatch(t *testing.T) {
+	spec, _ := doubler()
+	if _, err := ResumeBulk(spec, &Checkpoint{Kind: "incremental"}, Config{}); err == nil {
+		t.Error("bulk resume accepted incremental checkpoint")
+	}
+	ispec, _, _ := incrSpec(4)
+	if _, err := ResumeIncremental(ispec, &Checkpoint{Kind: "bulk"}, Config{}); err == nil {
+		t.Error("incremental resume accepted bulk checkpoint")
+	}
+}
+
+func TestResumeBulkAlreadyComplete(t *testing.T) {
+	spec, _ := doubler()
+	spec.FixedIterations = 5
+	cp := &Checkpoint{Kind: "bulk", Iteration: 5, Solution: []record.Record{{A: 99}}}
+	res, err := ResumeBulk(spec, cp, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Solution) != 1 || res.Solution[0].A != 99 {
+		t.Errorf("completed checkpoint should pass through: %v", res.Solution)
+	}
+}

@@ -1,0 +1,406 @@
+// Package iterative implements the paper's contribution: iteration
+// operators embedded in parallel dataflows.
+//
+//   - Bulk iterations (§4): an operator (G, I, O, T) whose step function G
+//     is a dataflow; executed with the feedback-channel strategy — the
+//     executor persists across passes, loop-invariant inputs stay cached,
+//     and only the dynamic data path re-runs.
+//   - Incremental iterations (§5): an operator (Δ, S0, W0) with a
+//     partitioned, indexed solution set S, a working set W, and a step
+//     function Δ producing the delta set D and the next working set;
+//     S ∪̇ D applies point updates between supersteps.
+//   - Microstep iterations (§5.2): incremental iterations whose Δ meets
+//     the record-at-a-time/locality conditions execute asynchronously,
+//     one working-set element at a time, without superstep barriers.
+package iterative
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/runtime"
+)
+
+// Config controls iteration execution.
+type Config struct {
+	// Parallelism is the number of partitions.
+	Parallelism int
+	// BatchSize is the exchange batch size (0 = default).
+	BatchSize int
+	// Metrics receives work counters (optional; required for traces).
+	Metrics *metrics.Counters
+	// CollectTrace records per-iteration statistics.
+	CollectTrace bool
+}
+
+func (c Config) normalized() Config {
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	return c
+}
+
+// ErrNoProgress is returned when an iteration hits its step budget.
+var ErrNoProgress = errors.New("iterative: iteration exceeded its superstep budget")
+
+// BulkSpec describes a bulk iteration (G, I, O, T) (§4.1).
+type BulkSpec struct {
+	// Plan is the step-function dataflow G (including the sinks below).
+	Plan *dataflow.Plan
+	// Input is the IterationInput placeholder I carrying the previous
+	// partial solution into G.
+	Input *dataflow.Node
+	// Output is the sink O producing the next partial solution.
+	Output *dataflow.Node
+	// Termination, if non-nil, is the criterion sink T: the iteration
+	// continues as long as T emits at least one record and stops when it
+	// is silent (e.g. PageRank's "rank moved more than ε" Match, Fig. 3).
+	Termination *dataflow.Node
+	// Converged, if non-nil, is a driver-side termination criterion
+	// comparing consecutive partial solutions.
+	Converged func(prev, next []record.Record) bool
+	// FixedIterations, if > 0, runs exactly n passes ((G, I, O, n) form).
+	FixedIterations int
+	// MaxIterations bounds criterion-driven runs (default 1000).
+	MaxIterations int
+	// ExpectedIterations is the optimizer's cost weight for the dynamic
+	// path (default: FixedIterations, else 10).
+	ExpectedIterations int
+	// JoinHints optionally pins join strategies (see optimizer.JoinHint),
+	// used to force a specific Figure-4 plan.
+	JoinHints map[int]optimizer.JoinHint
+	// CheckpointEvery, if > 0, snapshots the partial solution after every
+	// k-th pass (§4.2's recovery logging); OnCheckpoint receives it.
+	CheckpointEvery int
+	// OnCheckpoint persists a snapshot (e.g. via SaveCheckpoint). A
+	// returned error aborts the run.
+	OnCheckpoint func(*Checkpoint) error
+	// Unroll selects the loop-unrolling execution strategy of §4.2
+	// instead of feedback channels: every pass instantiates a fresh copy
+	// of G, so no caches persist and the constant data path re-executes
+	// each time. Mainly useful to measure what the feedback strategy's
+	// caching buys.
+	Unroll bool
+}
+
+// BulkResult is the outcome of a bulk iteration.
+type BulkResult struct {
+	// Solution is the final partial solution (contents of O).
+	Solution []record.Record
+	// Iterations is the number of executed passes.
+	Iterations int
+	// Trace holds per-iteration stats when Config.CollectTrace is set.
+	Trace metrics.Trace
+	// Plan is the physical plan that was executed.
+	Plan *optimizer.PhysPlan
+}
+
+// RunBulk executes a bulk iteration with the feedback-channel strategy:
+// one Executor persists across all passes so the constant data path is
+// evaluated (and cached) once, while I is re-bound to the previous pass's
+// O before every pass (§4.2).
+func RunBulk(spec BulkSpec, initial []record.Record, cfg Config) (*BulkResult, error) {
+	cfg = cfg.normalized()
+	if spec.Input == nil || spec.Output == nil {
+		return nil, fmt.Errorf("iterative: bulk spec needs Input and Output nodes")
+	}
+	maxIter := spec.MaxIterations
+	if spec.FixedIterations > 0 {
+		maxIter = spec.FixedIterations
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	expected := spec.ExpectedIterations
+	if expected <= 0 {
+		expected = spec.FixedIterations
+	}
+	if expected <= 0 {
+		expected = 10
+	}
+	if spec.Input.EstRecords == 0 {
+		spec.Input.EstRecords = int64(len(initial))
+	}
+
+	phys, err := optimizer.Optimize(spec.Plan, optimizer.Options{
+		Parallelism:        cfg.Parallelism,
+		ExpectedIterations: expected,
+		Feedback:           map[int]int{spec.Input.ID: spec.Output.ID},
+		JoinHints:          spec.JoinHints,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	phKey := phys.PlaceholderKey[spec.Input.ID]
+	exec.SetPlaceholder(spec.Input.ID, initial, phKey, cfg.Parallelism)
+
+	out := &BulkResult{Plan: phys}
+	prev := initial
+	for i := 0; i < maxIter; i++ {
+		start := time.Now()
+		var before metrics.Snapshot
+		if cfg.Metrics != nil {
+			before = cfg.Metrics.Snapshot()
+		}
+		if spec.Unroll && i > 0 {
+			// Unrolled execution: a new instance of G per pass (§4.2) —
+			// drop every loop-invariant cache before re-running.
+			exec.InvalidateCaches()
+		}
+
+		res, err := exec.Run(phys)
+		if err != nil {
+			return nil, err
+		}
+		nextParts := res[spec.Output.ID]
+		next := res.Records(spec.Output.ID)
+		out.Iterations = i + 1
+		if cfg.CollectTrace {
+			st := metrics.IterationStat{Iteration: i, Duration: time.Since(start)}
+			if cfg.Metrics != nil {
+				st.Work = cfg.Metrics.Snapshot().Sub(before)
+			}
+			out.Trace.Add(st)
+		}
+
+		if spec.CheckpointEvery > 0 && spec.OnCheckpoint != nil && (i+1)%spec.CheckpointEvery == 0 {
+			cp := &Checkpoint{Kind: "bulk", Iteration: i + 1,
+				Solution: append([]record.Record(nil), next...)}
+			if err := spec.OnCheckpoint(cp); err != nil {
+				return nil, fmt.Errorf("iterative: checkpoint at pass %d: %w", i+1, err)
+			}
+		}
+
+		stop := false
+		if spec.Termination != nil && len(res.Records(spec.Termination.ID)) == 0 {
+			stop = true
+		}
+		if spec.Converged != nil && spec.Converged(prev, next) {
+			stop = true
+		}
+		if spec.FixedIterations > 0 && i+1 >= spec.FixedIterations {
+			stop = true
+		}
+		out.Solution = next
+		if stop {
+			return out, nil
+		}
+
+		// Feedback: O becomes the next I. When the loop-closing property
+		// grant holds, O's partitions are already laid out correctly and
+		// re-enter without reshuffling.
+		if phKey != nil {
+			exec.SetPlaceholderParts(spec.Input.ID, nextParts)
+		} else {
+			exec.SetPlaceholder(spec.Input.ID, next, nil, cfg.Parallelism)
+		}
+		prev = next
+	}
+	if spec.FixedIterations > 0 {
+		return out, nil
+	}
+	// Budget exhausted: return the partial result so capped experiment
+	// runs (e.g. "first 20 iterations of Webbase", Fig. 9) remain usable.
+	return out, fmt.Errorf("%w after %d iterations", ErrNoProgress, maxIter)
+}
+
+// IncrementalSpec describes an incremental iteration (Δ, S0, W0) (§5.1).
+// The Δ dataflow reads the workset placeholder and the solution set
+// (through SolutionJoin/SolutionCoGroup operators) and feeds two sinks:
+// the delta set D and the next workset.
+type IncrementalSpec struct {
+	// Plan is the Δ dataflow.
+	Plan *dataflow.Plan
+	// Workset is the IterationInput placeholder for W.
+	Workset *dataflow.Node
+	// DeltaSink collects D, merged into S with ∪̇ after each superstep.
+	DeltaSink *dataflow.Node
+	// WorksetSink collects the next working set.
+	WorksetSink *dataflow.Node
+	// SolutionKey identifies records in S (k(s)).
+	SolutionKey record.KeyFunc
+	// WorksetKey partitions W compatibly with S for the stateful join.
+	WorksetKey record.KeyFunc
+	// Comparator optionally arbitrates ∪̇ replacements (§5.1): the
+	// CPO-larger record survives. Nil = delta always replaces.
+	Comparator record.Comparator
+	// MaxSupersteps bounds the run (default 10000).
+	MaxSupersteps int
+	// ExpectedIterations is the optimizer's dynamic-path weight
+	// (default 10).
+	ExpectedIterations int
+	// JoinHints optionally pins join strategies (see optimizer.JoinHint).
+	JoinHints map[int]optimizer.JoinHint
+	// CheckpointEvery, if > 0, snapshots the solution set and pending
+	// working set after every k-th superstep (§4.2).
+	CheckpointEvery int
+	// OnCheckpoint persists a snapshot. A returned error aborts the run.
+	OnCheckpoint func(*Checkpoint) error
+	// Reoptimize re-plans Δ mid-run when the working set shrinks far
+	// below the size the current plan was costed with. The paper's §4.3
+	// notes that "in the general case, a different plan may be optimal
+	// for every iteration" but settles for the first-iteration heuristic;
+	// this extension re-runs the optimizer when the estimate is off by
+	// more than an order of magnitude, at the cost of re-building the
+	// loop-invariant caches once.
+	Reoptimize bool
+}
+
+// IncrementalResult is the outcome of an incremental or microstep run.
+type IncrementalResult struct {
+	// Solution is the converged solution set.
+	Solution []record.Record
+	// Supersteps is the number of executed supersteps (microstep runs
+	// report 1).
+	Supersteps int
+	// Microsteps counts individually processed workset elements (only for
+	// microstep execution).
+	Microsteps int64
+	// Trace holds per-superstep stats when Config.CollectTrace is set.
+	Trace metrics.Trace
+	// Plan is the physical plan (nil for microstep execution).
+	Plan *optimizer.PhysPlan
+}
+
+func (s *IncrementalSpec) validate() error {
+	if s.Workset == nil || s.DeltaSink == nil || s.WorksetSink == nil {
+		return fmt.Errorf("iterative: incremental spec needs Workset, DeltaSink and WorksetSink")
+	}
+	if s.SolutionKey == nil || s.WorksetKey == nil {
+		return fmt.Errorf("iterative: incremental spec needs SolutionKey and WorksetKey")
+	}
+	return nil
+}
+
+// RunIncremental executes an incremental iteration in supersteps: each
+// superstep evaluates Δ against the current S and W, then merges D into S
+// with ∪̇ and installs the produced working set for the next superstep.
+// It converges when the working set is empty (§5.3).
+func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []record.Record, cfg Config) (*IncrementalResult, error) {
+	cfg = cfg.normalized()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	maxSteps := spec.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	expected := spec.ExpectedIterations
+	if expected <= 0 {
+		expected = 10
+	}
+	if spec.Workset.EstRecords == 0 {
+		spec.Workset.EstRecords = int64(len(initialWorkset))
+	}
+
+	optimize := func() (*optimizer.PhysPlan, error) {
+		return optimizer.Optimize(spec.Plan, optimizer.Options{
+			Parallelism:        cfg.Parallelism,
+			ExpectedIterations: expected,
+			PlaceholderProps: map[int]optimizer.Props{
+				spec.Workset.ID: {Part: record.KeyID(spec.WorksetKey)},
+			},
+			SinkPartition: map[int]record.KeyFunc{
+				spec.DeltaSink.ID:   spec.SolutionKey,
+				spec.WorksetSink.ID: spec.WorksetKey,
+			},
+			Feedback:  map[int]int{spec.Workset.ID: spec.WorksetSink.ID},
+			JoinHints: spec.JoinHints,
+		})
+	}
+	phys, err := optimize()
+	if err != nil {
+		return nil, err
+	}
+	plannedEst := spec.Workset.EstRecords
+
+	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	exec.Solution = runtime.NewSolutionSet(cfg.Parallelism, spec.SolutionKey, spec.Comparator, cfg.Metrics)
+	exec.Solution.Init(initialSolution)
+	// §5.3: when the Δ flow meets the microstep locality conditions, delta
+	// records merge into S directly during the superstep, so later
+	// working-set elements observe the update and redundant candidates are
+	// pruned at the source.
+	if _, err := ValidateMicrostep(spec); err == nil {
+		exec.DirectMerge = true
+	}
+	exec.SetPlaceholder(spec.Workset.ID, initialWorkset, spec.WorksetKey, cfg.Parallelism)
+	if cfg.Metrics != nil {
+		cfg.Metrics.WorksetElements.Add(int64(len(initialWorkset)))
+	}
+
+	out := &IncrementalResult{Plan: phys}
+	for step := 0; step < maxSteps; step++ {
+		start := time.Now()
+		var before metrics.Snapshot
+		if cfg.Metrics != nil {
+			before = cfg.Metrics.Snapshot()
+		}
+
+		res, err := exec.Run(phys)
+		if err != nil {
+			return nil, err
+		}
+		out.Supersteps = step + 1
+
+		// S ∪̇ D — applied after the superstep so that every access inside
+		// the superstep observed S_i (§5.3: "we cache the records in the
+		// delta set D until the end of the superstep").
+		exec.Solution.MergeDelta(res.Records(spec.DeltaSink.ID))
+
+		nextParts := res[spec.WorksetSink.ID]
+		nextCount := 0
+		for _, p := range nextParts {
+			nextCount += len(p)
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.WorksetElements.Add(int64(nextCount))
+		}
+		if cfg.CollectTrace {
+			st := metrics.IterationStat{Iteration: step, Duration: time.Since(start)}
+			if cfg.Metrics != nil {
+				st.Work = cfg.Metrics.Snapshot().Sub(before)
+			}
+			out.Trace.Add(st)
+		}
+		if spec.CheckpointEvery > 0 && spec.OnCheckpoint != nil && (step+1)%spec.CheckpointEvery == 0 {
+			var pending []record.Record
+			for _, p := range nextParts {
+				pending = append(pending, p...)
+			}
+			cp := &Checkpoint{Kind: "incremental", Iteration: step + 1,
+				Solution: exec.Solution.Snapshot(), Workset: pending}
+			if err := spec.OnCheckpoint(cp); err != nil {
+				return nil, fmt.Errorf("iterative: checkpoint at superstep %d: %w", step+1, err)
+			}
+		}
+		if nextCount == 0 {
+			out.Solution = exec.Solution.Snapshot()
+			return out, nil
+		}
+		// Adaptive re-planning: when the working set has collapsed far
+		// below the size the plan was costed with, choose a new plan for
+		// the remaining supersteps.
+		if spec.Reoptimize && int64(nextCount)*16 < plannedEst {
+			spec.Workset.EstRecords = int64(nextCount)
+			if newPhys, rerr := optimize(); rerr == nil {
+				phys = newPhys
+				plannedEst = int64(nextCount)
+				exec.InvalidateCaches()
+			}
+		}
+		// The workset sink is partition-pinned on WorksetKey, so its
+		// partitions re-enter directly — the paper's partitioned queues.
+		exec.SetPlaceholderParts(spec.Workset.ID, nextParts)
+	}
+	// Budget exhausted: hand back the partial state for capped runs.
+	out.Solution = exec.Solution.Snapshot()
+	return out, fmt.Errorf("%w after %d supersteps", ErrNoProgress, maxSteps)
+}

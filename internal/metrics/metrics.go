@@ -1,0 +1,96 @@
+// Package metrics collects the work counters the paper's evaluation
+// reports: records shipped over the network layer, working-set elements
+// ("messages"), solution-set accesses and updates, and per-iteration wall
+// times (Figures 2, 8, 10, 11, 12).
+//
+// Counters are atomics so the parallel runtime can update them from any
+// partition without coordination; per-iteration snapshots are taken at
+// superstep boundaries.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counters aggregates work done by one execution (one job, or one
+// superstep if snapshotted per iteration).
+type Counters struct {
+	// RecordsShipped counts records crossing a partition/broadcast
+	// exchange — the proxy for network traffic.
+	RecordsShipped atomic.Int64
+	// WorksetElements counts records added to the working set (the
+	// paper's "messages sent").
+	WorksetElements atomic.Int64
+	// SolutionAccesses counts reads of solution-set entries
+	// (Figure 2's "vertices inspected").
+	SolutionAccesses atomic.Int64
+	// SolutionUpdates counts writes to solution-set entries
+	// (Figure 2's "vertices changed").
+	SolutionUpdates atomic.Int64
+	// UDFInvocations counts user-function calls across all operators.
+	UDFInvocations atomic.Int64
+}
+
+// Snapshot is an immutable copy of counter values.
+type Snapshot struct {
+	RecordsShipped   int64
+	WorksetElements  int64
+	SolutionAccesses int64
+	SolutionUpdates  int64
+	UDFInvocations   int64
+}
+
+// Snapshot captures current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		RecordsShipped:   c.RecordsShipped.Load(),
+		WorksetElements:  c.WorksetElements.Load(),
+		SolutionAccesses: c.SolutionAccesses.Load(),
+		SolutionUpdates:  c.SolutionUpdates.Load(),
+		UDFInvocations:   c.UDFInvocations.Load(),
+	}
+}
+
+// Sub returns the delta s - o, the work done between two snapshots.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		RecordsShipped:   s.RecordsShipped - o.RecordsShipped,
+		WorksetElements:  s.WorksetElements - o.WorksetElements,
+		SolutionAccesses: s.SolutionAccesses - o.SolutionAccesses,
+		SolutionUpdates:  s.SolutionUpdates - o.SolutionUpdates,
+		UDFInvocations:   s.UDFInvocations - o.UDFInvocations,
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.RecordsShipped.Store(0)
+	c.WorksetElements.Store(0)
+	c.SolutionAccesses.Store(0)
+	c.SolutionUpdates.Store(0)
+	c.UDFInvocations.Store(0)
+}
+
+// IterationStat records one iteration/superstep of an iterative job — one
+// data point in Figures 2, 8, 10, 11 and 12.
+type IterationStat struct {
+	Iteration int
+	Duration  time.Duration
+	Work      Snapshot
+}
+
+// Trace accumulates per-iteration statistics for one job run.
+type Trace struct {
+	Iterations []IterationStat
+	Total      time.Duration
+}
+
+// Add appends one iteration's stats.
+func (t *Trace) Add(st IterationStat) {
+	t.Iterations = append(t.Iterations, st)
+	t.Total += st.Duration
+}
+
+// NumIterations returns the number of recorded iterations.
+func (t *Trace) NumIterations() int { return len(t.Iterations) }

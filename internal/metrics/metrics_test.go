@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotAndSub(t *testing.T) {
+	var c Counters
+	c.RecordsShipped.Add(10)
+	c.WorksetElements.Add(5)
+	s1 := c.Snapshot()
+	c.RecordsShipped.Add(7)
+	c.SolutionUpdates.Add(3)
+	d := c.Snapshot().Sub(s1)
+	if d.RecordsShipped != 7 || d.WorksetElements != 0 || d.SolutionUpdates != 3 {
+		t.Errorf("delta wrong: %+v", d)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.UDFInvocations.Add(9)
+	c.SolutionAccesses.Add(2)
+	c.Reset()
+	s := c.Snapshot()
+	if s != (Snapshot{}) {
+		t.Errorf("reset left %+v", s)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.RecordsShipped.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().RecordsShipped; got != 8000 {
+		t.Errorf("concurrent adds lost updates: %d", got)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	var tr Trace
+	tr.Add(IterationStat{Iteration: 0, Duration: time.Millisecond})
+	tr.Add(IterationStat{Iteration: 1, Duration: 2 * time.Millisecond})
+	if tr.NumIterations() != 2 {
+		t.Errorf("iterations = %d", tr.NumIterations())
+	}
+	if tr.Total != 3*time.Millisecond {
+		t.Errorf("total = %v", tr.Total)
+	}
+}

@@ -1,0 +1,562 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/record"
+)
+
+// Options configures one optimization run.
+type Options struct {
+	// Parallelism is the number of partitions (degree of parallelism).
+	Parallelism int
+	// ExpectedIterations weights the dynamic data path's cost (§4.3: "we
+	// weigh the cost of the dynamic data path by a factor proportional to
+	// the expected number of iterations"). 0 or 1 means non-iterative.
+	ExpectedIterations int
+	// PlaceholderProps grants physical properties to IterationInput
+	// placeholders (e.g. the working set arrives partitioned by its key
+	// because the previous superstep's queues were partitioned).
+	PlaceholderProps map[int]Props
+	// SinkPartition requires the input of the given sink (by logical node
+	// ID) to be hash-partitioned on the given key — used by the iteration
+	// drivers so delta sets merge locally and worksets re-enter
+	// partitioned.
+	SinkPartition map[int]record.KeyFunc
+	// Feedback maps IterationInput placeholder IDs to the sink ID whose
+	// output becomes the placeholder's data next iteration. The optimizer
+	// propagates interesting properties across this loop edge with the
+	// paper's two-traversal scheme (§4.3).
+	Feedback map[int]int
+	// JoinHints pins the shipping strategy of individual Match nodes (by
+	// logical node ID), used to reproduce specific plans (e.g. the two
+	// Figure-4 PageRank variants) regardless of the cost model.
+	JoinHints map[int]JoinHint
+}
+
+// JoinHint restricts the strategies enumerated for a Match node.
+type JoinHint int
+
+// Join hints.
+const (
+	// HintNone lets the cost model decide.
+	HintNone JoinHint = iota
+	// HintBroadcastLeft replicates input 0 and keeps input 1 in place.
+	HintBroadcastLeft
+	// HintBroadcastRight replicates input 1 and keeps input 0 in place.
+	HintBroadcastRight
+	// HintRepartition partitions both inputs on the join keys.
+	HintRepartition
+)
+
+// Optimize compiles the logical plan into a physical plan.
+//
+// When Feedback is set, optimization closes the loop: after an initial
+// pass, the physical properties the chosen plan establishes at each
+// feedback sink are granted to the corresponding IterationInput (the data
+// re-enters the loop with exactly those properties), and the plan is
+// re-optimized under that assumption; the cheaper plan wins. This realizes
+// §4.3's observation that "the IPs propagated down from O depend through
+// the feedback on the IPs created for I".
+func Optimize(p *dataflow.Plan, opt Options) (*PhysPlan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = 1
+	}
+	if opt.ExpectedIterations <= 0 {
+		opt.ExpectedIterations = 1
+	}
+
+	run := func(php map[int]Props) (*PhysPlan, map[int]Props, error) {
+		o := &optz{
+			plan:      p,
+			opt:       opt,
+			phProps:   php,
+			consumers: p.Consumers(),
+			est:       make(map[int]int64),
+			dynamic:   make(map[int]bool),
+			memo:      make(map[int][]cand),
+			ips:       make(map[int][]ipEntry),
+			keyReg:    make(map[uintptr]record.KeyFunc),
+		}
+		o.computeEstimates()
+		o.computeDynamic()
+		o.registerKeys()
+		o.collectIPs()
+		return o.assemble()
+	}
+
+	plan, sinkProps, err := run(opt.PlaceholderProps)
+	if err != nil {
+		return nil, err
+	}
+	granted := make(map[int]Props, len(opt.PlaceholderProps))
+	for k, v := range opt.PlaceholderProps {
+		granted[k] = v
+	}
+	if len(opt.Feedback) > 0 {
+		changed := false
+		for ph, sinkID := range opt.Feedback {
+			sp := sinkProps[sinkID]
+			if sp.Part != 0 && granted[ph].Part != sp.Part {
+				g := granted[ph]
+				g.Part = sp.Part
+				granted[ph] = g
+				changed = true
+			}
+		}
+		if changed {
+			plan2, sinkProps2, err2 := run(granted)
+			if err2 == nil && plan2.Cost < plan.Cost && feedbackConsistent(opt, granted, sinkProps2) {
+				plan, sinkProps = plan2, sinkProps2
+			} else {
+				granted = opt.PlaceholderProps
+			}
+		}
+	}
+
+	// Tell the iteration driver how each placeholder's data must be
+	// partitioned when it is re-injected, so the granted assumption holds.
+	plan.PlaceholderKey = make(map[int]record.KeyFunc)
+	reg := registryOf(p, opt)
+	for phID := range plan.Placeholders {
+		if g, ok := granted[phID]; ok && g.Part != 0 {
+			if k, ok := reg[g.Part]; ok {
+				plan.PlaceholderKey[phID] = k
+			}
+		}
+	}
+	return plan, nil
+}
+
+// feedbackConsistent verifies the re-optimized plan actually establishes
+// the properties that were granted to the placeholders.
+func feedbackConsistent(opt Options, granted map[int]Props, sinkProps map[int]Props) bool {
+	for ph, sinkID := range opt.Feedback {
+		g := granted[ph]
+		if g.Part != 0 && sinkProps[sinkID].Part != g.Part {
+			return false
+		}
+	}
+	return true
+}
+
+// registryOf maps key identities to key functions over all keys mentioned
+// in the plan and options.
+func registryOf(p *dataflow.Plan, opt Options) map[uintptr]record.KeyFunc {
+	reg := make(map[uintptr]record.KeyFunc)
+	add := func(k record.KeyFunc) {
+		if k != nil {
+			reg[record.KeyID(k)] = k
+		}
+	}
+	for _, n := range p.Nodes() {
+		add(n.Keys[0])
+		add(n.Keys[1])
+		for i := range n.Preserves {
+			for _, k := range n.Preserves[i] {
+				add(k)
+			}
+		}
+	}
+	for _, k := range opt.SinkPartition {
+		add(k)
+	}
+	return reg
+}
+
+// cand is one physical alternative for a logical node's output.
+type cand struct {
+	node  *PhysNode
+	props Props
+	cost  float64
+}
+
+type ipEntry struct {
+	part record.KeyFunc
+	sort record.KeyFunc
+}
+
+func (e ipEntry) props() Props {
+	return Props{Part: record.KeyID(e.part), Sort: record.KeyID(e.sort)}
+}
+
+type optz struct {
+	plan      *dataflow.Plan
+	opt       Options
+	phProps   map[int]Props // effective placeholder properties this pass
+	consumers map[int][]*dataflow.Node
+	est       map[int]int64
+	dynamic   map[int]bool
+	memo      map[int][]cand
+	ips       map[int][]ipEntry // logical node ID -> IPs on its output
+	keyReg    map[uintptr]record.KeyFunc
+	nextID    int
+	err       error
+}
+
+// registerKeys records all key selectors so property ids can be mapped
+// back to functions.
+func (o *optz) registerKeys() {
+	o.keyReg = registryOf(o.plan, o.opt)
+}
+
+// computeEstimates fills o.est bottom-up (nodes are in creation order, so
+// inputs precede consumers).
+func (o *optz) computeEstimates() {
+	for _, n := range o.plan.Nodes() {
+		in := make([]int64, len(n.Inputs))
+		for i, p := range n.Inputs {
+			in[i] = o.est[p.ID]
+		}
+		o.est[n.ID] = estimateOut(n, in)
+	}
+}
+
+// computeDynamic marks nodes on the dynamic data path: descendants of
+// IterationInput placeholders and the stateful solution-set operators
+// (§4.1: "all nodes and edges on the path from I to O"; everything else is
+// the constant data path).
+func (o *optz) computeDynamic() {
+	for _, n := range o.plan.Nodes() {
+		d := n.Contract == dataflow.IterationInput ||
+			n.Contract == dataflow.SolutionJoin ||
+			n.Contract == dataflow.SolutionCoGroup
+		for _, in := range n.Inputs {
+			d = d || o.dynamic[in.ID]
+		}
+		o.dynamic[n.ID] = d
+	}
+}
+
+// iterFactor returns the cost multiplier for work attributed to the given
+// producer/consumer pair: dynamic-path work re-executes every iteration;
+// constant-path work (and cached constant->dynamic edges) runs once.
+func (o *optz) iterFactor(dynamic bool) float64 {
+	if dynamic {
+		return float64(o.opt.ExpectedIterations)
+	}
+	return 1
+}
+
+// ipsCreatedBy returns the interesting properties operator n creates for
+// its input i (§4.3: IP_{P,e} depends on the possible execution strategies
+// of P).
+func (o *optz) ipsCreatedBy(n *dataflow.Node, i int) []ipEntry {
+	switch n.Contract {
+	case dataflow.ReduceOp:
+		return []ipEntry{{part: n.Keys[0], sort: n.Keys[0]}, {part: n.Keys[0]}}
+	case dataflow.MatchOp, dataflow.CoGroupOp, dataflow.InnerCoGroupOp:
+		return []ipEntry{{part: n.Keys[i]}}
+	case dataflow.SolutionJoin, dataflow.SolutionCoGroup:
+		return []ipEntry{{part: n.Keys[0]}}
+	case dataflow.Sink:
+		if k, ok := o.opt.SinkPartition[n.ID]; ok {
+			return []ipEntry{{part: k}}
+		}
+	}
+	return nil
+}
+
+// collectIPs performs the top-down interesting-property traversal. With
+// loop feedback it runs twice, feeding the properties gathered at each
+// IterationInput back to the producing sink's input edge (§4.3: "the
+// optimization performs two top down traversals over G, feeding the IPs
+// from the first traversal back from I to O for the second traversal").
+func (o *optz) collectIPs() {
+	passes := 1
+	if len(o.opt.Feedback) > 0 {
+		passes = 2
+	}
+	for pass := 0; pass < passes; pass++ {
+		nodes := o.plan.Nodes()
+		for idx := len(nodes) - 1; idx >= 0; idx-- {
+			n := nodes[idx]
+			for i, in := range n.Inputs {
+				for _, ip := range o.ipsCreatedBy(n, i) {
+					o.addIP(in.ID, ip)
+				}
+				// Inherited properties survive the UDF only for keys the
+				// OutputContract declares preserved.
+				for _, ip := range o.ips[n.ID] {
+					inherited := ipEntry{}
+					if ip.part != nil && n.PreservesKey(i, record.KeyID(ip.part)) {
+						inherited.part = ip.part
+					}
+					if ip.sort != nil && n.PreservesKey(i, record.KeyID(ip.sort)) {
+						inherited.sort = ip.sort
+					}
+					if inherited.part != nil || inherited.sort != nil {
+						o.addIP(in.ID, inherited)
+					}
+				}
+			}
+		}
+		// Feed IPs across the loop edge: what the placeholder's consumers
+		// want, the sink's producer should establish.
+		for phID, sinkID := range o.opt.Feedback {
+			sink := o.plan.Nodes()[sinkID]
+			if sink.Contract != dataflow.Sink || len(sink.Inputs) == 0 {
+				continue
+			}
+			for _, ip := range o.ips[phID] {
+				o.addIP(sink.Inputs[0].ID, ip)
+			}
+		}
+	}
+}
+
+func (o *optz) addIP(nodeID int, ip ipEntry) {
+	want := ip.props()
+	for _, have := range o.ips[nodeID] {
+		if have.props() == want {
+			return
+		}
+	}
+	o.ips[nodeID] = append(o.ips[nodeID], ip)
+}
+
+func (o *optz) newNode(role Role, logical *dataflow.Node, local LocalStrategy, inputs []Edge) *PhysNode {
+	n := &PhysNode{ID: o.nextID, Role: role, Logical: logical, Local: local, Inputs: inputs}
+	o.nextID++
+	return n
+}
+
+// edge builds a physical edge from candidate c with the given strategy and
+// returns it with its cost. producerDynamic controls iteration weighting.
+func (o *optz) edge(c cand, ship ShipStrategy, key record.KeyFunc, producerDynamic bool) (Edge, float64) {
+	cost := shipCost(ship, c.est(o), o.opt.Parallelism) * o.iterFactor(producerDynamic)
+	return Edge{From: c.node, Ship: ship, Key: key}, cost
+}
+
+// est returns the producer's output estimate.
+func (c cand) est(o *optz) int64 {
+	return c.node.EstOut
+}
+
+// enumerate returns the candidate set for a logical node, memoized. Nodes
+// with multiple consumers are frozen to their single best candidate so the
+// physical DAG shares one copy of the subplan.
+func (o *optz) enumerate(n *dataflow.Node) []cand {
+	if cs, ok := o.memo[n.ID]; ok {
+		return cs
+	}
+	cs := o.candidates(n)
+	cs = o.withEnforcers(n, cs)
+	cs = prune(cs)
+	if len(o.consumers[n.ID]) > 1 {
+		cs = []cand{best(cs)}
+	}
+	o.memo[n.ID] = cs
+	return cs
+}
+
+func best(cs []cand) cand {
+	b := cs[0]
+	for _, c := range cs[1:] {
+		if c.cost < b.cost {
+			b = c
+		}
+	}
+	return b
+}
+
+// prune keeps, for each distinct property set, the cheapest candidate, and
+// drops candidates dominated by a cheaper candidate covering their
+// properties.
+func prune(cs []cand) []cand {
+	byProps := make(map[Props]cand)
+	for _, c := range cs {
+		if b, ok := byProps[c.props]; !ok || c.cost < b.cost {
+			byProps[c.props] = c
+		}
+	}
+	var out []cand
+	for _, c := range byProps {
+		dominated := false
+		for _, d := range byProps {
+			if d.node != c.node && d.cost < c.cost && d.props.covers(c.props) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// withEnforcers adds, for every interesting property on n's output that no
+// candidate establishes for free, a variant that establishes it with an
+// explicit repartition/sort enforcer (§4.3: IPs as hints "to create a plan
+// candidate that establishes those properties at that edge").
+func (o *optz) withEnforcers(n *dataflow.Node, cs []cand) []cand {
+	ips := o.ips[n.ID]
+	if len(ips) == 0 || len(cs) == 0 {
+		return cs
+	}
+	dyn := o.dynamic[n.ID]
+	out := cs
+	for _, ip := range ips {
+		want := ip.props()
+		for _, c := range cs {
+			if c.props.covers(want) {
+				continue
+			}
+			newProps := c.props
+			var inEdge Edge
+			var cost float64
+			if want.Part != 0 && c.props.Part != want.Part {
+				inEdge, cost = o.edge(c, ShipPartition, ip.part, dyn)
+				newProps.Part = want.Part
+				newProps.Sort = 0 // repartitioning destroys order
+				newProps.Repl = false
+			} else {
+				inEdge, cost = o.edge(c, ShipForward, nil, dyn)
+			}
+			local := LocalNone
+			var sortKey record.KeyFunc
+			if want.Sort != 0 && newProps.Sort != want.Sort {
+				local = LocalSort
+				sortKey = ip.sort
+				cost += sortCost(c.est(o)) * o.iterFactor(dyn)
+				newProps.Sort = want.Sort
+			}
+			if local == LocalNone && inEdge.Ship == ShipForward {
+				continue // nothing to enforce
+			}
+			enf := o.newNode(RoleEnforcer, n, local, []Edge{inEdge})
+			enf.SortKey = sortKey
+			enf.EstOut = c.est(o)
+			out = append(out, cand{node: enf, props: newProps, cost: c.cost + cost})
+		}
+	}
+	return out
+}
+
+// placeholderProps returns props granted to an IterationInput.
+func (o *optz) placeholderProps(n *dataflow.Node) Props {
+	if p, ok := o.phProps[n.ID]; ok {
+		return p
+	}
+	return Props{}
+}
+
+// preservedProps maps input props through the UDF's output contract.
+func preservedProps(n *dataflow.Node, i int, in Props) Props {
+	out := Props{Repl: in.Repl}
+	if in.Part != 0 && n.PreservesKey(i, in.Part) {
+		out.Part = in.Part
+	}
+	if in.Sort != 0 && n.PreservesKey(i, in.Sort) {
+		out.Sort = in.Sort
+	}
+	return out
+}
+
+// candidates generates the natural physical alternatives for one node.
+func (o *optz) candidates(n *dataflow.Node) []cand {
+	dyn := o.dynamic[n.ID]
+	f := o.iterFactor(dyn)
+	est := o.est[n.ID]
+	switch n.Contract {
+	case dataflow.Source, dataflow.IterationInput:
+		pn := o.newNode(RoleOperator, n, LocalNone, nil)
+		pn.EstOut = est
+		props := Props{}
+		if n.Contract == dataflow.IterationInput {
+			props = o.placeholderProps(n)
+		}
+		return []cand{{node: pn, props: props, cost: 0}}
+
+	case dataflow.MapOp:
+		var out []cand
+		for _, c := range o.enumerate(n.Inputs[0]) {
+			e, ec := o.edge(c, ShipForward, nil, o.dynamic[n.Inputs[0].ID])
+			pn := o.newNode(RoleOperator, n, LocalNone, []Edge{e})
+			pn.EstOut = est
+			out = append(out, cand{
+				node:  pn,
+				props: preservedProps(n, 0, c.props),
+				cost:  c.cost + ec + wCPU*float64(c.est(o))*f,
+			})
+		}
+		return out
+
+	case dataflow.UnionOp:
+		// All inputs forwarded; properties are the intersection.
+		var edges []Edge
+		cost := 0.0
+		var props Props
+		for i, inNode := range n.Inputs {
+			c := best(o.enumerate(inNode))
+			e, ec := o.edge(c, ShipForward, nil, o.dynamic[inNode.ID])
+			edges = append(edges, e)
+			cost += c.cost + ec
+			if i == 0 {
+				props = c.props
+				continue
+			}
+			if props.Part != c.props.Part {
+				props.Part = 0
+			}
+			if props.Sort != c.props.Sort {
+				props.Sort = 0
+			}
+			props.Repl = props.Repl && c.props.Repl
+		}
+		pn := o.newNode(RoleOperator, n, LocalNone, edges)
+		pn.EstOut = est
+		props.Sort = 0 // concatenation destroys per-partition order
+		return []cand{{node: pn, props: props, cost: cost}}
+
+	case dataflow.ReduceOp:
+		return o.reduceCandidates(n, dyn, f, est)
+
+	case dataflow.MatchOp:
+		return o.matchCandidates(n, dyn, f, est)
+
+	case dataflow.CrossOp:
+		return o.crossCandidates(n, dyn, f, est)
+
+	case dataflow.CoGroupOp, dataflow.InnerCoGroupOp:
+		return o.coGroupCandidates(n, dyn, f, est)
+
+	case dataflow.SolutionJoin, dataflow.SolutionCoGroup:
+		return o.solutionCandidates(n, dyn, f, est)
+
+	case dataflow.Sink:
+		var out []cand
+		for _, c := range o.enumerate(n.Inputs[0]) {
+			inDyn := o.dynamic[n.Inputs[0].ID]
+			if k, ok := o.opt.SinkPartition[n.ID]; ok {
+				kid := record.KeyID(k)
+				ship := ShipPartition
+				var key record.KeyFunc = k
+				if c.props.Part == kid {
+					ship, key = ShipForward, nil
+				}
+				e, ec := o.edge(c, ship, key, inDyn)
+				pn := o.newNode(RoleOperator, n, LocalNone, []Edge{e})
+				pn.EstOut = est
+				props := c.props
+				if ship == ShipPartition {
+					props = Props{Part: kid}
+				}
+				out = append(out, cand{node: pn, props: props, cost: c.cost + ec})
+				continue
+			}
+			e, ec := o.edge(c, ShipForward, nil, inDyn)
+			pn := o.newNode(RoleOperator, n, LocalNone, []Edge{e})
+			pn.EstOut = est
+			out = append(out, cand{node: pn, props: c.props, cost: c.cost + ec})
+		}
+		return out
+	}
+	o.err = fmt.Errorf("optimizer: unsupported contract %s", n.Contract)
+	return nil
+}

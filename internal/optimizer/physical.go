@@ -1,0 +1,224 @@
+// Package optimizer compiles a logical dataflow plan into a physical
+// execution plan. It implements the paper's §4.3: Volcano-style plan
+// enumeration over shipping strategies (forward, hash-partition,
+// broadcast) and local strategies (hash vs. sort-merge join, hash vs.
+// sort aggregation), interesting-property propagation — including the
+// two-pass traversal that feeds properties across the iteration's
+// feedback edge — iteration-weighted costing of the dynamic data path,
+// and caching of the constant data path.
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/record"
+)
+
+// ShipStrategy is how records travel along a physical edge.
+type ShipStrategy int
+
+// The shipping strategies of §3/§4.3.
+const (
+	// ShipForward keeps records in their producing partition (pipelined).
+	ShipForward ShipStrategy = iota
+	// ShipPartition hash-partitions records by a key across consumers.
+	ShipPartition
+	// ShipBroadcast replicates every record to every consumer partition.
+	ShipBroadcast
+)
+
+func (s ShipStrategy) String() string {
+	switch s {
+	case ShipForward:
+		return "forward"
+	case ShipPartition:
+		return "partition"
+	case ShipBroadcast:
+		return "broadcast"
+	}
+	return fmt.Sprintf("ship(%d)", int(s))
+}
+
+// LocalStrategy is the operator implementation chosen for a physical node.
+type LocalStrategy int
+
+// The local strategies.
+const (
+	// LocalNone streams records through (Map, Union, Sink, sources).
+	LocalNone LocalStrategy = iota
+	// LocalHashJoin builds a hash table on the build side and probes with
+	// the other (BuildSide selects which input is built).
+	LocalHashJoin
+	// LocalSortMergeJoin sorts both inputs by key and merges.
+	LocalSortMergeJoin
+	// LocalHashAgg groups via a hash table.
+	LocalHashAgg
+	// LocalSortAgg sorts by key (or exploits pre-sorted input) and groups
+	// sequentially.
+	LocalSortAgg
+	// LocalHashCoGroup hash-groups both inputs and pairs the groups.
+	LocalHashCoGroup
+	// LocalSortCoGroup sorts both inputs by key (or exploits existing
+	// order) and merges the group pairs sequentially.
+	LocalSortCoGroup
+	// LocalBlockCross materializes the build side and streams the other.
+	LocalBlockCross
+	// LocalSort sorts the input by a key (used by enforcer nodes).
+	LocalSort
+	// LocalSolutionIndex is the stateful solution-set join/cogroup of §5.3:
+	// the operator is merged with the partitioned solution-set index.
+	LocalSolutionIndex
+)
+
+func (l LocalStrategy) String() string {
+	switch l {
+	case LocalNone:
+		return "none"
+	case LocalHashJoin:
+		return "hash-join"
+	case LocalSortMergeJoin:
+		return "sort-merge-join"
+	case LocalHashAgg:
+		return "hash-agg"
+	case LocalSortAgg:
+		return "sort-agg"
+	case LocalHashCoGroup:
+		return "hash-cogroup"
+	case LocalSortCoGroup:
+		return "sort-cogroup"
+	case LocalBlockCross:
+		return "block-cross"
+	case LocalSort:
+		return "sort"
+	case LocalSolutionIndex:
+		return "solution-index"
+	}
+	return fmt.Sprintf("local(%d)", int(l))
+}
+
+// Role distinguishes ordinary operator nodes from the auxiliary nodes the
+// optimizer inserts.
+type Role int
+
+// Physical node roles.
+const (
+	// RoleOperator executes the logical node's contract.
+	RoleOperator Role = iota
+	// RoleCombiner pre-aggregates before a shuffle (for combinable Reduce).
+	RoleCombiner
+	// RoleEnforcer establishes a physical property (partitioning via its
+	// input edge, sorting via LocalSort) without changing the data.
+	RoleEnforcer
+)
+
+// Edge is a physical input edge.
+type Edge struct {
+	From *PhysNode
+	Ship ShipStrategy
+	// Key is the partitioning key when Ship == ShipPartition.
+	Key record.KeyFunc
+	// Cache marks a constant-data-path edge whose received input is
+	// materialized once and reused every iteration (§4.3). For hash-join
+	// build sides the runtime caches the built hash table itself
+	// (§4.3/§5.3: "the cache stores the records ... possibly as a hash
+	// table, or B+-Tree").
+	Cache bool
+}
+
+// PhysNode is one operator instance in the physical plan (instantiated
+// once per partition by the runtime).
+type PhysNode struct {
+	ID      int
+	Role    Role
+	Logical *dataflow.Node
+	Inputs  []Edge
+	Local   LocalStrategy
+	// BuildSide selects the hash-join build input (0 or 1).
+	BuildSide int
+	// SortKey is the sort key for LocalSort / LocalSortAgg /
+	// LocalSortMergeJoin output ordering.
+	SortKey record.KeyFunc
+	// EstOut is the optimizer's output-cardinality estimate.
+	EstOut int64
+	// OnDynamicPath records whether this node re-executes every iteration.
+	OnDynamicPath bool
+}
+
+// Name returns a readable label.
+func (n *PhysNode) Name() string {
+	switch n.Role {
+	case RoleCombiner:
+		return n.Logical.Name + "-combine"
+	case RoleEnforcer:
+		return n.Logical.Name + "-enforce"
+	}
+	return n.Logical.Name
+}
+
+// PhysPlan is an executable physical plan.
+type PhysPlan struct {
+	// Nodes in topological order (inputs precede consumers).
+	Nodes []*PhysNode
+	// Sinks are the output-collecting nodes.
+	Sinks []*PhysNode
+	// Placeholders maps logical IterationInput node IDs to their physical
+	// nodes, for the iteration drivers.
+	Placeholders map[int]*PhysNode
+	// PlaceholderKey tells the iteration driver which key each
+	// placeholder's data must be hash-partitioned by when re-injected, so
+	// that properties granted across the feedback edge hold (nil entry =
+	// any split works).
+	PlaceholderKey map[int]record.KeyFunc
+	// Parallelism is the number of partitions the plan runs with.
+	Parallelism int
+	// Cost is the estimated total cost (dynamic path pre-weighted by the
+	// expected iteration count).
+	Cost float64
+}
+
+// Explain renders the plan for debugging and the Figure-4 experiment.
+func (p *PhysPlan) Explain() string {
+	s := ""
+	for _, n := range p.Nodes {
+		s += fmt.Sprintf("%2d %-28s local=%-16s", n.ID, n.Name(), n.Local)
+		for _, e := range n.Inputs {
+			cached := ""
+			if e.Cache {
+				cached = ",cached"
+			}
+			s += fmt.Sprintf(" <-[%s%s] %s", e.Ship, cached, e.From.Name())
+		}
+		if n.OnDynamicPath {
+			s += "  (dynamic)"
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Props are the physical data properties the optimizer tracks per
+// candidate output (§4.3's interesting properties).
+type Props struct {
+	// Part is the KeyID of the hash-partitioning key (0 = unpartitioned).
+	Part uintptr
+	// Sort is the KeyID of the within-partition sort key (0 = unsorted).
+	Sort uintptr
+	// Repl marks data replicated to every partition (broadcast result).
+	Repl bool
+}
+
+// covers reports whether properties p satisfy requirement q: every
+// property present in q is present in p.
+func (p Props) covers(q Props) bool {
+	if q.Part != 0 && p.Part != q.Part {
+		return false
+	}
+	if q.Sort != 0 && p.Sort != q.Sort {
+		return false
+	}
+	if q.Repl && !p.Repl {
+		return false
+	}
+	return true
+}

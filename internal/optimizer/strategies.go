@@ -1,0 +1,381 @@
+package optimizer
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/record"
+)
+
+// reduceCandidates enumerates physical alternatives for a Reduce: hash vs.
+// sort aggregation, reuse of existing partitioning/order, and an optional
+// pre-shuffle combiner for combinable UDFs.
+func (o *optz) reduceCandidates(n *dataflow.Node, dyn bool, f float64, est int64) []cand {
+	kid := record.KeyID(n.Keys[0])
+	var out []cand
+	for _, c := range o.enumerate(n.Inputs[0]) {
+		if c.props.Repl {
+			// Aggregating replicated data would duplicate every group.
+			continue
+		}
+		inDyn := o.dynamic[n.Inputs[0].ID]
+		variants := []struct {
+			pre  cand // producer (possibly with combiner stacked on top)
+			cost float64
+		}{{pre: c, cost: 0}}
+
+		// Combiner variant: pre-aggregate before the shuffle (cf.
+		// Combiners in MapReduce/Pregel, §6.1). Only pays off if a
+		// shuffle is needed at all.
+		if n.Combinable && c.props.Part != kid {
+			comb := o.newNode(RoleCombiner, n, LocalHashAgg, []Edge{{From: c.node, Ship: ShipForward}})
+			combOut := est * int64(o.opt.Parallelism)
+			if combOut > c.est(o) {
+				combOut = c.est(o)
+			}
+			comb.EstOut = combOut
+			combCost := wGroup * float64(c.est(o)) * o.iterFactor(inDyn)
+			variants = append(variants, struct {
+				pre  cand
+				cost float64
+			}{pre: cand{node: comb, props: c.props, cost: c.cost + combCost}, cost: 0})
+		}
+
+		for _, v := range variants {
+			pc := v.pre
+			ship := ShipPartition
+			var key record.KeyFunc = n.Keys[0]
+			if pc.props.Part == kid {
+				ship, key = ShipForward, nil
+			}
+			e, ec := o.edge(pc, ship, key, inDyn)
+
+			// Hash aggregation (charges for building the group table).
+			hn := o.newNode(RoleOperator, n, LocalHashAgg, []Edge{e})
+			hn.EstOut = est
+			hCost := pc.cost + v.cost + ec +
+				(wGroup*float64(pc.est(o))+wBuild*float64(est))*f
+			out = append(out, cand{node: hn, props: Props{Part: kid}, cost: hCost})
+
+			// Sort aggregation: free if the input is already sorted on the
+			// key and stays in its partition.
+			sn := o.newNode(RoleOperator, n, LocalSortAgg, []Edge{e})
+			sn.EstOut = est
+			sn.SortKey = n.Keys[0]
+			sCost := pc.cost + v.cost + ec + wGroup*float64(pc.est(o))*f
+			if !(pc.props.Sort == kid && ship == ShipForward) {
+				sCost += sortCost(pc.est(o)) * f
+			}
+			out = append(out, cand{node: sn, props: Props{Part: kid, Sort: kid}, cost: sCost})
+		}
+	}
+	return out
+}
+
+// matchCandidates enumerates the equi-join strategies of §4.3: partition
+// both inputs (hash or sort-merge), or broadcast one input and keep the
+// other in place (Figure 4's two PageRank plans).
+func (o *optz) matchCandidates(n *dataflow.Node, dyn bool, f float64, est int64) []cand {
+	lk, rk := n.Keys[0], n.Keys[1]
+	lkid, rkid := record.KeyID(lk), record.KeyID(rk)
+	hint := o.opt.JoinHints[n.ID]
+	var out []cand
+	for _, lc := range o.enumerate(n.Inputs[0]) {
+		for _, rc := range o.enumerate(n.Inputs[1]) {
+			lDyn, rDyn := o.dynamic[n.Inputs[0].ID], o.dynamic[n.Inputs[1].ID]
+
+			// Strategy 1: re-partition both inputs on the join keys.
+			if !lc.props.Repl && !rc.props.Repl &&
+				(hint == HintNone || hint == HintRepartition) {
+				le, lec := o.joinEdge(lc, lk, lkid, lDyn)
+				re, rec := o.joinEdge(rc, rk, rkid, rDyn)
+
+				// Hash join: try building either side. Building the
+				// loop-invariant side pays only once because the table is
+				// cached (§4.3), even when that side is larger.
+				for _, build := range []int{0, 1} {
+					buildRows, probeRows := lc.est(o), rc.est(o)
+					if build == 1 {
+						buildRows, probeRows = rc.est(o), lc.est(o)
+					}
+					buildDyn := []bool{lDyn, rDyn}[build]
+					hj := o.newNode(RoleOperator, n, LocalHashJoin, []Edge{le, re})
+					hj.BuildSide = build
+					hj.EstOut = est
+					// Per-pass CPU is dominated by whichever is larger:
+					// scanning the probe input or enumerating the matches.
+					joinCPU := wCPU * float64(maxi64(probeRows, est)) * f
+					cost := lc.cost + rc.cost + lec + rec +
+						wBuild*float64(buildRows)*o.iterFactor(buildDyn) + joinCPU
+					out = append(out, cand{node: hj, props: o.joinOutProps(n, lc, rc, lkid, rkid, le, re), cost: cost})
+				}
+
+				// Sort-merge join.
+				smj := o.newNode(RoleOperator, n, LocalSortMergeJoin, []Edge{le, re})
+				smj.EstOut = est
+				smj.SortKey = lk
+				sCost := lc.cost + rc.cost + lec + rec +
+					wCPU*float64(maxi64(lc.est(o)+rc.est(o), est))*f
+				if !(lc.props.Sort == lkid && le.Ship == ShipForward) {
+					sCost += sortCost(lc.est(o)) * o.iterFactor(lDyn)
+				}
+				if !(rc.props.Sort == rkid && re.Ship == ShipForward) {
+					sCost += sortCost(rc.est(o)) * o.iterFactor(rDyn)
+				}
+				props := o.joinOutProps(n, lc, rc, lkid, rkid, le, re)
+				props.Sort = 0
+				if n.PreservesKey(0, lkid) {
+					props.Sort = lkid
+				}
+				out = append(out, cand{node: smj, props: props, cost: sCost})
+			}
+
+			// Strategy 2: broadcast left, right stays in place.
+			if !rc.props.Repl && (hint == HintNone || hint == HintBroadcastLeft) {
+				out = append(out, o.broadcastJoin(n, lc, rc, 0, lDyn, rDyn, est, f))
+			}
+			// Strategy 3: broadcast right, left stays in place.
+			if !lc.props.Repl && (hint == HintNone || hint == HintBroadcastRight) {
+				out = append(out, o.broadcastJoin(n, lc, rc, 1, lDyn, rDyn, est, f))
+			}
+		}
+	}
+	return out
+}
+
+// joinEdge builds a partitioning (or forwarding) edge for a join input.
+func (o *optz) joinEdge(c cand, k record.KeyFunc, kid uintptr, dyn bool) (Edge, float64) {
+	if c.props.Part == kid {
+		return o.edge(c, ShipForward, nil, dyn)
+	}
+	return o.edge(c, ShipPartition, k, dyn)
+}
+
+// joinOutProps derives output properties of a partitioned join: a key the
+// UDF preserves keeps its input's partitioning.
+func (o *optz) joinOutProps(n *dataflow.Node, lc, rc cand, lkid, rkid uintptr, le, re Edge) Props {
+	if n.PreservesKey(0, lkid) {
+		return Props{Part: lkid}
+	}
+	if n.PreservesKey(1, rkid) {
+		return Props{Part: rkid}
+	}
+	return Props{}
+}
+
+// broadcastJoin builds the broadcast-one-side hash join candidate.
+// bcastSide is the input being replicated (and hash-built); the other side
+// streams through in place, keeping all its physical properties the UDF
+// preserves — this is what lets the Figure-4 "Mahout-style" PageRank plan
+// group without any shuffle after the join.
+func (o *optz) broadcastJoin(n *dataflow.Node, lc, rc cand, bcastSide int, lDyn, rDyn bool, est int64, f float64) cand {
+	bc, sc := lc, rc
+	bDyn, sDyn := lDyn, rDyn
+	if bcastSide == 1 {
+		bc, sc = rc, lc
+		bDyn, sDyn = rDyn, lDyn
+	}
+	ship := ShipBroadcast
+	if bc.props.Repl {
+		ship = ShipForward
+	}
+	be, bec := o.edge(bc, ship, nil, bDyn)
+	se, sec := o.edge(sc, ShipForward, nil, sDyn)
+	edges := []Edge{be, se}
+	if bcastSide == 1 {
+		edges = []Edge{se, be}
+	}
+	pn := o.newNode(RoleOperator, n, LocalHashJoin, edges)
+	pn.BuildSide = bcastSide
+	pn.EstOut = est
+	// The broadcast table is built once per partition.
+	buildCost := wBuild * float64(bc.est(o)) * float64(o.opt.Parallelism) * o.iterFactor(bDyn)
+	joinCPU := wCPU * float64(maxi64(sc.est(o), est)) * f
+	cost := lc.cost + rc.cost + bec + sec + buildCost + joinCPU
+	streamInput := 1 - bcastSide
+	props := preservedProps(n, streamInput, sc.props)
+	return cand{node: pn, props: props, cost: cost}
+}
+
+// crossCandidates enumerates cartesian products: broadcast either side.
+func (o *optz) crossCandidates(n *dataflow.Node, dyn bool, f float64, est int64) []cand {
+	var out []cand
+	for _, lc := range o.enumerate(n.Inputs[0]) {
+		for _, rc := range o.enumerate(n.Inputs[1]) {
+			lDyn, rDyn := o.dynamic[n.Inputs[0].ID], o.dynamic[n.Inputs[1].ID]
+			for _, buildSide := range []int{0, 1} {
+				bc, sc := lc, rc
+				bDyn, sDyn := lDyn, rDyn
+				if buildSide == 1 {
+					bc, sc = rc, lc
+					bDyn, sDyn = rDyn, lDyn
+				}
+				ship := ShipBroadcast
+				if bc.props.Repl {
+					ship = ShipForward
+				}
+				be, bec := o.edge(bc, ship, nil, bDyn)
+				se, sec := o.edge(sc, ShipForward, nil, sDyn)
+				edges := []Edge{be, se}
+				if buildSide == 1 {
+					edges = []Edge{se, be}
+				}
+				pn := o.newNode(RoleOperator, n, LocalBlockCross, edges)
+				pn.BuildSide = buildSide
+				pn.EstOut = est
+				cost := lc.cost + rc.cost + bec + sec +
+					wCPU*float64(lc.est(o))*float64(rc.est(o))*f
+				out = append(out, cand{node: pn, props: preservedProps(n, 1-buildSide, sc.props), cost: cost})
+			}
+		}
+	}
+	return out
+}
+
+// coGroupCandidates enumerates CoGroup/InnerCoGroup: both inputs must be
+// co-partitioned on the keys (group semantics forbid broadcasting).
+func (o *optz) coGroupCandidates(n *dataflow.Node, dyn bool, f float64, est int64) []cand {
+	lk, rk := n.Keys[0], n.Keys[1]
+	lkid, rkid := record.KeyID(lk), record.KeyID(rk)
+	var out []cand
+	for _, lc := range o.enumerate(n.Inputs[0]) {
+		if lc.props.Repl {
+			continue
+		}
+		for _, rc := range o.enumerate(n.Inputs[1]) {
+			if rc.props.Repl {
+				continue
+			}
+			lDyn, rDyn := o.dynamic[n.Inputs[0].ID], o.dynamic[n.Inputs[1].ID]
+			le, lec := o.joinEdge(lc, lk, lkid, lDyn)
+			re, rec := o.joinEdge(rc, rk, rkid, rDyn)
+
+			// Hash-based grouping of both sides.
+			pn := o.newNode(RoleOperator, n, LocalHashCoGroup, []Edge{le, re})
+			pn.EstOut = est
+			cost := lc.cost + rc.cost + lec + rec +
+				(wGroup*float64(lc.est(o)+rc.est(o))+wBuild*float64(est))*f
+			out = append(out, cand{node: pn, props: o.joinOutProps(n, lc, rc, lkid, rkid, le, re), cost: cost})
+
+			// Sort-based grouping: free when both inputs arrive sorted on
+			// the keys and stay in their partitions.
+			sn := o.newNode(RoleOperator, n, LocalSortCoGroup, []Edge{le, re})
+			sn.EstOut = est
+			sn.SortKey = lk
+			sCost := lc.cost + rc.cost + lec + rec +
+				wGroup*float64(lc.est(o)+rc.est(o))*f
+			if !(lc.props.Sort == lkid && le.Ship == ShipForward) {
+				sCost += sortCost(lc.est(o)) * o.iterFactor(lDyn)
+			}
+			if !(rc.props.Sort == rkid && re.Ship == ShipForward) {
+				sCost += sortCost(rc.est(o)) * o.iterFactor(rDyn)
+			}
+			sProps := o.joinOutProps(n, lc, rc, lkid, rkid, le, re)
+			if n.PreservesKey(0, lkid) {
+				sProps.Sort = lkid
+			}
+			out = append(out, cand{node: sn, props: sProps, cost: sCost})
+		}
+	}
+	return out
+}
+
+// solutionCandidates plans the stateful solution-set operators: the input
+// must be partitioned identically to the solution-set index (§5.3), then
+// the operator probes/updates the local index partition.
+func (o *optz) solutionCandidates(n *dataflow.Node, dyn bool, f float64, est int64) []cand {
+	kid := record.KeyID(n.Keys[0])
+	var out []cand
+	for _, c := range o.enumerate(n.Inputs[0]) {
+		if c.props.Repl {
+			continue
+		}
+		inDyn := o.dynamic[n.Inputs[0].ID]
+		e, ec := o.joinEdge(c, n.Keys[0], kid, inDyn)
+		pn := o.newNode(RoleOperator, n, LocalSolutionIndex, []Edge{e})
+		pn.EstOut = est
+		cost := c.cost + ec + wCPU*float64(c.est(o))*f
+		props := Props{Part: kid}
+		if !n.PreservesKey(0, kid) {
+			props = Props{}
+		}
+		out = append(out, cand{node: pn, props: props, cost: cost})
+	}
+	return out
+}
+
+// assemble picks the cheapest candidate per sink and materializes the
+// final PhysPlan: shared nodes deduplicated, topological order, dynamic
+// path marked, and constant->dynamic edges flagged for caching. It also
+// returns the chosen physical properties per sink (used to close the
+// feedback loop).
+func (o *optz) assemble() (*PhysPlan, map[int]Props, error) {
+	plan := &PhysPlan{
+		Parallelism:  o.opt.Parallelism,
+		Placeholders: make(map[int]*PhysNode),
+	}
+	sinkProps := make(map[int]Props)
+	var roots []*PhysNode
+	for _, sink := range o.plan.Sinks() {
+		cs := o.enumerate(sink)
+		if o.err != nil {
+			return nil, nil, o.err
+		}
+		c := best(cs)
+		plan.Cost += c.cost
+		roots = append(roots, c.node)
+		plan.Sinks = append(plan.Sinks, c.node)
+		sinkProps[sink.ID] = c.props
+	}
+
+	// Topological order via DFS post-order from the sinks.
+	seen := make(map[*PhysNode]bool)
+	var order []*PhysNode
+	var visit func(n *PhysNode)
+	visit = func(n *PhysNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, e := range n.Inputs {
+			visit(e.From)
+		}
+		order = append(order, n)
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	for i, n := range order {
+		n.ID = i
+		if n.Logical.Contract == dataflow.IterationInput {
+			plan.Placeholders[n.Logical.ID] = n
+		}
+	}
+	plan.Nodes = order
+
+	// Dynamic-path marking over the physical DAG.
+	for _, n := range plan.Nodes {
+		d := n.Logical.Contract == dataflow.IterationInput ||
+			n.Logical.Contract == dataflow.SolutionJoin ||
+			n.Logical.Contract == dataflow.SolutionCoGroup
+		for _, e := range n.Inputs {
+			d = d || e.From.OnDynamicPath
+		}
+		n.OnDynamicPath = d
+	}
+
+	// Cache constant inputs feeding the dynamic path (§4.3: "caches the
+	// intermediate result at the operator where the constant path meets
+	// the dynamic path").
+	if o.opt.ExpectedIterations > 1 {
+		for _, n := range plan.Nodes {
+			if !n.OnDynamicPath {
+				continue
+			}
+			for i := range n.Inputs {
+				if !n.Inputs[i].From.OnDynamicPath {
+					n.Inputs[i].Cache = true
+				}
+			}
+		}
+	}
+	return plan, sinkProps, nil
+}

@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataflow"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+// Cross-strategy equivalence: whatever shipping and local strategies the
+// optimizer picks (or is forced into), the result of a plan must be
+// identical. These are the invariants that make the optimizer safe.
+
+// randomRecords derives a deterministic record set from a seed.
+func randomRecords(seed uint64, n int, keyRange int64) []record.Record {
+	s := seed | 1
+	out := make([]record.Record, n)
+	for i := range out {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		v := s * 0x2545f4914f6cdd1d
+		out[i] = record.Record{A: int64(v % uint64(keyRange)), B: int64(v >> 32 % 97), X: float64(v%1000) / 10}
+	}
+	return out
+}
+
+// runJoinWith runs an equi-join under a specific hint and parallelism.
+func runJoinWith(t *testing.T, left, right []record.Record, hint optimizer.JoinHint, par int) []record.Record {
+	t.Helper()
+	p := dataflow.NewPlan()
+	l := p.SourceOf("l", left)
+	r := p.SourceOf("r", right)
+	j := p.MatchNode("j", l, r, record.KeyA, record.KeyA,
+		func(lr, rr record.Record, out dataflow.Emitter) {
+			out.Emit(record.Record{A: lr.A, B: rr.B, X: lr.X + rr.X})
+		})
+	sink := p.SinkNode("o", j)
+	phys, err := optimizer.Optimize(p, optimizer.Options{
+		Parallelism: par,
+		JoinHints:   map[int]optimizer.JoinHint{j.ID: hint},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(Config{})
+	res, err := e.Run(phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sorted(res.Records(sink.ID))
+}
+
+func TestJoinStrategyEquivalenceProperty(t *testing.T) {
+	hints := []optimizer.JoinHint{
+		optimizer.HintRepartition,
+		optimizer.HintBroadcastLeft,
+		optimizer.HintBroadcastRight,
+	}
+	f := func(seed uint64) bool {
+		left := randomRecords(seed, 80, 20)
+		right := randomRecords(seed+1, 60, 20)
+		var baseline []record.Record
+		for hi, hint := range hints {
+			for _, par := range []int{1, 3} {
+				got := runJoinWith(t, left, right, hint, par)
+				if hi == 0 && par == 1 {
+					baseline = got
+					continue
+				}
+				if len(got) != len(baseline) {
+					return false
+				}
+				for i := range got {
+					if got[i] != baseline[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregationParallelismInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		data := randomRecords(seed, 150, 12)
+		var baseline []record.Record
+		for i, par := range []int{1, 2, 5, 8} {
+			p := dataflow.NewPlan()
+			src := p.SourceOf("s", data)
+			red := p.ReduceNode("sum", src, record.KeyA,
+				func(k int64, g []record.Record, out dataflow.Emitter) {
+					var s float64
+					for _, r := range g {
+						s += r.X
+					}
+					out.Emit(record.Record{A: k, X: s, B: int64(len(g))})
+				})
+			sink := p.SinkNode("o", red)
+			phys, err := optimizer.Optimize(p, optimizer.Options{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewExecutor(Config{})
+			res, err := e.Run(phys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sorted(res.Records(sink.ID))
+			if i == 0 {
+				baseline = got
+				continue
+			}
+			if len(got) != len(baseline) {
+				return false
+			}
+			for j := range got {
+				if got[j] != baseline[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolutionSetMergeIdempotentProperty(t *testing.T) {
+	// Merging the same delta twice must change nothing the second time,
+	// and merge order must not matter under a total-order comparator.
+	cmp := func(a, b record.Record) int {
+		switch {
+		case a.B < b.B:
+			return 1
+		case a.B > b.B:
+			return -1
+		}
+		return 0
+	}
+	f := func(seed uint64) bool {
+		delta := randomRecords(seed, 50, 10)
+		s1 := NewSolutionSet(4, record.KeyA, cmp, nil)
+		s1.MergeDelta(delta)
+		if s1.MergeDelta(delta) != 0 {
+			return false // idempotence
+		}
+		// Reverse order must converge to the same state.
+		rev := make([]record.Record, len(delta))
+		for i, r := range delta {
+			rev[len(delta)-1-i] = r
+		}
+		s2 := NewSolutionSet(4, record.KeyA, cmp, nil)
+		s2.MergeDelta(rev)
+		a, b := s1.Snapshot(), s2.Snapshot()
+		if len(a) != len(b) {
+			return false
+		}
+		am := map[int64]int64{}
+		for _, r := range a {
+			am[r.A] = r.B
+		}
+		for _, r := range b {
+			if am[r.A] != r.B {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

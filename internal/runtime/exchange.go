@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+// queue is an unbounded MPSC batch queue. Unbounded buffering is what the
+// paper calls a dam on the feedback/exchange level: producers never block,
+// which rules out shuffle deadlocks in DAGs where one consumer drains its
+// inputs in sequence (e.g. hash-join build before probe).
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []record.Batch
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues one batch.
+func (q *queue) push(b record.Batch) {
+	q.mu.Lock()
+	q.items = append(q.items, b)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// close marks the end of the stream.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pop blocks for the next batch; ok=false means the stream ended.
+func (q *queue) pop() (record.Batch, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	b := q.items[0]
+	q.items = q.items[1:]
+	return b, true
+}
+
+// exchange connects the P tasks of a producer node to the P tasks of one
+// consumer input: one queue per consumer partition, closed when every
+// producer task has finished.
+type exchange struct {
+	queues    []*queue
+	producers atomic.Int32
+}
+
+func newExchange(parallelism, producers int) *exchange {
+	ex := &exchange{queues: make([]*queue, parallelism)}
+	for i := range ex.queues {
+		ex.queues[i] = newQueue()
+	}
+	ex.producers.Store(int32(producers))
+	return ex
+}
+
+// producerDone signals one producer task finished; the last one closes all
+// queues.
+func (ex *exchange) producerDone() {
+	if ex.producers.Add(-1) == 0 {
+		for _, q := range ex.queues {
+			q.close()
+		}
+	}
+}
+
+// writer routes one producer task's output records into an exchange
+// according to the edge's shipping strategy, buffering into batches.
+type writer struct {
+	ex        *exchange
+	ship      optimizer.ShipStrategy
+	key       record.KeyFunc
+	ownPart   int
+	batchSize int
+	bufs      []record.Batch
+	m         *metrics.Counters
+}
+
+func newWriter(ex *exchange, ship optimizer.ShipStrategy, key record.KeyFunc, ownPart, batchSize int, m *metrics.Counters) *writer {
+	return &writer{
+		ex: ex, ship: ship, key: key, ownPart: ownPart,
+		batchSize: batchSize, bufs: make([]record.Batch, len(ex.queues)), m: m,
+	}
+}
+
+func (w *writer) write(r record.Record) {
+	switch w.ship {
+	case optimizer.ShipForward:
+		w.append(w.ownPart, r)
+	case optimizer.ShipPartition:
+		if w.m != nil {
+			w.m.RecordsShipped.Add(1)
+		}
+		w.append(record.PartitionOf(w.key(r), len(w.bufs)), r)
+	case optimizer.ShipBroadcast:
+		if w.m != nil {
+			w.m.RecordsShipped.Add(int64(len(w.bufs)))
+		}
+		for p := range w.bufs {
+			w.append(p, r)
+		}
+	}
+}
+
+func (w *writer) append(p int, r record.Record) {
+	if w.bufs[p] == nil {
+		w.bufs[p] = make(record.Batch, 0, w.batchSize)
+	}
+	w.bufs[p] = append(w.bufs[p], r)
+	if len(w.bufs[p]) >= w.batchSize {
+		w.ex.queues[p].push(w.bufs[p])
+		w.bufs[p] = nil
+	}
+}
+
+// done flushes remaining buffers and releases the producer slot.
+func (w *writer) done() {
+	for p, b := range w.bufs {
+		if len(b) > 0 {
+			w.ex.queues[p].push(b)
+			w.bufs[p] = nil
+		}
+	}
+	w.ex.producerDone()
+}
+
+// inStream yields the batches one consumer task reads for one input.
+type inStream interface {
+	next() (record.Batch, bool)
+}
+
+// queueStream reads from an exchange queue.
+type queueStream struct{ q *queue }
+
+func (s queueStream) next() (record.Batch, bool) { return s.q.pop() }
+
+// sliceStream replays materialized batches (cache hits).
+type sliceStream struct {
+	batches []record.Batch
+	i       int
+}
+
+func (s *sliceStream) next() (record.Batch, bool) {
+	if s.i >= len(s.batches) {
+		return nil, false
+	}
+	b := s.batches[s.i]
+	s.i++
+	return b, true
+}
+
+// readAll drains a stream into one slice.
+func readAll(in inStream) []record.Record {
+	var out []record.Record
+	for {
+		b, ok := in.next()
+		if !ok {
+			return out
+		}
+		out = append(out, b...)
+	}
+}
+
+// readAllBatches drains a stream keeping batch boundaries (for caching).
+func readAllBatches(in inStream) []record.Batch {
+	var out []record.Batch
+	for {
+		b, ok := in.next()
+		if !ok {
+			return out
+		}
+		out = append(out, b)
+	}
+}

@@ -1,0 +1,315 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+// Config configures an Executor.
+type Config struct {
+	// BatchSize is the number of records per exchange batch (default 256).
+	BatchSize int
+	// Metrics receives work counters (optional).
+	Metrics *metrics.Counters
+	// CacheBudget bounds the in-memory bytes of loop-invariant stream
+	// caches; caches beyond the budget are spilled to temporary files in
+	// serialized form (§4.3). 0 means unlimited. Index caches (join hash
+	// tables) stay pinned regardless.
+	CacheBudget int64
+}
+
+// Executor runs physical plans. It persists across the supersteps of an
+// iteration: loop-invariant caches (including cached join hash tables) and
+// the solution set survive between Run calls, which is the feedback-channel
+// execution model of §4.2 — the dynamic data path is re-evaluated, the
+// constant data path is not.
+type Executor struct {
+	cfg  Config
+	acct cacheAccountant
+	// spilledBytes counts bytes written to spill files (observability).
+	spilledBytes atomic.Int64
+	// slots holds materialized loop-invariant inputs.
+	slots map[slotKey]*cacheSlot
+	// Solution is the incremental iteration's partitioned state (nil for
+	// plain and bulk-iterative jobs).
+	Solution *SolutionSet
+	// DirectMerge applies SolutionJoin delta records to the solution set
+	// immediately instead of caching them until the superstep ends, and
+	// drops records the comparator rejects. Only valid when the iteration
+	// driver has verified the §5.2/§5.3 locality conditions (updates never
+	// cross partition boundaries).
+	DirectMerge bool
+	// Placeholder supplies per-partition records for IterationInput nodes,
+	// keyed by logical node ID.
+	Placeholder map[int][][]record.Record
+}
+
+type slotKey struct {
+	node, input, part int
+}
+
+// cacheSlot materializes one partition of one cached input. Exactly one of
+// the representations is used, depending on the consumer's local strategy
+// (§4.3: the cache stores records "possibly as a hash table, or B+-Tree,
+// depending on the execution strategy of the operator"). Under memory
+// pressure, stream caches move to a spill file.
+type cacheSlot struct {
+	filled  bool
+	batches []record.Batch
+	recs    []record.Record
+	table   map[int64][]record.Record
+	spill   *spillFile
+}
+
+// NewExecutor creates an executor.
+func NewExecutor(cfg Config) *Executor {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	e := &Executor{
+		cfg:         cfg,
+		slots:       make(map[slotKey]*cacheSlot),
+		Placeholder: make(map[int][][]record.Record),
+	}
+	e.acct.budget = cfg.CacheBudget
+	return e
+}
+
+// SpilledBytes reports the total bytes written to cache spill files.
+func (e *Executor) SpilledBytes() int64 { return e.spilledBytes.Load() }
+
+// Close releases spill files. The executor remains usable; spilled caches
+// are dropped and will be recomputed if the plan runs again.
+func (e *Executor) Close() {
+	for _, s := range e.slots {
+		if s.spill != nil {
+			s.spill.remove()
+		}
+	}
+	e.slots = make(map[slotKey]*cacheSlot)
+	e.acct.used.Store(0)
+}
+
+// maybeSpillBatches enforces the cache budget on a freshly-filled stream
+// slot: if the batches do not fit, they move to a spill file.
+func (e *Executor) maybeSpillBatches(s *cacheSlot) {
+	n := batchesBytes(s.batches)
+	if e.acct.admit(n) {
+		return
+	}
+	sf, err := spillBatches(s.batches)
+	if err != nil {
+		// Spilling is an optimization; on failure keep the cache in
+		// memory (over budget) rather than losing correctness.
+		e.acct.used.Add(n)
+		return
+	}
+	e.spilledBytes.Add(sf.bytes)
+	s.batches = nil
+	s.spill = sf
+}
+
+// maybeSpillRecs is maybeSpillBatches for the flat-slice representation.
+func (e *Executor) maybeSpillRecs(s *cacheSlot) {
+	n := int64(len(s.recs)) * record.EncodedSize
+	if e.acct.admit(n) {
+		return
+	}
+	sf, err := spillBatches([]record.Batch{s.recs})
+	if err != nil {
+		e.acct.used.Add(n)
+		return
+	}
+	e.spilledBytes.Add(sf.bytes)
+	s.recs = nil
+	s.spill = sf
+}
+
+// Metrics returns the configured counters (may be nil).
+func (e *Executor) Metrics() *metrics.Counters { return e.cfg.Metrics }
+
+// SetPlaceholder installs the per-partition data an IterationInput node
+// emits on the next Run. If key is non-nil the records are hash-partitioned
+// by it; otherwise they are split contiguously.
+func (e *Executor) SetPlaceholder(logicalID int, recs []record.Record, key record.KeyFunc, parallelism int) {
+	parts := make([][]record.Record, parallelism)
+	if key != nil {
+		for _, r := range recs {
+			p := record.PartitionOf(key(r), parallelism)
+			parts[p] = append(parts[p], r)
+		}
+	} else {
+		per := (len(recs) + parallelism - 1) / parallelism
+		for p := 0; p < parallelism; p++ {
+			lo := p * per
+			hi := lo + per
+			if lo > len(recs) {
+				lo = len(recs)
+			}
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			parts[p] = recs[lo:hi]
+		}
+	}
+	e.Placeholder[logicalID] = parts
+}
+
+// SetPlaceholderParts installs pre-partitioned data directly.
+func (e *Executor) SetPlaceholderParts(logicalID int, parts [][]record.Record) {
+	e.Placeholder[logicalID] = parts
+}
+
+// slot returns the cache slot for (node, input, part), creating it.
+func (e *Executor) slot(n *optimizer.PhysNode, input, part int) *cacheSlot {
+	k := slotKey{n.ID, input, part}
+	s, ok := e.slots[k]
+	if !ok {
+		s = &cacheSlot{}
+		e.slots[k] = s
+	}
+	return s
+}
+
+// slotsFilled reports whether all partitions of a cached input are filled.
+func (e *Executor) slotsFilled(n *optimizer.PhysNode, input, parallelism int) bool {
+	for p := 0; p < parallelism; p++ {
+		s, ok := e.slots[slotKey{n.ID, input, p}]
+		if !ok || !s.filled {
+			return false
+		}
+	}
+	return true
+}
+
+// InvalidateCaches drops all materialized loop-invariant inputs (used when
+// the same executor runs a different plan).
+func (e *Executor) InvalidateCaches() {
+	e.Close()
+}
+
+// Result maps logical sink IDs to per-partition output records.
+type Result map[int][][]record.Record
+
+// Records flattens one sink's output.
+func (r Result) Records(sinkID int) []record.Record {
+	var out []record.Record
+	for _, part := range r[sinkID] {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// Run executes the plan once and returns the sink outputs.
+func (e *Executor) Run(p *optimizer.PhysPlan) (Result, error) {
+	par := p.Parallelism
+	if par < 1 {
+		par = 1
+	}
+
+	// Liveness: skip subtrees whose output is already cached.
+	live := make(map[*optimizer.PhysNode]bool)
+	var mark func(n *optimizer.PhysNode)
+	mark = func(n *optimizer.PhysNode) {
+		if live[n] {
+			return
+		}
+		live[n] = true
+		for i, edge := range n.Inputs {
+			if edge.Cache && e.slotsFilled(n, i, par) {
+				continue
+			}
+			mark(edge.From)
+		}
+	}
+	for _, s := range p.Sinks {
+		mark(s)
+	}
+
+	// Exchanges for every live, non-cached consumer input.
+	type exKey struct{ node, input int }
+	exchanges := make(map[exKey]*exchange)
+	outs := make(map[int][]outSpec) // producer node ID -> outputs
+	for _, n := range p.Nodes {
+		if !live[n] {
+			continue
+		}
+		for i, edge := range n.Inputs {
+			if edge.Cache && e.slotsFilled(n, i, par) {
+				continue
+			}
+			ex := newExchange(par, par)
+			exchanges[exKey{n.ID, i}] = ex
+			outs[edge.From.ID] = append(outs[edge.From.ID], outSpec{
+				ex: ex, ship: edge.Ship, key: edge.Key,
+			})
+		}
+	}
+
+	results := make(Result)
+	for _, s := range p.Sinks {
+		results[s.Logical.ID] = make([][]record.Record, par)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(p.Nodes)*par)
+	for _, n := range p.Nodes {
+		if !live[n] {
+			continue
+		}
+		for part := 0; part < par; part++ {
+			t := &task{
+				e: e, n: n, part: part, par: par,
+				m:       e.cfg.Metrics,
+				results: results,
+			}
+			// Wire inputs: cached slot or exchange queue.
+			t.ins = make([]inStream, len(n.Inputs))
+			t.slots = make([]*cacheSlot, len(n.Inputs))
+			for i, edge := range n.Inputs {
+				if edge.Cache {
+					t.slots[i] = e.slot(n, i, part)
+				}
+				if ex, ok := exchanges[exKey{n.ID, i}]; ok {
+					t.ins[i] = queueStream{q: ex.queues[part]}
+				}
+			}
+			// Wire outputs.
+			for _, o := range outs[n.ID] {
+				t.outs = append(t.outs, newWriter(o.ex, o.ship, o.key, part, e.cfg.BatchSize, e.cfg.Metrics))
+			}
+			wg.Add(1)
+			go func(t *task) {
+				defer wg.Done()
+				defer func() {
+					for _, w := range t.outs {
+						w.done()
+					}
+					if r := recover(); r != nil {
+						errCh <- fmt.Errorf("runtime: task %s[%d] panicked: %v", t.n.Name(), t.part, r)
+					}
+				}()
+				if err := t.run(); err != nil {
+					errCh <- fmt.Errorf("runtime: task %s[%d]: %w", t.n.Name(), t.part, err)
+				}
+			}(t)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err // first error wins; all tasks already finished
+	}
+	return results, nil
+}
+
+type outSpec struct {
+	ex   *exchange
+	ship optimizer.ShipStrategy
+	key  record.KeyFunc
+}

@@ -1,0 +1,483 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+// task is one partition-instance of a physical operator.
+type task struct {
+	e       *Executor
+	n       *optimizer.PhysNode
+	part    int
+	par     int
+	ins     []inStream
+	slots   []*cacheSlot
+	outs    []*writer
+	m       *metrics.Counters
+	results Result
+}
+
+// emitter fans one record out to all downstream writers.
+type taskEmitter struct{ t *task }
+
+func (em taskEmitter) Emit(r record.Record) {
+	for _, w := range em.t.outs {
+		w.write(r)
+	}
+}
+
+// emitCollector gathers UDF output into a caller-owned buffer.
+type emitCollector struct{ buf *[]record.Record }
+
+func (c emitCollector) Emit(r record.Record) { *c.buf = append(*c.buf, r) }
+
+// directMergeEmitter applies each emitted delta to the solution set at
+// once and forwards only records that actually advanced the solution.
+type directMergeEmitter struct {
+	sol  *SolutionSet
+	next dataflow.Emitter
+}
+
+func (em directMergeEmitter) Emit(r record.Record) {
+	if em.sol.Update(r) {
+		em.next.Emit(r)
+	}
+}
+
+func (t *task) udf() {
+	if t.m != nil {
+		t.m.UDFInvocations.Add(1)
+	}
+}
+
+// run dispatches on role, contract, and local strategy.
+func (t *task) run() error {
+	out := taskEmitter{t: t}
+	n := t.n
+	l := n.Logical
+
+	switch n.Role {
+	case optimizer.RoleEnforcer:
+		if n.Local == optimizer.LocalSort {
+			recs := t.consumeSorted(0, n.SortKey)
+			for _, r := range recs {
+				out.Emit(r)
+			}
+			return nil
+		}
+		t.stream(0, func(r record.Record) { out.Emit(r) })
+		return nil
+
+	case optimizer.RoleCombiner:
+		fn := l.Combine
+		if fn == nil {
+			fn = l.Reduce
+		}
+		// Fold groups incrementally: when a group grows past the
+		// threshold it is pre-aggregated through the combine UDF, keeping
+		// per-key state small (cf. map-side combiners in MapReduce). This
+		// is safe because combiners are declared associative.
+		const foldAt = 16
+		key := l.Keys[0]
+		acc := make(map[int64][]record.Record)
+		var foldBuf []record.Record
+		folder := emitCollector{buf: &foldBuf}
+		t.stream(0, func(r record.Record) {
+			k := key(r)
+			g := append(acc[k], r)
+			if len(g) >= foldAt {
+				foldBuf = foldBuf[:0]
+				t.udf()
+				fn(k, g, folder)
+				g = append(g[:0], foldBuf...)
+			}
+			acc[k] = g
+		})
+		for k, g := range acc {
+			t.udf()
+			fn(k, g, out)
+		}
+		return nil
+	}
+
+	switch l.Contract {
+	case dataflow.Source:
+		data := l.Data
+		lo := t.part * len(data) / t.par
+		hi := (t.part + 1) * len(data) / t.par
+		for _, r := range data[lo:hi] {
+			out.Emit(r)
+		}
+		return nil
+
+	case dataflow.IterationInput:
+		parts := t.e.Placeholder[l.ID]
+		if parts != nil && t.part < len(parts) {
+			for _, r := range parts[t.part] {
+				out.Emit(r)
+			}
+		}
+		return nil
+
+	case dataflow.Sink:
+		t.results[l.ID][t.part] = t.consume(0)
+		return nil
+
+	case dataflow.MapOp:
+		t.stream(0, func(r record.Record) {
+			t.udf()
+			l.Map(r, out)
+		})
+		return nil
+
+	case dataflow.UnionOp:
+		for i := range l.Inputs {
+			t.stream(i, func(r record.Record) { out.Emit(r) })
+		}
+		return nil
+
+	case dataflow.ReduceOp:
+		switch n.Local {
+		case optimizer.LocalHashAgg:
+			groups := t.buildTable(0, l.Keys[0])
+			for k, g := range groups {
+				t.udf()
+				l.Reduce(k, g, out)
+			}
+		case optimizer.LocalSortAgg:
+			recs := t.consumeSorted(0, l.Keys[0])
+			forEachGroup(recs, l.Keys[0], func(k int64, g []record.Record) {
+				t.udf()
+				l.Reduce(k, g, out)
+			})
+		default:
+			return fmt.Errorf("reduce: unsupported local strategy %s", n.Local)
+		}
+		return nil
+
+	case dataflow.MatchOp:
+		switch n.Local {
+		case optimizer.LocalHashJoin:
+			return t.hashJoin(out)
+		case optimizer.LocalSortMergeJoin:
+			return t.sortMergeJoin(out)
+		}
+		return fmt.Errorf("match: unsupported local strategy %s", n.Local)
+
+	case dataflow.CrossOp:
+		build := n.BuildSide
+		blk := t.consume(build)
+		t.stream(1-build, func(r record.Record) {
+			for _, b := range blk {
+				t.udf()
+				if build == 0 {
+					l.Cross(b, r, out)
+				} else {
+					l.Cross(r, b, out)
+				}
+			}
+		})
+		return nil
+
+	case dataflow.CoGroupOp, dataflow.InnerCoGroupOp:
+		if n.Local == optimizer.LocalSortCoGroup {
+			return t.sortCoGroup(out)
+		}
+		left := t.buildTable(0, l.Keys[0])
+		right := t.buildTable(1, l.Keys[1])
+		for k, lg := range left {
+			rg := right[k]
+			if l.Contract == dataflow.InnerCoGroupOp && len(rg) == 0 {
+				continue
+			}
+			t.udf()
+			l.CoGroup(k, lg, rg, out)
+		}
+		if l.Contract == dataflow.CoGroupOp {
+			for k, rg := range right {
+				if _, seen := left[k]; !seen {
+					t.udf()
+					l.CoGroup(k, nil, rg, out)
+				}
+			}
+		}
+		return nil
+
+	case dataflow.SolutionJoin:
+		sol := t.e.Solution
+		if sol == nil {
+			return fmt.Errorf("solution join %q outside an incremental iteration", l.Name)
+		}
+		var emit dataflow.Emitter = out
+		if t.e.DirectMerge {
+			// §5.3: under the locality conditions the delta records merge
+			// into S immediately (Figure 6 writes the Match output back to
+			// the hash table), so later working-set elements in the same
+			// superstep observe the update and redundant candidates die
+			// here instead of flooding the next working set.
+			emit = directMergeEmitter{sol: sol, next: out}
+		}
+		t.stream(0, func(r record.Record) {
+			s, found := sol.Lookup(t.part, l.Keys[0](r))
+			t.udf()
+			l.SolJoin(r, s, found, emit)
+		})
+		return nil
+
+	case dataflow.SolutionCoGroup:
+		sol := t.e.Solution
+		if sol == nil {
+			return fmt.Errorf("solution cogroup %q outside an incremental iteration", l.Name)
+		}
+		groups := t.buildTable(0, l.Keys[0])
+		for k, g := range groups {
+			s, found := sol.Lookup(t.part, k)
+			t.udf()
+			l.SolCoGroup(k, g, s, found, out)
+		}
+		return nil
+	}
+	return fmt.Errorf("runtime: unsupported contract %s", l.Contract)
+}
+
+// hashJoin builds one side into a hash table (reused from the cache if the
+// build input is loop-invariant) and streams the other side through it.
+func (t *task) hashJoin(out dataflow.Emitter) error {
+	l := t.n.Logical
+	build := t.n.BuildSide
+	table := t.buildTable(build, l.Keys[build])
+	probeKey := l.Keys[1-build]
+	t.stream(1-build, func(r record.Record) {
+		for _, m := range table[probeKey(r)] {
+			t.udf()
+			if build == 0 {
+				l.Match(m, r, out)
+			} else {
+				l.Match(r, m, out)
+			}
+		}
+	})
+	return nil
+}
+
+// sortCoGroup sorts both inputs and merges group pairs per key, calling
+// the UDF once per key in the union (intersection for InnerCoGroup).
+func (t *task) sortCoGroup(out dataflow.Emitter) error {
+	l := t.n.Logical
+	lk, rk := l.Keys[0], l.Keys[1]
+	left := t.consumeSorted(0, lk)
+	right := t.consumeSorted(1, rk)
+	inner := l.Contract == dataflow.InnerCoGroupOp
+	i, j := 0, 0
+	for i < len(left) || j < len(right) {
+		var k int64
+		switch {
+		case i >= len(left):
+			k = rk(right[j])
+		case j >= len(right):
+			k = lk(left[i])
+		default:
+			k = lk(left[i])
+			if rj := rk(right[j]); rj < k {
+				k = rj
+			}
+		}
+		i2 := i
+		for i2 < len(left) && lk(left[i2]) == k {
+			i2++
+		}
+		j2 := j
+		for j2 < len(right) && rk(right[j2]) == k {
+			j2++
+		}
+		lg, rg := left[i:i2], right[j:j2]
+		if !inner || (len(lg) > 0 && len(rg) > 0) {
+			t.udf()
+			l.CoGroup(k, lg, rg, out)
+		}
+		i, j = i2, j2
+	}
+	return nil
+}
+
+// sortMergeJoin sorts both inputs by key and merges equal-key groups.
+func (t *task) sortMergeJoin(out dataflow.Emitter) error {
+	l := t.n.Logical
+	lk, rk := l.Keys[0], l.Keys[1]
+	left := t.consumeSorted(0, lk)
+	right := t.consumeSorted(1, rk)
+	i, j := 0, 0
+	for i < len(left) && j < len(right) {
+		ki, kj := lk(left[i]), rk(right[j])
+		switch {
+		case ki < kj:
+			i++
+		case ki > kj:
+			j++
+		default:
+			i2 := i
+			for i2 < len(left) && lk(left[i2]) == ki {
+				i2++
+			}
+			j2 := j
+			for j2 < len(right) && rk(right[j2]) == ki {
+				j2++
+			}
+			for _, lr := range left[i:i2] {
+				for _, rr := range right[j:j2] {
+					t.udf()
+					l.Match(lr, rr, out)
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return nil
+}
+
+// stream applies f to every input record of input i, replaying the cache
+// (from memory or a spill file) when the input is loop-invariant and
+// filling it on first execution.
+func (t *task) stream(i int, f func(record.Record)) {
+	if s := t.slots[i]; s != nil {
+		if s.filled {
+			if s.spill != nil {
+				if err := s.spill.replay(func(b record.Batch) {
+					for _, r := range b {
+						f(r)
+					}
+				}); err != nil {
+					panic(err) // recovered by the task wrapper into an error
+				}
+				return
+			}
+			for _, b := range s.batches {
+				for _, r := range b {
+					f(r)
+				}
+			}
+			return
+		}
+		for {
+			b, ok := t.ins[i].next()
+			if !ok {
+				break
+			}
+			s.batches = append(s.batches, b)
+			for _, r := range b {
+				f(r)
+			}
+		}
+		s.filled = true
+		t.e.maybeSpillBatches(s)
+		return
+	}
+	for {
+		b, ok := t.ins[i].next()
+		if !ok {
+			return
+		}
+		for _, r := range b {
+			f(r)
+		}
+	}
+}
+
+// consume materializes input i fully (cache-aware).
+func (t *task) consume(i int) []record.Record {
+	if s := t.slots[i]; s != nil {
+		if !s.filled {
+			s.recs = readAll(t.ins[i])
+			s.filled = true
+			t.e.maybeSpillRecs(s)
+		}
+		return slotRecords(s)
+	}
+	return readAll(t.ins[i])
+}
+
+// consumeSorted materializes input i sorted by key; the cache stores the
+// sorted order so re-executions skip the sort (spill files preserve it).
+func (t *task) consumeSorted(i int, key record.KeyFunc) []record.Record {
+	if s := t.slots[i]; s != nil {
+		if !s.filled {
+			s.recs = readAll(t.ins[i])
+			sortByKey(s.recs, key)
+			s.filled = true
+			t.e.maybeSpillRecs(s)
+		}
+		return slotRecords(s)
+	}
+	recs := readAll(t.ins[i])
+	sortByKey(recs, key)
+	return recs
+}
+
+// slotRecords returns a slot's records, reloading from the spill file if
+// the cache was pushed to disk.
+func slotRecords(s *cacheSlot) []record.Record {
+	if s.spill == nil {
+		return s.recs
+	}
+	var out []record.Record
+	if err := s.spill.replay(func(b record.Batch) {
+		out = append(out, b...)
+	}); err != nil {
+		panic(err) // recovered by the task wrapper into an error
+	}
+	return out
+}
+
+// buildTable materializes input i into a key-grouped hash table; for
+// loop-invariant inputs the built table itself is cached and pinned in
+// memory (§4.3 — index caches are probed per record and never spilled).
+func (t *task) buildTable(i int, key record.KeyFunc) map[int64][]record.Record {
+	if s := t.slots[i]; s != nil {
+		if !s.filled {
+			recs := readAll(t.ins[i])
+			s.table = groupByKey(recs, key)
+			s.filled = true
+			t.e.acct.used.Add(int64(len(recs)) * record.EncodedSize)
+		}
+		return s.table
+	}
+	return groupByKey(readAll(t.ins[i]), key)
+}
+
+func groupByKey(recs []record.Record, key record.KeyFunc) map[int64][]record.Record {
+	m := make(map[int64][]record.Record)
+	for _, r := range recs {
+		k := key(r)
+		m[k] = append(m[k], r)
+	}
+	return m
+}
+
+func sortByKey(recs []record.Record, key record.KeyFunc) {
+	sort.Slice(recs, func(a, b int) bool {
+		ka, kb := key(recs[a]), key(recs[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return record.Less(recs[a], recs[b])
+	})
+}
+
+// forEachGroup iterates key groups of a key-sorted slice.
+func forEachGroup(recs []record.Record, key record.KeyFunc, f func(int64, []record.Record)) {
+	for i := 0; i < len(recs); {
+		k := key(recs[i])
+		j := i
+		for j < len(recs) && key(recs[j]) == k {
+			j++
+		}
+		f(k, recs[i:j])
+		i = j
+	}
+}

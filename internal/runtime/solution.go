@@ -1,0 +1,125 @@
+// Package runtime executes physical plans: it instantiates each physical
+// operator once per partition, connects partitions with forward /
+// hash-partition / broadcast exchanges, implements the local strategies
+// (hash and sort-merge joins, hash and sort aggregation), materializes
+// loop-invariant inputs into caches — including cached hash tables for
+// join build sides — and hosts the partitioned, indexed solution set of
+// incremental iterations.
+package runtime
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/record"
+)
+
+// SolutionSet is the partitioned, keyed, mutable state of an incremental
+// iteration (§5.1/§5.3): each partition holds a primary hash index from
+// key to the current record. It lives across supersteps; delta sets are
+// merged with the ∪̇ operator, optionally arbitrated by a comparator that
+// keeps the CPO-successor record.
+type SolutionSet struct {
+	parts []map[int64]record.Record
+	key   record.KeyFunc
+	cmp   record.Comparator
+	m     *metrics.Counters
+}
+
+// NewSolutionSet creates an empty solution set with the given partition
+// count, identifying key, and optional comparator (nil = delta always
+// replaces).
+func NewSolutionSet(parallelism int, key record.KeyFunc, cmp record.Comparator, m *metrics.Counters) *SolutionSet {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	parts := make([]map[int64]record.Record, parallelism)
+	for i := range parts {
+		parts[i] = make(map[int64]record.Record)
+	}
+	return &SolutionSet{parts: parts, key: key, cmp: cmp, m: m}
+}
+
+// Parallelism returns the number of partitions.
+func (s *SolutionSet) Parallelism() int { return len(s.parts) }
+
+// Init loads the initial solution set S0, hash-partitioned by key.
+func (s *SolutionSet) Init(recs []record.Record) {
+	for _, r := range recs {
+		k := s.key(r)
+		s.parts[record.PartitionOf(k, len(s.parts))][k] = r
+	}
+}
+
+// Lookup probes partition part for key k. It counts a solution access.
+func (s *SolutionSet) Lookup(part int, k int64) (record.Record, bool) {
+	if s.m != nil {
+		s.m.SolutionAccesses.Add(1)
+	}
+	r, ok := s.parts[part][k]
+	return r, ok
+}
+
+// put writes r under key k into its owning partition, honoring the
+// comparator: the CPO-larger record wins (§5.1). It reports whether the
+// stored record changed.
+func (s *SolutionSet) put(r record.Record) bool {
+	k := s.key(r)
+	part := record.PartitionOf(k, len(s.parts))
+	old, exists := s.parts[part][k]
+	if exists && s.cmp != nil && s.cmp(r, old) <= 0 {
+		return false // the existing record is the successor state; drop r
+	}
+	if exists && old.Equal(r) {
+		return false
+	}
+	s.parts[part][k] = r
+	if s.m != nil {
+		s.m.SolutionUpdates.Add(1)
+	}
+	return true
+}
+
+// MergeDelta applies a delta set with the ∪̇ operator: every delta record
+// replaces the solution record under the same key (subject to the
+// comparator), new keys are inserted. It returns the number of records
+// that actually changed the solution.
+func (s *SolutionSet) MergeDelta(delta []record.Record) int {
+	changed := 0
+	for _, r := range delta {
+		if s.put(r) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// Update applies a single delta record immediately (microstep execution,
+// §5.2: the partial solution reflects the modification when the next
+// element is processed). It reports whether the solution changed.
+func (s *SolutionSet) Update(r record.Record) bool {
+	return s.put(r)
+}
+
+// Size returns the total number of records.
+func (s *SolutionSet) Size() int {
+	n := 0
+	for _, p := range s.parts {
+		n += len(p)
+	}
+	return n
+}
+
+// Snapshot copies all records out (order unspecified).
+func (s *SolutionSet) Snapshot() []record.Record {
+	out := make([]record.Record, 0, s.Size())
+	for _, p := range s.parts {
+		for _, r := range p {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PartitionFor returns the partition owning key k.
+func (s *SolutionSet) PartitionFor(k int64) int {
+	return record.PartitionOf(k, len(s.parts))
+}

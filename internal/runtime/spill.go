@@ -1,0 +1,120 @@
+package runtime
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/record"
+)
+
+// Spilling support for loop-invariant caches (§4.3: "The caches are
+// in-memory and gradually spilled in the presence of memory pressure").
+// When the executor's cache budget is exceeded, newly-filled stream caches
+// are written to temporary files in serialized record form and replayed
+// from disk on later iterations. Index caches (hash tables backing join
+// build sides) stay pinned in memory: they are probed per record and
+// spilling them would defeat their purpose.
+
+// spillFile is one cache slot's on-disk representation.
+type spillFile struct {
+	path  string
+	bytes int64
+}
+
+// spillBatches serializes batches to a fresh temp file.
+func spillBatches(batches []record.Batch) (*spillFile, error) {
+	f, err := os.CreateTemp("", "spinflow-spill-*.bin")
+	if err != nil {
+		return nil, fmt.Errorf("runtime: creating spill file: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	var buf []byte
+	var total int64
+	for _, b := range batches {
+		buf = record.EncodeBatch(buf[:0], b)
+		n, err := bw.Write(buf)
+		if err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return nil, fmt.Errorf("runtime: writing spill file: %w", err)
+		}
+		total += int64(n)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &spillFile{path: f.Name(), bytes: total}, nil
+}
+
+// replay streams the spilled batches back through f.
+func (s *spillFile) replay(f func(record.Batch)) error {
+	file, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("runtime: opening spill file: %w", err)
+	}
+	defer file.Close()
+	data, err := io.ReadAll(bufio.NewReader(file))
+	if err != nil {
+		return fmt.Errorf("runtime: reading spill file: %w", err)
+	}
+	for len(data) > 0 {
+		var b record.Batch
+		b, data, err = record.DecodeBatch(data)
+		if err != nil {
+			return fmt.Errorf("runtime: decoding spill file: %w", err)
+		}
+		f(b)
+	}
+	return nil
+}
+
+// remove deletes the backing file.
+func (s *spillFile) remove() {
+	os.Remove(s.path)
+}
+
+// batchesBytes estimates the in-memory footprint of cached batches.
+func batchesBytes(batches []record.Batch) int64 {
+	var n int64
+	for _, b := range batches {
+		n += int64(len(b)) * record.EncodedSize
+	}
+	return n
+}
+
+// cacheAccountant tracks cache memory against a budget.
+type cacheAccountant struct {
+	budget int64 // 0 = unlimited
+	used   atomic.Int64
+}
+
+// admit reports whether n more bytes fit in memory, reserving them if so.
+func (a *cacheAccountant) admit(n int64) bool {
+	if a.budget <= 0 {
+		a.used.Add(n)
+		return true
+	}
+	for {
+		cur := a.used.Load()
+		if cur+n > a.budget {
+			return false
+		}
+		if a.used.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// release returns bytes to the budget.
+func (a *cacheAccountant) release(n int64) {
+	a.used.Add(-n)
+}

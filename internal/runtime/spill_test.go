@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+func TestSpillFileRoundTrip(t *testing.T) {
+	batches := []record.Batch{
+		{{A: 1, X: 1.5}, {A: 2}},
+		{{A: 3, B: -7, Tag: 9}},
+	}
+	sf, err := spillBatches(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.remove()
+	var got []record.Record
+	if err := sf.replay(func(b record.Batch) { got = append(got, b...) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	if !got[2].Equal(batches[1][0]) {
+		t.Errorf("record mismatch: %v", got[2])
+	}
+	if sf.bytes == 0 {
+		t.Error("spill file reports zero bytes")
+	}
+}
+
+func TestSpillFileRemove(t *testing.T) {
+	sf, err := spillBatches([]record.Batch{{{A: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.remove()
+	if _, err := os.Stat(sf.path); !os.IsNotExist(err) {
+		t.Error("spill file not removed")
+	}
+}
+
+func TestCacheAccountant(t *testing.T) {
+	a := &cacheAccountant{budget: 100}
+	if !a.admit(60) || !a.admit(40) {
+		t.Fatal("within-budget admits failed")
+	}
+	if a.admit(1) {
+		t.Fatal("over-budget admit succeeded")
+	}
+	a.release(40)
+	if !a.admit(30) {
+		t.Fatal("admit after release failed")
+	}
+	unlimited := &cacheAccountant{}
+	if !unlimited.admit(1 << 40) {
+		t.Fatal("unlimited accountant refused")
+	}
+}
+
+// iterativeJoinPlan builds a plan whose constant input is cached as a
+// stream (feeding a Union on the dynamic path), so the cache budget
+// applies.
+func iterativeJoinPlan(constRecs []record.Record) (*dataflow.Plan, *dataflow.Node, *dataflow.Node) {
+	p := dataflow.NewPlan()
+	w := p.IterationPlaceholder("I", 4)
+	c := p.SourceOf("const", constRecs)
+	u := p.UnionNode("u", w, c)
+	sink := p.SinkNode("out", u)
+	return p, w, sink
+}
+
+func runCachedTwice(t *testing.T, budget int64) (*Executor, []record.Record) {
+	t.Helper()
+	constRecs := make([]record.Record, 1000)
+	for i := range constRecs {
+		constRecs[i] = record.Record{A: int64(i)}
+	}
+	p, w, sink := iterativeJoinPlan(constRecs)
+	phys, err := optimizer.Optimize(p, optimizer.Options{Parallelism: 2, ExpectedIterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(Config{CacheBudget: budget})
+	e.SetPlaceholder(w.ID, []record.Record{{A: -1}}, nil, 2)
+	var last []record.Record
+	for pass := 0; pass < 3; pass++ {
+		res, err := e.Run(phys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res.Records(sink.ID)
+	}
+	return e, last
+}
+
+func TestCacheSpillsUnderPressure(t *testing.T) {
+	// A 1000-record constant input far exceeds a 1 KiB budget: the cache
+	// must spill yet produce identical results on every pass.
+	eSpill, gotSpill := runCachedTwice(t, 1024)
+	defer eSpill.Close()
+	if eSpill.SpilledBytes() == 0 {
+		t.Fatal("cache did not spill under a tiny budget")
+	}
+	eMem, gotMem := runCachedTwice(t, 0)
+	defer eMem.Close()
+	if eMem.SpilledBytes() != 0 {
+		t.Fatal("unlimited budget spilled")
+	}
+	if len(gotSpill) != len(gotMem) || len(gotSpill) != 1001 {
+		t.Fatalf("spilled run lost records: %d vs %d", len(gotSpill), len(gotMem))
+	}
+}
+
+func TestCloseRemovesSpillFiles(t *testing.T) {
+	e, _ := runCachedTwice(t, 1024)
+	var paths []string
+	for _, s := range e.slots {
+		if s.spill != nil {
+			paths = append(paths, s.spill.path)
+		}
+	}
+	if len(paths) == 0 {
+		t.Fatal("no spill files to check")
+	}
+	e.Close()
+	for _, p := range paths {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("spill file %s survived Close", p)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package spinflow is a Go reproduction of "Spinning Fast Iterative Data
+// Flows" (Ewen, Tzoumas, Kaufmann, Markl — PVLDB 5(11), 2012): a parallel
+// dataflow engine with an optimizer, plus the paper's two iteration
+// abstractions — bulk iterations and incremental (workset) iterations with
+// optional asynchronous microstep execution.
+//
+// # Building plans
+//
+// A Plan is a DAG of PACT-style operators (Map, Reduce, Match, Cross,
+// CoGroup, InnerCoGroup) over compact Records:
+//
+//	p := spinflow.NewPlan()
+//	src := p.SourceOf("edges", edges)
+//	deg := p.ReduceNode("deg", src, spinflow.KeyA, countFn)
+//	sink := p.SinkNode("out", deg)
+//	res, err := spinflow.Execute(p, spinflow.Config{Parallelism: 4})
+//
+// # Bulk iterations (§4)
+//
+// A BulkSpec embeds a step-function dataflow between an IterationInput
+// placeholder I and an output sink O, with an optional termination
+// criterion sink T; RunBulk drives the feedback loop, keeping
+// loop-invariant inputs cached across passes.
+//
+// # Incremental iterations (§5)
+//
+// An IncrementalSpec reads a workset placeholder and the keyed, mutable
+// solution set (through SolutionJoin/SolutionCoGroup operators) and feeds
+// a delta sink and a next-workset sink; RunIncremental drives supersteps
+// merging deltas with the ∪̇ operator, and RunMicrostep executes
+// admissible plans asynchronously one element at a time.
+//
+// Ready-made algorithms (PageRank, Connected Components, SSSP, adaptive
+// PageRank), baseline engines (Pregel-style, Spark-style) and the paper's
+// experiment harness live in the internal packages; the cmd/spinflow
+// binary regenerates every table and figure.
+package spinflow
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataflow"
+	"repro/internal/graphgen"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/runtime"
+)
+
+// Core types re-exported from the engine.
+type (
+	// Record is the tuple type flowing through plans.
+	Record = core.Record
+	// KeyFunc selects a key from a record.
+	KeyFunc = core.KeyFunc
+	// Comparator orders records for solution-set replacement (§5.1).
+	Comparator = core.Comparator
+	// Plan is a logical dataflow under construction.
+	Plan = core.Plan
+	// Node is one logical operator.
+	Node = core.Node
+	// Emitter receives records from user functions.
+	Emitter = core.Emitter
+	// Config controls execution.
+	Config = core.Config
+	// BulkSpec describes a bulk iteration (G, I, O, T).
+	BulkSpec = core.BulkSpec
+	// BulkResult is a bulk iteration outcome.
+	BulkResult = core.BulkResult
+	// IncrementalSpec describes an incremental iteration (Δ, S0, W0).
+	IncrementalSpec = core.IncrementalSpec
+	// IncrementalResult is an incremental iteration outcome.
+	IncrementalResult = core.IncrementalResult
+	// Counters aggregates work metrics.
+	Counters = metrics.Counters
+	// Trace records per-iteration statistics.
+	Trace = metrics.Trace
+	// Graph is an edge-list graph from the synthetic generators.
+	Graph = graphgen.Graph
+)
+
+// Standard key selectors over Record fields.
+var (
+	// KeyA selects field A.
+	KeyA = record.KeyA
+	// KeyB selects field B.
+	KeyB = record.KeyB
+)
+
+// NewPlan starts an empty logical plan.
+func NewPlan() *Plan { return core.NewPlan() }
+
+// Execute optimizes and runs a non-iterative plan, returning the records
+// collected at each sink (keyed by sink node).
+func Execute(p *Plan, cfg Config) (map[*Node][]Record, error) {
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	phys, err := optimizer.Optimize(p, optimizer.Options{Parallelism: cfg.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	res, err := exec.Run(phys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[*Node][]Record, len(p.Sinks()))
+	for _, s := range p.Sinks() {
+		out[s] = res.Records(s.ID)
+	}
+	return out, nil
+}
+
+// Explain optimizes a plan and renders the chosen physical strategy
+// (shipping strategies, local strategies, cached edges).
+func Explain(p *Plan, cfg Config, expectedIterations int) (string, error) {
+	phys, err := optimizer.Optimize(p, optimizer.Options{
+		Parallelism:        cfg.Parallelism,
+		ExpectedIterations: expectedIterations,
+	})
+	if err != nil {
+		return "", err
+	}
+	return phys.Explain(), nil
+}
+
+// ExplainDOT is Explain in Graphviz DOT format (dashed blue edges mark
+// cached loop-invariant inputs, bold nodes the dynamic data path).
+func ExplainDOT(p *Plan, cfg Config, expectedIterations int) (string, error) {
+	phys, err := optimizer.Optimize(p, optimizer.Options{
+		Parallelism:        cfg.Parallelism,
+		ExpectedIterations: expectedIterations,
+	})
+	if err != nil {
+		return "", err
+	}
+	return phys.DOT(), nil
+}
+
+// RunBulk executes a bulk iteration.
+func RunBulk(spec BulkSpec, initial []Record, cfg Config) (*BulkResult, error) {
+	return core.RunBulk(spec, initial, cfg)
+}
+
+// RunIncremental executes an incremental iteration in supersteps.
+func RunIncremental(spec IncrementalSpec, s0, w0 []Record, cfg Config) (*IncrementalResult, error) {
+	return core.RunIncremental(spec, s0, w0, cfg)
+}
+
+// RunMicrostep executes an admissible incremental iteration
+// asynchronously in microsteps.
+func RunMicrostep(spec IncrementalSpec, s0, w0 []Record, cfg Config) (*IncrementalResult, error) {
+	return core.RunMicrostep(spec, s0, w0, cfg)
+}
+
+// ValidateMicrostep checks the §5.2 microstep admissibility conditions
+// without running the iteration.
+func ValidateMicrostep(spec IncrementalSpec) ([]*Node, error) {
+	return core.ValidateMicrostep(spec)
+}
+
+// Synthetic datasets (scaled stand-ins for the paper's Table 2 graphs).
+
+// Dataset names.
+const (
+	DatasetWikipedia = graphgen.DSWikipedia
+	DatasetWebbase   = graphgen.DSWebbase
+	DatasetHollywood = graphgen.DSHollywood
+	DatasetTwitter   = graphgen.DSTwitter
+	DatasetFOAF      = graphgen.DSFOAF
+)
+
+// LoadDataset builds one of the paper's datasets at the given scale
+// (1.0 = default laptop scale).
+func LoadDataset(name graphgen.Dataset, scale float64) *Graph {
+	return graphgen.Load(name, graphgen.Scale(scale))
+}
+
+// UniformGraph generates an Erdős–Rényi style random graph.
+func UniformGraph(vertices, edges int64, seed uint64) *Graph {
+	return graphgen.Uniform("uniform", vertices, edges, seed)
+}
+
+// PowerLawGraph generates a preferential-attachment graph.
+func PowerLawGraph(vertices int64, edgesPerVertex int, seed uint64) *Graph {
+	return graphgen.PreferentialAttachment("powerlaw", vertices, edgesPerVertex, seed)
+}
+
+// Ensure the dataflow package's builder methods are reachable through the
+// Plan alias (compile-time check).
+var _ = (*dataflow.Plan)(nil)
