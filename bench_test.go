@@ -18,6 +18,8 @@ import (
 	"repro/internal/iterative"
 	"repro/internal/optimizer"
 	"repro/internal/pregel"
+	"repro/internal/record"
+	"repro/internal/runtime"
 	"repro/internal/sparklike"
 )
 
@@ -237,6 +239,136 @@ func BenchmarkFig12Variants(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Superstep throughput (persistent sessions vs. cold setup) -----------
+
+// benchPageRankSuperstep measures one steady-state PageRank-bulk
+// superstep. runStep abstracts the execution mode: the persistent session
+// (this runtime) versus a cold one-shot Run per superstep, which re-does
+// the pre-refactor per-pass setup — fresh goroutines for every
+// node×partition, fresh exchange queues, and freshly allocated batches.
+func benchPageRankSuperstep(b *testing.B, cold bool) {
+	g := graphgen.Wikipedia(graphgen.ScaleTiny)
+	spec, initial := algorithms.PageRankSpec(g, 50, algorithms.DefaultDamping, 0)
+	spec.Input.EstRecords = int64(len(initial))
+	phys, err := optimizer.Optimize(spec.Plan, optimizer.Options{
+		Parallelism:        benchParallelism,
+		ExpectedIterations: 50,
+		Feedback:           map[int]int{spec.Input.ID: spec.Output.ID},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := runtime.NewExecutor(runtime.Config{})
+	defer exec.Close()
+	phKey := phys.PlaceholderKey[spec.Input.ID]
+	exec.SetPlaceholder(spec.Input.ID, initial, phKey, benchParallelism)
+	sess := exec.OpenSession(phys)
+	defer sess.Close()
+
+	feed := func(res runtime.Result) {
+		if phKey != nil {
+			exec.SetPlaceholderParts(spec.Input.ID, res[spec.Output.ID])
+		} else {
+			exec.SetPlaceholder(spec.Input.ID, res.Records(spec.Output.ID), nil, benchParallelism)
+		}
+	}
+	step := func() runtime.Result {
+		var res runtime.Result
+		var err error
+		if cold {
+			res, err = exec.Run(phys)
+		} else {
+			res, err = sess.Run()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	// Warm up: fill the loop-invariant caches and the batch pool so the
+	// measurement sees only steady-state supersteps.
+	for i := 0; i < 3; i++ {
+		feed(step())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		feed(step())
+	}
+}
+
+// BenchmarkSuperstepPageRankBulk compares allocations and time per
+// steady-state bulk-PageRank superstep with the persistent session
+// against the pre-refactor cold-setup execution (compare the two
+// sub-benchmarks' allocs/op).
+func BenchmarkSuperstepPageRankBulk(b *testing.B) {
+	b.Run("session", func(b *testing.B) { benchPageRankSuperstep(b, false) })
+	b.Run("cold", func(b *testing.B) { benchPageRankSuperstep(b, true) })
+}
+
+// benchCCSuperstep measures one incremental Connected Components
+// superstep: the Δ flow over a fixed working set against the live
+// solution set, with the delta merge applied — the per-superstep work of
+// RunIncremental, isolated from convergence.
+func benchCCSuperstep(b *testing.B, cold bool) {
+	g := graphgen.FOAF(graphgen.ScaleTiny)
+	spec, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
+	spec.Workset.EstRecords = int64(len(w0))
+	phys, err := optimizer.Optimize(spec.Plan, optimizer.Options{
+		Parallelism:        benchParallelism,
+		ExpectedIterations: 10,
+		PlaceholderProps: map[int]optimizer.Props{
+			spec.Workset.ID: {Part: record.KeyID(spec.WorksetKey)},
+		},
+		SinkPartition: map[int]record.KeyFunc{
+			spec.DeltaSink.ID:   spec.SolutionKey,
+			spec.WorksetSink.ID: spec.WorksetKey,
+		},
+		Feedback: map[int]int{spec.Workset.ID: spec.WorksetSink.ID},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	exec := runtime.NewExecutor(runtime.Config{})
+	defer exec.Close()
+	exec.Solution = runtime.NewSolutionSet(benchParallelism, spec.SolutionKey, spec.Comparator, nil)
+	exec.Solution.Init(s0)
+	exec.SetPlaceholder(spec.Workset.ID, w0, spec.WorksetKey, benchParallelism)
+	sess := exec.OpenSession(phys)
+	defer sess.Close()
+
+	step := func() {
+		var res runtime.Result
+		var err error
+		if cold {
+			res, err = exec.Run(phys)
+		} else {
+			res, err = sess.Run()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		exec.Solution.MergeDelta(res.Records(spec.DeltaSink.ID))
+		// Fixed working set per superstep: constant work, no convergence.
+		exec.SetPlaceholder(spec.Workset.ID, w0, spec.WorksetKey, benchParallelism)
+	}
+	for i := 0; i < 3; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+// BenchmarkSuperstepCCIncremental is the incremental counterpart of
+// BenchmarkSuperstepPageRankBulk.
+func BenchmarkSuperstepCCIncremental(b *testing.B) {
+	b.Run("session", func(b *testing.B) { benchCCSuperstep(b, false) })
+	b.Run("cold", func(b *testing.B) { benchCCSuperstep(b, true) })
 }
 
 // --- Ablations -----------------------------------------------------------

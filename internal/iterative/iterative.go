@@ -138,8 +138,16 @@ func RunBulk(spec BulkSpec, initial []record.Record, cfg Config) (*BulkResult, e
 	}
 
 	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	defer exec.Close()
 	phKey := phys.PlaceholderKey[spec.Input.ID]
 	exec.SetPlaceholder(spec.Input.ID, initial, phKey, cfg.Parallelism)
+
+	// One session serves every pass: the partition-pinned workers,
+	// exchanges, and batch pool persist until convergence, so only the
+	// first pass pays plan-setup costs (§4.2's feedback-channel model at
+	// the physical layer).
+	sess := exec.OpenSession(phys)
+	defer sess.Close()
 
 	out := &BulkResult{Plan: phys}
 	prev := initial
@@ -151,11 +159,12 @@ func RunBulk(spec BulkSpec, initial []record.Record, cfg Config) (*BulkResult, e
 		}
 		if spec.Unroll && i > 0 {
 			// Unrolled execution: a new instance of G per pass (§4.2) —
-			// drop every loop-invariant cache before re-running.
+			// drop every loop-invariant cache before re-running. The
+			// session detects the generation change and rewires.
 			exec.InvalidateCaches()
 		}
 
-		res, err := exec.Run(phys)
+		res, err := sess.Run()
 		if err != nil {
 			return nil, err
 		}
@@ -322,6 +331,7 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 	plannedEst := spec.Workset.EstRecords
 
 	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	defer exec.Close()
 	exec.Solution = runtime.NewSolutionSet(cfg.Parallelism, spec.SolutionKey, spec.Comparator, cfg.Metrics)
 	exec.Solution.Init(initialSolution)
 	// §5.3: when the Δ flow meets the microstep locality conditions, delta
@@ -336,6 +346,12 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 		cfg.Metrics.WorksetElements.Add(int64(len(initialWorkset)))
 	}
 
+	// One persistent session per plan: supersteps reuse its workers,
+	// exchanges and pooled batches. Re-optimization swaps in a fresh
+	// session for the new plan.
+	sess := exec.OpenSession(phys)
+	defer func() { sess.Close() }()
+
 	out := &IncrementalResult{Plan: phys}
 	for step := 0; step < maxSteps; step++ {
 		start := time.Now()
@@ -344,7 +360,7 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 			before = cfg.Metrics.Snapshot()
 		}
 
-		res, err := exec.Run(phys)
+		res, err := sess.Run()
 		if err != nil {
 			return nil, err
 		}
@@ -394,6 +410,8 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 				phys = newPhys
 				plannedEst = int64(nextCount)
 				exec.InvalidateCaches()
+				sess.Close()
+				sess = exec.OpenSession(phys)
 			}
 		}
 		// The workset sink is partition-pinned on WorksetKey, so its

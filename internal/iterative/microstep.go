@@ -506,6 +506,11 @@ func RunMicrostep(spec IncrementalSpec, initialSolution, initialWorkset []record
 		close(samplerDone)
 	}
 
+	// Microstep execution is already session-shaped: one partition-pinned
+	// worker per queue for the whole run, with no superstep re-setup.
+	if cfg.Metrics != nil {
+		cfg.Metrics.WorkersSpawned.Add(int64(cfg.Parallelism))
+	}
 	var wg sync.WaitGroup
 	for p := 0; p < cfg.Parallelism; p++ {
 		wg.Add(1)

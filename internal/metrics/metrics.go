@@ -30,6 +30,19 @@ type Counters struct {
 	SolutionUpdates atomic.Int64
 	// UDFInvocations counts user-function calls across all operators.
 	UDFInvocations atomic.Int64
+	// WorkersSpawned counts long-lived partition-pinned workers started
+	// by executor sessions. An iteration that reuses its session across
+	// supersteps spawns node×partition workers once, not once per pass.
+	WorkersSpawned atomic.Int64
+	// ExchangesReused counts exchanges reset and reused by a later
+	// superstep instead of being allocated from scratch.
+	ExchangesReused atomic.Int64
+	// BatchesAllocated counts record batches newly allocated by the
+	// batch pool.
+	BatchesAllocated atomic.Int64
+	// BatchesRecycled counts consumed batches returned to the pool for
+	// reuse by a later writer.
+	BatchesRecycled atomic.Int64
 }
 
 // Snapshot is an immutable copy of counter values.
@@ -39,6 +52,10 @@ type Snapshot struct {
 	SolutionAccesses int64
 	SolutionUpdates  int64
 	UDFInvocations   int64
+	WorkersSpawned   int64
+	ExchangesReused  int64
+	BatchesAllocated int64
+	BatchesRecycled  int64
 }
 
 // Snapshot captures current counter values.
@@ -49,6 +66,10 @@ func (c *Counters) Snapshot() Snapshot {
 		SolutionAccesses: c.SolutionAccesses.Load(),
 		SolutionUpdates:  c.SolutionUpdates.Load(),
 		UDFInvocations:   c.UDFInvocations.Load(),
+		WorkersSpawned:   c.WorkersSpawned.Load(),
+		ExchangesReused:  c.ExchangesReused.Load(),
+		BatchesAllocated: c.BatchesAllocated.Load(),
+		BatchesRecycled:  c.BatchesRecycled.Load(),
 	}
 }
 
@@ -60,6 +81,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		SolutionAccesses: s.SolutionAccesses - o.SolutionAccesses,
 		SolutionUpdates:  s.SolutionUpdates - o.SolutionUpdates,
 		UDFInvocations:   s.UDFInvocations - o.UDFInvocations,
+		WorkersSpawned:   s.WorkersSpawned - o.WorkersSpawned,
+		ExchangesReused:  s.ExchangesReused - o.ExchangesReused,
+		BatchesAllocated: s.BatchesAllocated - o.BatchesAllocated,
+		BatchesRecycled:  s.BatchesRecycled - o.BatchesRecycled,
 	}
 }
 
@@ -70,6 +95,10 @@ func (c *Counters) Reset() {
 	c.SolutionAccesses.Store(0)
 	c.SolutionUpdates.Store(0)
 	c.UDFInvocations.Store(0)
+	c.WorkersSpawned.Store(0)
+	c.ExchangesReused.Store(0)
+	c.BatchesAllocated.Store(0)
+	c.BatchesRecycled.Store(0)
 }
 
 // IterationStat records one iteration/superstep of an iterative job — one

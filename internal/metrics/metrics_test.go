@@ -23,10 +23,31 @@ func TestReset(t *testing.T) {
 	var c Counters
 	c.UDFInvocations.Add(9)
 	c.SolutionAccesses.Add(2)
+	c.WorkersSpawned.Add(4)
+	c.ExchangesReused.Add(3)
+	c.BatchesAllocated.Add(2)
+	c.BatchesRecycled.Add(1)
 	c.Reset()
 	s := c.Snapshot()
 	if s != (Snapshot{}) {
 		t.Errorf("reset left %+v", s)
+	}
+}
+
+func TestRuntimeReuseCounters(t *testing.T) {
+	var c Counters
+	c.WorkersSpawned.Add(8)
+	c.ExchangesReused.Add(5)
+	c.BatchesAllocated.Add(10)
+	c.BatchesRecycled.Add(40)
+	s1 := c.Snapshot()
+	c.BatchesRecycled.Add(2)
+	d := c.Snapshot().Sub(s1)
+	if s1.WorkersSpawned != 8 || s1.ExchangesReused != 5 || s1.BatchesAllocated != 10 {
+		t.Errorf("snapshot wrong: %+v", s1)
+	}
+	if d.BatchesRecycled != 2 || d.WorkersSpawned != 0 {
+		t.Errorf("delta wrong: %+v", d)
 	}
 }
 

@@ -124,6 +124,11 @@ type Edge struct {
 	// (§4.3/§5.3: "the cache stores the records ... possibly as a hash
 	// table, or B+-Tree").
 	Cache bool
+	// ID is the edge's stable identity within its plan, assigned densely
+	// in [0, PhysPlan.NumEdges). The runtime keys exchanges by it so a
+	// persistent session can allocate one exchange per (edge, partition)
+	// and reset — rather than rebuild — it between supersteps.
+	ID int
 }
 
 // PhysNode is one operator instance in the physical plan (instantiated
@@ -172,6 +177,9 @@ type PhysPlan struct {
 	PlaceholderKey map[int]record.KeyFunc
 	// Parallelism is the number of partitions the plan runs with.
 	Parallelism int
+	// NumEdges is the number of physical input edges; Edge.ID values are
+	// dense in [0, NumEdges), so exchange tables can be flat arrays.
+	NumEdges int
 	// Cost is the estimated total cost (dynamic path pre-weighted by the
 	// expected iteration count).
 	Cost float64

@@ -351,6 +351,16 @@ func (o *optz) assemble() (*PhysPlan, map[int]Props, error) {
 	}
 	plan.Nodes = order
 
+	// Assign stable, dense edge identities (in topological consumer
+	// order) so the runtime can key per-edge state that survives across
+	// Run calls.
+	for _, n := range order {
+		for i := range n.Inputs {
+			n.Inputs[i].ID = plan.NumEdges
+			plan.NumEdges++
+		}
+	}
+
 	// Dynamic-path marking over the physical DAG.
 	for _, n := range plan.Nodes {
 		d := n.Logical.Contract == dataflow.IterationInput ||

@@ -42,6 +42,17 @@ func (q *queue) close() {
 	q.cond.Broadcast()
 }
 
+// reset reopens the queue for the next superstep, recycling any batches a
+// failed run left behind. Only called while no producer or consumer task
+// is active (between supersteps).
+func (q *queue) reset(pool *batchPool) {
+	for _, b := range q.items {
+		pool.put(b)
+	}
+	q.items = q.items[:0]
+	q.closed = false
+}
+
 // pop blocks for the next batch; ok=false means the stream ended.
 func (q *queue) pop() (record.Batch, bool) {
 	q.mu.Lock()
@@ -59,10 +70,14 @@ func (q *queue) pop() (record.Batch, bool) {
 
 // exchange connects the P tasks of a producer node to the P tasks of one
 // consumer input: one queue per consumer partition, closed when every
-// producer task has finished.
+// producer task has finished. Within a session, the exchange for a given
+// physical edge is allocated once and reset between supersteps.
 type exchange struct {
 	queues    []*queue
 	producers atomic.Int32
+	// used marks that the exchange has carried at least one superstep;
+	// later resets count as reuse in the metrics.
+	used bool
 }
 
 func newExchange(parallelism, producers int) *exchange {
@@ -72,6 +87,15 @@ func newExchange(parallelism, producers int) *exchange {
 	}
 	ex.producers.Store(int32(producers))
 	return ex
+}
+
+// reset rearms the exchange for another superstep: queues reopen (keeping
+// their storage) and the producer count is restored.
+func (ex *exchange) reset(producers int, pool *batchPool) {
+	for _, q := range ex.queues {
+		q.reset(pool)
+	}
+	ex.producers.Store(int32(producers))
 }
 
 // producerDone signals one producer task finished; the last one closes all
@@ -93,13 +117,15 @@ type writer struct {
 	ownPart   int
 	batchSize int
 	bufs      []record.Batch
+	pool      *batchPool
 	m         *metrics.Counters
 }
 
-func newWriter(ex *exchange, ship optimizer.ShipStrategy, key record.KeyFunc, ownPart, batchSize int, m *metrics.Counters) *writer {
+func newWriter(ex *exchange, ship optimizer.ShipStrategy, key record.KeyFunc, ownPart, batchSize int, pool *batchPool, m *metrics.Counters) *writer {
 	return &writer{
 		ex: ex, ship: ship, key: key, ownPart: ownPart,
-		batchSize: batchSize, bufs: make([]record.Batch, len(ex.queues)), m: m,
+		batchSize: batchSize, bufs: make([]record.Batch, len(ex.queues)),
+		pool: pool, m: m,
 	}
 }
 
@@ -124,7 +150,7 @@ func (w *writer) write(r record.Record) {
 
 func (w *writer) append(p int, r record.Record) {
 	if w.bufs[p] == nil {
-		w.bufs[p] = make(record.Batch, 0, w.batchSize)
+		w.bufs[p] = w.pool.get()
 	}
 	w.bufs[p] = append(w.bufs[p], r)
 	if len(w.bufs[p]) >= w.batchSize {
@@ -153,33 +179,6 @@ type inStream interface {
 type queueStream struct{ q *queue }
 
 func (s queueStream) next() (record.Batch, bool) { return s.q.pop() }
-
-// sliceStream replays materialized batches (cache hits).
-type sliceStream struct {
-	batches []record.Batch
-	i       int
-}
-
-func (s *sliceStream) next() (record.Batch, bool) {
-	if s.i >= len(s.batches) {
-		return nil, false
-	}
-	b := s.batches[s.i]
-	s.i++
-	return b, true
-}
-
-// readAll drains a stream into one slice.
-func readAll(in inStream) []record.Record {
-	var out []record.Record
-	for {
-		b, ok := in.next()
-		if !ok {
-			return out
-		}
-		out = append(out, b...)
-	}
-}
 
 // readAllBatches drains a stream keeping batch boundaries (for caching).
 func readAllBatches(in inStream) []record.Batch {

@@ -1,8 +1,6 @@
 package runtime
 
 import (
-	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/metrics"
@@ -35,6 +33,9 @@ type Executor struct {
 	spilledBytes atomic.Int64
 	// slots holds materialized loop-invariant inputs.
 	slots map[slotKey]*cacheSlot
+	// cacheGen is bumped whenever the slot map is replaced, so open
+	// sessions know their compiled wiring points at stale cache slots.
+	cacheGen uint64
 	// Solution is the incremental iteration's partitioned state (nil for
 	// plain and bulk-iterative jobs).
 	Solution *SolutionSet
@@ -62,7 +63,7 @@ type cacheSlot struct {
 	filled  bool
 	batches []record.Batch
 	recs    []record.Record
-	table   map[int64][]record.Record
+	table   *groupTable
 	spill   *spillFile
 }
 
@@ -84,7 +85,9 @@ func NewExecutor(cfg Config) *Executor {
 func (e *Executor) SpilledBytes() int64 { return e.spilledBytes.Load() }
 
 // Close releases spill files. The executor remains usable; spilled caches
-// are dropped and will be recomputed if the plan runs again.
+// are dropped and will be recomputed if the plan runs again. Sessions are
+// not closed — but any still open recompile their wiring on the next Run,
+// because the cache generation has moved on.
 func (e *Executor) Close() {
 	for _, s := range e.slots {
 		if s.spill != nil {
@@ -92,12 +95,14 @@ func (e *Executor) Close() {
 		}
 	}
 	e.slots = make(map[slotKey]*cacheSlot)
+	e.cacheGen++
 	e.acct.used.Store(0)
 }
 
 // maybeSpillBatches enforces the cache budget on a freshly-filled stream
-// slot: if the batches do not fit, they move to a spill file.
-func (e *Executor) maybeSpillBatches(s *cacheSlot) {
+// slot: if the batches do not fit, they move to a spill file (and their
+// in-memory storage is recycled).
+func (e *Executor) maybeSpillBatches(s *cacheSlot, pool *batchPool) {
 	n := batchesBytes(s.batches)
 	if e.acct.admit(n) {
 		return
@@ -110,6 +115,9 @@ func (e *Executor) maybeSpillBatches(s *cacheSlot) {
 		return
 	}
 	e.spilledBytes.Add(sf.bytes)
+	for _, b := range s.batches {
+		pool.put(b)
+	}
 	s.batches = nil
 	s.spill = sf
 }
@@ -135,8 +143,12 @@ func (e *Executor) Metrics() *metrics.Counters { return e.cfg.Metrics }
 
 // SetPlaceholder installs the per-partition data an IterationInput node
 // emits on the next Run. If key is non-nil the records are hash-partitioned
-// by it; otherwise they are split contiguously.
+// by it; otherwise they are split contiguously. A non-positive parallelism
+// (e.g. from a zero-value Config) is treated as 1.
 func (e *Executor) SetPlaceholder(logicalID int, recs []record.Record, key record.KeyFunc, parallelism int) {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
 	parts := make([][]record.Record, parallelism)
 	if key != nil {
 		for _, r := range recs {
@@ -205,111 +217,12 @@ func (r Result) Records(sinkID int) []record.Record {
 	return out
 }
 
-// Run executes the plan once and returns the sink outputs.
+// Run executes the plan once and returns the sink outputs. It is the
+// one-shot convenience form: a session is opened, run for a single
+// superstep, and closed. Iteration drivers use OpenSession directly so
+// workers, exchanges and batches persist across supersteps.
 func (e *Executor) Run(p *optimizer.PhysPlan) (Result, error) {
-	par := p.Parallelism
-	if par < 1 {
-		par = 1
-	}
-
-	// Liveness: skip subtrees whose output is already cached.
-	live := make(map[*optimizer.PhysNode]bool)
-	var mark func(n *optimizer.PhysNode)
-	mark = func(n *optimizer.PhysNode) {
-		if live[n] {
-			return
-		}
-		live[n] = true
-		for i, edge := range n.Inputs {
-			if edge.Cache && e.slotsFilled(n, i, par) {
-				continue
-			}
-			mark(edge.From)
-		}
-	}
-	for _, s := range p.Sinks {
-		mark(s)
-	}
-
-	// Exchanges for every live, non-cached consumer input.
-	type exKey struct{ node, input int }
-	exchanges := make(map[exKey]*exchange)
-	outs := make(map[int][]outSpec) // producer node ID -> outputs
-	for _, n := range p.Nodes {
-		if !live[n] {
-			continue
-		}
-		for i, edge := range n.Inputs {
-			if edge.Cache && e.slotsFilled(n, i, par) {
-				continue
-			}
-			ex := newExchange(par, par)
-			exchanges[exKey{n.ID, i}] = ex
-			outs[edge.From.ID] = append(outs[edge.From.ID], outSpec{
-				ex: ex, ship: edge.Ship, key: edge.Key,
-			})
-		}
-	}
-
-	results := make(Result)
-	for _, s := range p.Sinks {
-		results[s.Logical.ID] = make([][]record.Record, par)
-	}
-
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(p.Nodes)*par)
-	for _, n := range p.Nodes {
-		if !live[n] {
-			continue
-		}
-		for part := 0; part < par; part++ {
-			t := &task{
-				e: e, n: n, part: part, par: par,
-				m:       e.cfg.Metrics,
-				results: results,
-			}
-			// Wire inputs: cached slot or exchange queue.
-			t.ins = make([]inStream, len(n.Inputs))
-			t.slots = make([]*cacheSlot, len(n.Inputs))
-			for i, edge := range n.Inputs {
-				if edge.Cache {
-					t.slots[i] = e.slot(n, i, part)
-				}
-				if ex, ok := exchanges[exKey{n.ID, i}]; ok {
-					t.ins[i] = queueStream{q: ex.queues[part]}
-				}
-			}
-			// Wire outputs.
-			for _, o := range outs[n.ID] {
-				t.outs = append(t.outs, newWriter(o.ex, o.ship, o.key, part, e.cfg.BatchSize, e.cfg.Metrics))
-			}
-			wg.Add(1)
-			go func(t *task) {
-				defer wg.Done()
-				defer func() {
-					for _, w := range t.outs {
-						w.done()
-					}
-					if r := recover(); r != nil {
-						errCh <- fmt.Errorf("runtime: task %s[%d] panicked: %v", t.n.Name(), t.part, r)
-					}
-				}()
-				if err := t.run(); err != nil {
-					errCh <- fmt.Errorf("runtime: task %s[%d]: %w", t.n.Name(), t.part, err)
-				}
-			}(t)
-		}
-	}
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
-		return nil, err // first error wins; all tasks already finished
-	}
-	return results, nil
-}
-
-type outSpec struct {
-	ex   *exchange
-	ship optimizer.ShipStrategy
-	key  record.KeyFunc
+	s := e.OpenSession(p)
+	defer s.Close()
+	return s.Run()
 }

@@ -1,0 +1,83 @@
+package runtime
+
+import "repro/internal/record"
+
+// groupTable is a key-grouped hash table whose storage survives across
+// supersteps. Hash-aggregations, combiners, join build sides and cogroup
+// inputs on the dynamic data path re-group a fresh stream every superstep;
+// rebuilding a map[int64][]record.Record each time dominates steady-state
+// allocation. A groupTable instead keeps its key index and group slices
+// and is reset generationally: reset bumps a round counter, and a group's
+// contents are lazily truncated the first time its key is touched in the
+// new round. Groups whose keys do not reappear stay allocated but
+// invisible (stale stamp), so repeated supersteps over a recurring key
+// domain — the common iterative case — allocate nothing.
+type groupTable struct {
+	idx     map[int64]int
+	keys    []int64
+	groups  [][]record.Record
+	stamp   []uint64
+	touched []int // indices live in the current round, in first-touch order
+	round   uint64
+}
+
+func newGroupTable() *groupTable {
+	return &groupTable{idx: make(map[int64]int), round: 1}
+}
+
+// reset starts a new round; existing groups become invisible until their
+// key is added again.
+func (g *groupTable) reset() {
+	g.round++
+	g.touched = g.touched[:0]
+}
+
+// groupIdx returns the storage index for key k in the current round,
+// truncating a group left over from an earlier round on first touch.
+func (g *groupTable) groupIdx(k int64) int {
+	i, ok := g.idx[k]
+	if !ok {
+		i = len(g.groups)
+		g.idx[k] = i
+		g.keys = append(g.keys, k)
+		g.groups = append(g.groups, nil)
+		g.stamp = append(g.stamp, 0)
+	}
+	if g.stamp[i] != g.round {
+		g.stamp[i] = g.round
+		g.groups[i] = g.groups[i][:0]
+		g.touched = append(g.touched, i)
+	}
+	return i
+}
+
+// add appends r to key k's group.
+func (g *groupTable) add(k int64, r record.Record) {
+	i := g.groupIdx(k)
+	g.groups[i] = append(g.groups[i], r)
+}
+
+// get returns key k's group in the current round, or nil.
+func (g *groupTable) get(k int64) []record.Record {
+	i, ok := g.idx[k]
+	if !ok || g.stamp[i] != g.round {
+		return nil
+	}
+	return g.groups[i]
+}
+
+// each visits every group of the current round in first-touch order.
+func (g *groupTable) each(f func(k int64, recs []record.Record)) {
+	for _, i := range g.touched {
+		f(g.keys[i], g.groups[i])
+	}
+}
+
+// size returns the number of records stored in the current round.
+func (g *groupTable) size() int {
+	n := 0
+	for _, i := range g.touched {
+		n += len(g.groups[i])
+	}
+	return n
+}

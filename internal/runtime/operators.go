@@ -10,17 +10,57 @@ import (
 	"repro/internal/record"
 )
 
-// task is one partition-instance of a physical operator.
+// task is one partition-instance of a physical operator. Tasks live as
+// long as their session: the scratch structures below survive across
+// supersteps, so re-grouping the dynamic data path each pass reuses the
+// previous pass's storage instead of reallocating it.
 type task struct {
-	e       *Executor
-	n       *optimizer.PhysNode
-	part    int
-	par     int
-	ins     []inStream
-	slots   []*cacheSlot
-	outs    []*writer
-	m       *metrics.Counters
-	results Result
+	e     *Executor
+	sess  *Session
+	n     *optimizer.PhysNode
+	part  int
+	par   int
+	ins   []inStream
+	slots []*cacheSlot
+	outs  []*writer
+	m     *metrics.Counters
+	// tables are per-input reusable group tables (combiners, hash
+	// aggregation, hash-join build, cogroup sides).
+	tables [2]*groupTable
+	// recsBuf are per-input reusable materialization buffers (sorts,
+	// block-cross build sides). Contents are only valid within one
+	// superstep.
+	recsBuf [2][]record.Record
+	// foldBuf is the combiner's reusable pre-aggregation buffer.
+	foldBuf []record.Record
+}
+
+// scratchTable returns input i's persistent group table, reset for a new
+// round.
+func (t *task) scratchTable(i int) *groupTable {
+	if t.tables[i] == nil {
+		t.tables[i] = newGroupTable()
+	}
+	t.tables[i].reset()
+	return t.tables[i]
+}
+
+// drain reads every record of input i from its exchange queue, recycling
+// each exhausted batch: records are values, so once they are copied (or
+// fully processed) the batch holds no live state.
+func (t *task) drain(i int, f func(record.Record)) {
+	in := t.ins[i]
+	pool := t.sess.pool
+	for {
+		b, ok := in.next()
+		if !ok {
+			return
+		}
+		for _, r := range b {
+			f(r)
+		}
+		pool.put(b)
+	}
 }
 
 // emitter fans one record out to all downstream writers.
@@ -82,27 +122,27 @@ func (t *task) run() error {
 		// Fold groups incrementally: when a group grows past the
 		// threshold it is pre-aggregated through the combine UDF, keeping
 		// per-key state small (cf. map-side combiners in MapReduce). This
-		// is safe because combiners are declared associative.
+		// is safe because combiners are declared associative. The group
+		// table and fold buffer persist across supersteps.
 		const foldAt = 16
 		key := l.Keys[0]
-		acc := make(map[int64][]record.Record)
-		var foldBuf []record.Record
-		folder := emitCollector{buf: &foldBuf}
+		acc := t.scratchTable(0)
+		folder := emitCollector{buf: &t.foldBuf}
 		t.stream(0, func(r record.Record) {
-			k := key(r)
-			g := append(acc[k], r)
+			i := acc.groupIdx(key(r))
+			g := append(acc.groups[i], r)
 			if len(g) >= foldAt {
-				foldBuf = foldBuf[:0]
+				t.foldBuf = t.foldBuf[:0]
 				t.udf()
-				fn(k, g, folder)
-				g = append(g[:0], foldBuf...)
+				fn(acc.keys[i], g, folder)
+				g = append(g[:0], t.foldBuf...)
 			}
-			acc[k] = g
+			acc.groups[i] = g
 		})
-		for k, g := range acc {
+		acc.each(func(k int64, g []record.Record) {
 			t.udf()
 			fn(k, g, out)
-		}
+		})
 		return nil
 	}
 
@@ -126,7 +166,15 @@ func (t *task) run() error {
 		return nil
 
 	case dataflow.Sink:
-		t.results[l.ID][t.part] = t.consume(0)
+		if t.slots[0] != nil {
+			t.sess.cur[l.ID][t.part] = t.consume(0)
+			return nil
+		}
+		// Sink output is handed to the driver, which may retain it across
+		// supersteps — it is always freshly allocated, never scratch-backed.
+		var collected []record.Record
+		t.drain(0, func(r record.Record) { collected = append(collected, r) })
+		t.sess.cur[l.ID][t.part] = collected
 		return nil
 
 	case dataflow.MapOp:
@@ -146,10 +194,10 @@ func (t *task) run() error {
 		switch n.Local {
 		case optimizer.LocalHashAgg:
 			groups := t.buildTable(0, l.Keys[0])
-			for k, g := range groups {
+			groups.each(func(k int64, g []record.Record) {
 				t.udf()
 				l.Reduce(k, g, out)
-			}
+			})
 		case optimizer.LocalSortAgg:
 			recs := t.consumeSorted(0, l.Keys[0])
 			forEachGroup(recs, l.Keys[0], func(k int64, g []record.Record) {
@@ -191,21 +239,21 @@ func (t *task) run() error {
 		}
 		left := t.buildTable(0, l.Keys[0])
 		right := t.buildTable(1, l.Keys[1])
-		for k, lg := range left {
-			rg := right[k]
+		left.each(func(k int64, lg []record.Record) {
+			rg := right.get(k)
 			if l.Contract == dataflow.InnerCoGroupOp && len(rg) == 0 {
-				continue
+				return
 			}
 			t.udf()
 			l.CoGroup(k, lg, rg, out)
-		}
+		})
 		if l.Contract == dataflow.CoGroupOp {
-			for k, rg := range right {
-				if _, seen := left[k]; !seen {
+			right.each(func(k int64, rg []record.Record) {
+				if left.get(k) == nil {
 					t.udf()
 					l.CoGroup(k, nil, rg, out)
 				}
-			}
+			})
 		}
 		return nil
 
@@ -236,11 +284,11 @@ func (t *task) run() error {
 			return fmt.Errorf("solution cogroup %q outside an incremental iteration", l.Name)
 		}
 		groups := t.buildTable(0, l.Keys[0])
-		for k, g := range groups {
+		groups.each(func(k int64, g []record.Record) {
 			s, found := sol.Lookup(t.part, k)
 			t.udf()
 			l.SolCoGroup(k, g, s, found, out)
-		}
+		})
 		return nil
 	}
 	return fmt.Errorf("runtime: unsupported contract %s", l.Contract)
@@ -254,7 +302,7 @@ func (t *task) hashJoin(out dataflow.Emitter) error {
 	table := t.buildTable(build, l.Keys[build])
 	probeKey := l.Keys[1-build]
 	t.stream(1-build, func(r record.Record) {
-		for _, m := range table[probeKey(r)] {
+		for _, m := range table.get(probeKey(r)) {
 			t.udf()
 			if build == 0 {
 				l.Match(m, r, out)
@@ -343,7 +391,8 @@ func (t *task) sortMergeJoin(out dataflow.Emitter) error {
 
 // stream applies f to every input record of input i, replaying the cache
 // (from memory or a spill file) when the input is loop-invariant and
-// filling it on first execution.
+// filling it on first execution. Non-cached batches are recycled as they
+// are consumed; cached batches are retained by the slot.
 func (t *task) stream(i int, f func(record.Record)) {
 	if s := t.slots[i]; s != nil {
 		if s.filled {
@@ -375,46 +424,44 @@ func (t *task) stream(i int, f func(record.Record)) {
 			}
 		}
 		s.filled = true
-		t.e.maybeSpillBatches(s)
+		t.e.maybeSpillBatches(s, t.sess.pool)
 		return
 	}
-	for {
-		b, ok := t.ins[i].next()
-		if !ok {
-			return
-		}
-		for _, r := range b {
-			f(r)
-		}
-	}
+	t.drain(i, f)
 }
 
-// consume materializes input i fully (cache-aware).
+// consume materializes input i fully (cache-aware). The non-cached result
+// lives in a per-task scratch buffer that is overwritten by the next
+// superstep — callers must not retain it (sinks copy instead).
 func (t *task) consume(i int) []record.Record {
 	if s := t.slots[i]; s != nil {
 		if !s.filled {
-			s.recs = readAll(t.ins[i])
+			t.drain(i, func(r record.Record) { s.recs = append(s.recs, r) })
 			s.filled = true
 			t.e.maybeSpillRecs(s)
 		}
 		return slotRecords(s)
 	}
-	return readAll(t.ins[i])
+	buf := t.recsBuf[i][:0]
+	t.drain(i, func(r record.Record) { buf = append(buf, r) })
+	t.recsBuf[i] = buf
+	return buf
 }
 
 // consumeSorted materializes input i sorted by key; the cache stores the
 // sorted order so re-executions skip the sort (spill files preserve it).
+// Like consume, the non-cached result is scratch-backed.
 func (t *task) consumeSorted(i int, key record.KeyFunc) []record.Record {
 	if s := t.slots[i]; s != nil {
 		if !s.filled {
-			s.recs = readAll(t.ins[i])
+			t.drain(i, func(r record.Record) { s.recs = append(s.recs, r) })
 			sortByKey(s.recs, key)
 			s.filled = true
 			t.e.maybeSpillRecs(s)
 		}
 		return slotRecords(s)
 	}
-	recs := readAll(t.ins[i])
+	recs := t.consume(i)
 	sortByKey(recs, key)
 	return recs
 }
@@ -437,26 +484,22 @@ func slotRecords(s *cacheSlot) []record.Record {
 // buildTable materializes input i into a key-grouped hash table; for
 // loop-invariant inputs the built table itself is cached and pinned in
 // memory (§4.3 — index caches are probed per record and never spilled).
-func (t *task) buildTable(i int, key record.KeyFunc) map[int64][]record.Record {
+// Non-cached tables are rebuilt into the task's persistent group table,
+// so steady-state supersteps reuse its storage.
+func (t *task) buildTable(i int, key record.KeyFunc) *groupTable {
 	if s := t.slots[i]; s != nil {
 		if !s.filled {
-			recs := readAll(t.ins[i])
-			s.table = groupByKey(recs, key)
+			gt := newGroupTable()
+			t.drain(i, func(r record.Record) { gt.add(key(r), r) })
+			s.table = gt
 			s.filled = true
-			t.e.acct.used.Add(int64(len(recs)) * record.EncodedSize)
+			t.e.acct.used.Add(int64(gt.size()) * record.EncodedSize)
 		}
 		return s.table
 	}
-	return groupByKey(readAll(t.ins[i]), key)
-}
-
-func groupByKey(recs []record.Record, key record.KeyFunc) map[int64][]record.Record {
-	m := make(map[int64][]record.Record)
-	for _, r := range recs {
-		k := key(r)
-		m[k] = append(m[k], r)
-	}
-	return m
+	gt := t.scratchTable(i)
+	t.drain(i, func(r record.Record) { gt.add(key(r), r) })
+	return gt
 }
 
 func sortByKey(recs []record.Record, key record.KeyFunc) {

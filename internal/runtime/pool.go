@@ -1,0 +1,64 @@
+package runtime
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/record"
+)
+
+// batchPool recycles record batches through a sync.Pool so steady-state
+// supersteps run without per-batch heap allocation. Ownership discipline:
+// a writer obtains a batch with get, fills it, and pushes it into exactly
+// one exchange queue; the consumer that pops it either retains it (stream
+// caches keep their batches) or returns it with put once every record has
+// been copied out. Records are plain values, so a consumed batch holds no
+// live references.
+//
+// The pool stores *record.Batch headers and keeps the spent headers in a
+// second pool, so neither get nor put allocates in steady state (a bare
+// slice would be boxed on every Put).
+type batchPool struct {
+	full  sync.Pool // *record.Batch with usable backing arrays
+	empty sync.Pool // *record.Batch headers whose slice was handed out
+	size  int
+	m     *metrics.Counters
+}
+
+func newBatchPool(size int, m *metrics.Counters) *batchPool {
+	p := &batchPool{size: size, m: m}
+	p.full.New = func() any {
+		if m != nil {
+			m.BatchesAllocated.Add(1)
+		}
+		b := make(record.Batch, 0, size)
+		return &b
+	}
+	return p
+}
+
+// get returns an empty batch with the pool's standard capacity.
+func (p *batchPool) get() record.Batch {
+	bp := p.full.Get().(*record.Batch)
+	b := (*bp)[:0]
+	*bp = nil
+	p.empty.Put(bp)
+	return b
+}
+
+// put returns a consumed batch for reuse. Batches that did not originate
+// from the pool (undersized foreign slices) are left to the GC.
+func (p *batchPool) put(b record.Batch) {
+	if cap(b) < p.size {
+		return
+	}
+	if p.m != nil {
+		p.m.BatchesRecycled.Add(1)
+	}
+	bp, _ := p.empty.Get().(*record.Batch)
+	if bp == nil {
+		bp = new(record.Batch)
+	}
+	*bp = b[:0]
+	p.full.Put(bp)
+}

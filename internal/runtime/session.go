@@ -1,0 +1,320 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+// Session is a persistent, partition-pinned execution context for one
+// physical plan. Opening a session spawns one long-lived worker goroutine
+// per (node, partition); each Run call is one superstep that reuses those
+// workers, the per-edge exchanges, and the pooled record batches, so the
+// steady-state passes of an iteration pay no plan-setup cost (§4.2: the
+// constant data path is cached, and §6.1: records stay compact to avoid
+// allocation overhead).
+//
+// A session is not safe for concurrent Run calls. Close releases the
+// workers; the executor (and its caches) remains usable, so a driver can
+// open a new session on a re-optimized plan mid-iteration.
+type Session struct {
+	e    *Executor
+	plan *optimizer.PhysPlan
+	par  int
+	pool *batchPool
+
+	workers []*worker // one per (node, partition), parked between supersteps
+	tasks   []*task   // parallel to workers; wiring mutated on recompile
+
+	// exchanges is keyed by the plan's stable Edge.ID; entries are
+	// allocated on first need and reset — not rebuilt — afterwards.
+	exchanges []*exchange
+	active    []*exchange // exchanges the current schedule uses
+
+	// The schedule the tasks are wired for, as reusable node- and
+	// edge-indexed bitmaps (node IDs and edge IDs are dense). The
+	// schedule changes when caches fill (a constant subtree drops out,
+	// or a still-live producer stops feeding a cache-satisfied edge) or
+	// when the executor's cache generation moves (caches dropped).
+	liveNow, livePrev []bool // by PhysNode.ID: node runs this superstep
+	edgeNow, edgePrev []bool // by Edge.ID: edge carries an exchange
+	genPrev           uint64
+	compiled          bool
+
+	cur    Result // sink collection target of the in-flight superstep
+	closed bool
+}
+
+// worker executes one (node, partition) task each superstep. All live
+// workers of a superstep run concurrently, exactly like the seed
+// executor's per-Run goroutines, so the pipelined exchange semantics and
+// their deadlock-freedom argument carry over unchanged — the only
+// difference is that the goroutines park on a channel between supersteps
+// instead of exiting.
+type worker struct {
+	t    *task
+	live bool // does t participate in the current schedule?
+	fire chan *superstep
+}
+
+// superstep is the per-Run rendezvous between the session and its workers.
+type superstep struct {
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	errs []error
+}
+
+func (st *superstep) addErr(err error) {
+	st.mu.Lock()
+	st.errs = append(st.errs, err)
+	st.mu.Unlock()
+}
+
+// OpenSession creates a persistent execution context for plan p, spawning
+// its partition-pinned workers. The caller must Close it; iteration
+// drivers keep one session for the whole iteration and run every
+// superstep through it.
+func (e *Executor) OpenSession(p *optimizer.PhysPlan) *Session {
+	par := p.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	s := &Session{
+		e: e, plan: p, par: par,
+		pool:      newBatchPool(e.cfg.BatchSize, e.cfg.Metrics),
+		exchanges: make([]*exchange, p.NumEdges),
+		liveNow:   make([]bool, len(p.Nodes)),
+		livePrev:  make([]bool, len(p.Nodes)),
+		edgeNow:   make([]bool, p.NumEdges),
+		edgePrev:  make([]bool, p.NumEdges),
+	}
+	for _, n := range p.Nodes {
+		for part := 0; part < par; part++ {
+			t := &task{e: e, sess: s, n: n, part: part, par: par, m: e.cfg.Metrics}
+			w := &worker{t: t, fire: make(chan *superstep, 1)}
+			s.tasks = append(s.tasks, t)
+			s.workers = append(s.workers, w)
+			go w.loop()
+		}
+	}
+	if m := e.cfg.Metrics; m != nil {
+		m.WorkersSpawned.Add(int64(len(s.workers)))
+	}
+	return s
+}
+
+func (w *worker) loop() {
+	for step := range w.fire {
+		if w.live {
+			if err := runTask(w.t); err != nil {
+				step.addErr(err)
+			}
+		}
+		step.wg.Done()
+	}
+}
+
+// runTask executes one task, converting panics into errors and always
+// flushing/closing the task's output writers so downstream consumers in
+// other partitions cannot block on a stream that will never end.
+func runTask(t *task) (err error) {
+	defer func() {
+		for _, w := range t.outs {
+			w.done()
+		}
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runtime: task %s[%d] panicked: %v", t.n.Name(), t.part, r)
+		}
+	}()
+	if rerr := t.run(); rerr != nil {
+		err = fmt.Errorf("runtime: task %s[%d]: %w", t.n.Name(), t.part, rerr)
+	}
+	return err
+}
+
+// Run executes one superstep of the plan and returns the sink outputs.
+// Sink output slices are freshly allocated and owned by the caller; all
+// internal transport state is recycled for the next Run.
+func (s *Session) Run() (Result, error) {
+	if s.closed {
+		return nil, errors.New("runtime: Run on a closed session")
+	}
+	s.compile()
+
+	results := make(Result, len(s.plan.Sinks))
+	for _, sink := range s.plan.Sinks {
+		results[sink.Logical.ID] = make([][]record.Record, s.par)
+	}
+	s.cur = results
+
+	step := &superstep{}
+	step.wg.Add(len(s.workers))
+	for _, w := range s.workers {
+		w.fire <- step
+	}
+	step.wg.Wait()
+	s.cur = nil
+	if len(step.errs) > 0 {
+		return nil, step.errs[0] // first error wins; all tasks already finished
+	}
+	return results, nil
+}
+
+// Close releases the session's workers. Idempotent. The executor's caches
+// and solution set are untouched.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, w := range s.workers {
+		close(w.fire)
+	}
+}
+
+type outSpec struct {
+	ex   *exchange
+	ship optimizer.ShipStrategy
+	key  record.KeyFunc
+}
+
+// compile computes the superstep's schedule — which nodes run, and which
+// edges carry an exchange — and rewires tasks only when it differs from
+// the one they are wired for. In the steady state of an iteration (same
+// schedule, same cache generation) it allocates nothing and only resets
+// the active exchanges.
+func (s *Session) compile() {
+	e, par := s.e, s.par
+
+	// Liveness: skip subtrees whose output is already cached.
+	for i := range s.liveNow {
+		s.liveNow[i] = false
+	}
+	var mark func(n *optimizer.PhysNode)
+	mark = func(n *optimizer.PhysNode) {
+		if s.liveNow[n.ID] {
+			return
+		}
+		s.liveNow[n.ID] = true
+		for i, edge := range n.Inputs {
+			if edge.Cache && e.slotsFilled(n, i, par) {
+				continue
+			}
+			mark(edge.From)
+		}
+	}
+	for _, sink := range s.plan.Sinks {
+		mark(sink)
+	}
+
+	// Active edges: every live consumer's input that is not served from
+	// a filled cache. Tracked separately from node liveness because an
+	// edge can go cache-satisfied while its producer stays live through
+	// another consumer — the producer must then stop feeding it.
+	for i := range s.edgeNow {
+		s.edgeNow[i] = false
+	}
+	for _, n := range s.plan.Nodes {
+		if !s.liveNow[n.ID] {
+			continue
+		}
+		for i := range n.Inputs {
+			edge := &n.Inputs[i]
+			if edge.Cache && e.slotsFilled(n, i, par) {
+				continue
+			}
+			s.edgeNow[edge.ID] = true
+		}
+	}
+
+	// Unchanged schedule under the same cache generation: fast path.
+	// (InvalidateCaches replaces the slot objects, so wiring compiled
+	// against an older generation would replay stale caches.)
+	if s.compiled && s.genPrev == e.cacheGen &&
+		boolsEqual(s.liveNow, s.livePrev) && boolsEqual(s.edgeNow, s.edgePrev) {
+		s.resetActive()
+		return
+	}
+	s.compiled = true
+	s.genPrev = e.cacheGen
+	copy(s.livePrev, s.liveNow)
+	copy(s.edgePrev, s.edgeNow)
+
+	// Exchanges for every active edge, keyed by the plan's stable edge
+	// identity so later schedules find them again.
+	s.active = s.active[:0]
+	outs := make(map[int][]outSpec) // producer node ID -> outputs
+	for _, n := range s.plan.Nodes {
+		for i := range n.Inputs {
+			edge := &n.Inputs[i]
+			if !s.edgeNow[edge.ID] {
+				continue
+			}
+			ex := s.exchanges[edge.ID]
+			if ex == nil {
+				ex = newExchange(par, par)
+				s.exchanges[edge.ID] = ex
+			}
+			s.active = append(s.active, ex)
+			outs[edge.From.ID] = append(outs[edge.From.ID], outSpec{
+				ex: ex, ship: edge.Ship, key: edge.Key,
+			})
+		}
+	}
+
+	// Rewire every task for the new schedule.
+	for idx, t := range s.tasks {
+		w := s.workers[idx]
+		n := t.n
+		w.live = s.liveNow[n.ID]
+		if !w.live {
+			t.ins, t.slots, t.outs = nil, nil, nil
+			continue
+		}
+		t.ins = make([]inStream, len(n.Inputs))
+		t.slots = make([]*cacheSlot, len(n.Inputs))
+		for i := range n.Inputs {
+			edge := &n.Inputs[i]
+			if edge.Cache {
+				t.slots[i] = e.slot(n, i, t.part)
+			}
+			if s.edgeNow[edge.ID] {
+				t.ins[i] = queueStream{q: s.exchanges[edge.ID].queues[t.part]}
+			}
+		}
+		t.outs = t.outs[:0]
+		for _, o := range outs[n.ID] {
+			t.outs = append(t.outs, newWriter(o.ex, o.ship, o.key, t.part, e.cfg.BatchSize, s.pool, e.cfg.Metrics))
+		}
+	}
+	s.resetActive()
+}
+
+func boolsEqual(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// resetActive rearms the schedule's exchanges for the next superstep and
+// accounts reuse.
+func (s *Session) resetActive() {
+	reused := int64(0)
+	for _, ex := range s.active {
+		ex.reset(s.par, s.pool)
+		if ex.used {
+			reused++
+		} else {
+			ex.used = true
+		}
+	}
+	if m := s.e.cfg.Metrics; m != nil && reused > 0 {
+		m.ExchangesReused.Add(reused)
+	}
+}

@@ -1,0 +1,334 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+// sessionJoinPlan builds a placeholder ⋈ constant plan and optimizes it
+// for an iterative run, so the constant side is cached.
+func sessionJoinPlan(t *testing.T, constRecs []record.Record, par int) (*optimizer.PhysPlan, *dataflow.Node, *dataflow.Node) {
+	t.Helper()
+	p, w, _, sink := cachedJoinPlan(constRecs)
+	phys, err := optimizer.Optimize(p, optimizer.Options{Parallelism: par, ExpectedIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phys, w, sink
+}
+
+func TestSessionRunRepeatedlyMatchesOneShot(t *testing.T) {
+	constRecs := []record.Record{{A: 1, B: 10}, {A: 2, B: 20}, {A: 3, B: 30}}
+	probe := []record.Record{{A: 1}, {A: 2}, {A: 3}}
+
+	phys, w, sink := sessionJoinPlan(t, constRecs, 2)
+	e := NewExecutor(Config{})
+	defer e.Close()
+	e.SetPlaceholder(w.ID, probe, record.KeyA, 2)
+
+	sess := e.OpenSession(phys)
+	defer sess.Close()
+	for step := 0; step < 4; step++ {
+		res, err := sess.Run()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		got := sorted(res.Records(sink.ID))
+		if len(got) != 3 || got[0].B != 10 || got[1].B != 20 || got[2].B != 30 {
+			t.Fatalf("step %d: %v", step, got)
+		}
+	}
+}
+
+func TestSessionReusesWorkersAndExchanges(t *testing.T) {
+	var m metrics.Counters
+	constRecs := []record.Record{{A: 1, B: 10}, {A: 2, B: 20}}
+	probe := []record.Record{{A: 1}, {A: 2}}
+
+	phys, w, _ := sessionJoinPlan(t, constRecs, 2)
+	e := NewExecutor(Config{Metrics: &m})
+	defer e.Close()
+	e.SetPlaceholder(w.ID, probe, record.KeyA, 2)
+
+	sess := e.OpenSession(phys)
+	defer sess.Close()
+	const steps = 6
+	for i := 0; i < steps; i++ {
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Snapshot()
+	// Workers are spawned once per (node, partition) at session open, not
+	// once per superstep.
+	want := int64(len(phys.Nodes) * 2)
+	if s.WorkersSpawned != want {
+		t.Errorf("WorkersSpawned = %d, want %d (one per node×partition)", s.WorkersSpawned, want)
+	}
+	// Steady-state supersteps reuse exchanges instead of rebuilding them.
+	if s.ExchangesReused == 0 {
+		t.Error("no exchange reuse across supersteps")
+	}
+	// Batches cycle through the pool; far more are recycled than
+	// allocated once the session is warm.
+	if s.BatchesRecycled == 0 {
+		t.Error("no batch recycling across supersteps")
+	}
+	if s.BatchesAllocated > s.BatchesRecycled {
+		t.Errorf("pool not effective: %d allocated vs %d recycled",
+			s.BatchesAllocated, s.BatchesRecycled)
+	}
+}
+
+// TestSessionStopsFeedingCacheSatisfiedEdge pins down a schedule subtlety:
+// when a producer stays live (here: it also feeds an always-live constant
+// sink) but its edge into the dynamic path has gone cache-satisfied, the
+// producer must stop shipping into that edge's exchange. Observable via
+// RecordsShipped: the partitioned join input is shipped in superstep 1
+// only.
+func TestSessionStopsFeedingCacheSatisfiedEdge(t *testing.T) {
+	var m metrics.Counters
+	p := dataflow.NewPlan()
+	w := p.IterationPlaceholder("W", 4)
+	c := p.SourceOf("const", []record.Record{{A: 1, B: 10}, {A: 2, B: 20}})
+	j := p.MatchNode("j", w, c, record.KeyA, record.KeyA,
+		func(l, r record.Record, out dataflow.Emitter) {
+			out.Emit(record.Record{A: l.A, B: r.B})
+		})
+	dynSink := p.SinkNode("dyn", j)
+	constSink := p.SinkNode("raw", c) // keeps the source live every superstep
+	phys, err := optimizer.Optimize(p, optimizer.Options{Parallelism: 2, ExpectedIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := false
+	for _, n := range phys.Nodes {
+		for _, edge := range n.Inputs {
+			cached = cached || edge.Cache
+		}
+	}
+	if !cached {
+		t.Skip("optimizer chose a plan without a cached edge")
+	}
+
+	e := NewExecutor(Config{Metrics: &m})
+	defer e.Close()
+	e.SetPlaceholder(w.ID, []record.Record{{A: 1}, {A: 2}}, record.KeyA, 2)
+	sess := e.OpenSession(phys)
+	defer sess.Close()
+
+	var shippedPerStep []int64
+	for step := 0; step < 3; step++ {
+		before := m.Snapshot()
+		res, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sorted(res.Records(dynSink.ID)); len(got) != 2 || got[0].B != 10 || got[1].B != 20 {
+			t.Fatalf("step %d: dyn sink %v", step, got)
+		}
+		if got := res.Records(constSink.ID); len(got) != 2 {
+			t.Fatalf("step %d: const sink %v", step, got)
+		}
+		shippedPerStep = append(shippedPerStep, m.Snapshot().Sub(before).RecordsShipped)
+	}
+	// Superstep 1 ships the constant side into the cache; later
+	// supersteps must not re-ship it even though the source stays live.
+	if shippedPerStep[1] >= shippedPerStep[0] || shippedPerStep[1] != shippedPerStep[2] {
+		t.Fatalf("shipping did not settle after cache fill: %v", shippedPerStep)
+	}
+}
+
+func TestSessionRunAfterCloseFails(t *testing.T) {
+	phys, w, _ := sessionJoinPlan(t, []record.Record{{A: 1, B: 1}}, 1)
+	e := NewExecutor(Config{})
+	defer e.Close()
+	e.SetPlaceholder(w.ID, []record.Record{{A: 1}}, record.KeyA, 1)
+	sess := e.OpenSession(phys)
+	sess.Close()
+	sess.Close() // idempotent
+	if _, err := sess.Run(); err == nil {
+		t.Fatal("Run on a closed session must fail")
+	}
+}
+
+// TestSessionSpilledCacheAcrossSupersteps is the cache-budget interplay
+// test: a loop-invariant stream cache that spills to disk in superstep 1
+// must be re-read — not recomputed or corrupted — by the same persistent
+// workers in every later superstep.
+func TestSessionSpilledCacheAcrossSupersteps(t *testing.T) {
+	const n = 400
+	constRecs := make([]record.Record, n)
+	for i := range constRecs {
+		constRecs[i] = record.Record{A: int64(i), B: int64(i * 7)}
+	}
+	probe := make([]record.Record, n)
+	for i := range probe {
+		probe[i] = record.Record{A: int64(i)}
+	}
+
+	p, w, _, sink := cachedJoinPlan(constRecs)
+	phys, err := optimizer.Optimize(p, optimizer.Options{Parallelism: 2, ExpectedIterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the cached constant side through the sort-merge path so the
+	// cache is a spillable stream (hash tables stay pinned).
+	for _, pn := range phys.Nodes {
+		if pn.Logical.Contract == dataflow.MatchOp {
+			pn.Local = optimizer.LocalSortMergeJoin
+			pn.SortKey = record.KeyA
+		}
+	}
+
+	e := NewExecutor(Config{CacheBudget: 64}) // tiny budget: everything spills
+	defer e.Close()
+	e.SetPlaceholder(w.ID, probe, record.KeyA, 2)
+	sess := e.OpenSession(phys)
+	defer sess.Close()
+
+	for step := 0; step < 3; step++ {
+		res, err := sess.Run()
+		if err != nil {
+			t.Fatalf("superstep %d: %v", step, err)
+		}
+		got := sorted(res.Records(sink.ID))
+		if len(got) != n {
+			t.Fatalf("superstep %d: %d joined rows, want %d", step, len(got), n)
+		}
+		for i, r := range got {
+			if r.A != int64(i) || r.B != int64(i*7) {
+				t.Fatalf("superstep %d: corrupted row %d: %v", step, i, r)
+			}
+		}
+	}
+	if e.SpilledBytes() == 0 {
+		t.Fatal("cache never spilled under the tiny budget")
+	}
+}
+
+// TestSessionInvalidateCachesRewires checks that dropping the executor's
+// caches mid-session (the Unroll strategy, or re-optimization) makes the
+// session rebuild its wiring instead of replaying stale slots.
+func TestSessionInvalidateCachesRewires(t *testing.T) {
+	constRecs := []record.Record{{A: 1, B: 10}, {A: 2, B: 20}}
+	phys, w, sink := sessionJoinPlan(t, constRecs, 2)
+	e := NewExecutor(Config{})
+	defer e.Close()
+	e.SetPlaceholder(w.ID, []record.Record{{A: 1}, {A: 2}}, record.KeyA, 2)
+	sess := e.OpenSession(phys)
+	defer sess.Close()
+
+	for step := 0; step < 4; step++ {
+		if step == 2 {
+			e.InvalidateCaches()
+		}
+		res, err := sess.Run()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		got := sorted(res.Records(sink.ID))
+		if len(got) != 2 || got[0].B != 10 || got[1].B != 20 {
+			t.Fatalf("step %d after invalidate: %v", step, got)
+		}
+	}
+}
+
+func TestSessionErrorDoesNotWedgeWorkers(t *testing.T) {
+	// A panicking UDF must surface as an error and leave the session
+	// usable for the next superstep (exchanges reset cleanly).
+	p := dataflow.NewPlan()
+	w := p.IterationPlaceholder("W", 2)
+	boom := true
+	mapped := p.MapNode("boom", w, func(r record.Record, out dataflow.Emitter) {
+		if boom && r.A == 1 {
+			panic("kaboom")
+		}
+		out.Emit(r)
+	})
+	sink := p.SinkNode("o", mapped)
+	phys, err := optimizer.Optimize(p, optimizer.Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor(Config{})
+	defer e.Close()
+	e.SetPlaceholder(w.ID, []record.Record{{A: 1}, {A: 2}}, record.KeyA, 2)
+	sess := e.OpenSession(phys)
+	defer sess.Close()
+
+	if _, err := sess.Run(); err == nil {
+		t.Fatal("expected a panic-derived error")
+	}
+	boom = false
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatalf("session wedged after error: %v", err)
+	}
+	if got := res.Records(sink.ID); len(got) != 2 {
+		t.Fatalf("post-error superstep lost records: %v", got)
+	}
+}
+
+func TestSetPlaceholderZeroParallelism(t *testing.T) {
+	// A zero-value Config must not panic SetPlaceholder (it clamps to 1).
+	e := NewExecutor(Config{})
+	defer e.Close()
+	e.SetPlaceholder(0, []record.Record{{A: 1}, {A: 2}}, nil, 0)
+	if parts := e.Placeholder[0]; len(parts) != 1 || len(parts[0]) != 2 {
+		t.Fatalf("clamped placeholder wrong: %v", parts)
+	}
+	e.SetPlaceholder(1, []record.Record{{A: 3}}, record.KeyA, -4)
+	if parts := e.Placeholder[1]; len(parts) != 1 || len(parts[0]) != 1 {
+		t.Fatalf("keyed clamped placeholder wrong: %v", parts)
+	}
+}
+
+func TestGroupTableRounds(t *testing.T) {
+	g := newGroupTable()
+	g.add(1, record.Record{A: 1, B: 1})
+	g.add(1, record.Record{A: 1, B: 2})
+	g.add(2, record.Record{A: 2, B: 3})
+	if got := g.get(1); len(got) != 2 {
+		t.Fatalf("group 1: %v", got)
+	}
+	if g.size() != 3 {
+		t.Fatalf("size = %d", g.size())
+	}
+	g.reset()
+	if g.get(1) != nil || g.get(2) != nil || g.size() != 0 {
+		t.Fatal("reset must hide previous round's groups")
+	}
+	// Key 2 returns with new contents; key 1 stays invisible.
+	g.add(2, record.Record{A: 2, B: 9})
+	if got := g.get(2); len(got) != 1 || got[0].B != 9 {
+		t.Fatalf("stale contents leaked: %v", got)
+	}
+	seen := 0
+	g.each(func(k int64, recs []record.Record) { seen++ })
+	if seen != 1 {
+		t.Fatalf("each visited %d groups, want 1", seen)
+	}
+}
+
+func TestBatchPoolRecycles(t *testing.T) {
+	var m metrics.Counters
+	p := newBatchPool(4, &m)
+	b := p.get()
+	b = append(b, record.Record{A: 1})
+	p.put(b)
+	b2 := p.get()
+	if len(b2) != 0 || cap(b2) < 4 {
+		t.Fatalf("recycled batch wrong: len=%d cap=%d", len(b2), cap(b2))
+	}
+	// Undersized foreign batches are rejected.
+	p.put(make(record.Batch, 0, 1))
+	s := m.Snapshot()
+	if s.BatchesRecycled != 1 {
+		t.Fatalf("BatchesRecycled = %d, want 1", s.BatchesRecycled)
+	}
+}

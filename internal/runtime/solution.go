@@ -5,6 +5,16 @@
 // loop-invariant inputs into caches — including cached hash tables for
 // join build sides — and hosts the partitioned, indexed solution set of
 // incremental iterations.
+//
+// Execution is session-based: Executor.OpenSession spawns one persistent,
+// partition-pinned worker goroutine per (operator, partition), and each
+// Session.Run is one superstep over those workers. Exchanges are keyed by
+// the plan's stable edge identities and reset (not rebuilt) between
+// supersteps, record batches are recycled through a sync.Pool-backed
+// batchPool, and per-task group tables and sort buffers persist across
+// passes — so an iteration's steady-state supersteps avoid both goroutine
+// spawning and nearly all heap allocation. Executor.Run is the one-shot
+// convenience wrapper for non-iterative plans.
 package runtime
 
 import (

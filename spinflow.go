@@ -30,6 +30,22 @@
 // merging deltas with the ∪̇ operator, and RunMicrostep executes
 // admissible plans asynchronously one element at a time.
 //
+// # Execution model: sessions and partition-pinned workers
+//
+// The runtime executes a physical plan through a session
+// (runtime.Executor.OpenSession): opening one spawns a long-lived,
+// partition-pinned worker goroutine per (operator, partition), and every
+// superstep is one Run call on the same session. Workers park between
+// supersteps instead of exiting, exchanges are allocated once per
+// physical edge and reset between passes, and record batches cycle
+// through a sync.Pool — so the steady-state passes of an iteration are
+// near-zero-allocation, the physical-layer counterpart of §4.2's rule
+// that only the dynamic data path is re-evaluated. The iteration drivers
+// open one session at iteration start and close it at convergence;
+// metrics (WorkersSpawned, ExchangesReused, BatchesAllocated/Recycled)
+// make the reuse observable. One-shot plans go through Execute, which
+// wraps a single-superstep session.
+//
 // Ready-made algorithms (PageRank, Connected Components, SSSP, adaptive
 // PageRank), baseline engines (Pregel-style, Spark-style) and the paper's
 // experiment harness live in the internal packages; the cmd/spinflow
