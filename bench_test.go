@@ -457,3 +457,129 @@ func BenchmarkAblationCaching(b *testing.B) {
 		}
 	})
 }
+
+// --- Solution-set backends ----------------------------------------------
+
+const solutionBenchN = 1 << 16
+
+// solutionBenchRecords is one solution's worth of keyed records.
+func solutionBenchRecords() []record.Record {
+	recs := make([]record.Record, solutionBenchN)
+	for i := range recs {
+		recs[i] = record.Record{A: int64(i), B: int64(i + solutionBenchN)}
+	}
+	return recs
+}
+
+// minBComparator keeps the record with the smaller B (CC-style CPO).
+func minBComparator(a, b record.Record) int {
+	switch {
+	case a.B < b.B:
+		return 1
+	case a.B > b.B:
+		return -1
+	default:
+		return 0
+	}
+}
+
+var solutionBackendsBench = []struct {
+	name string
+	opts runtime.SolutionOptions
+}{
+	{"map", runtime.SolutionOptions{Backend: runtime.SolutionMap}},
+	{"compact", runtime.SolutionOptions{Backend: runtime.SolutionCompact}},
+	{"spill", runtime.SolutionOptions{Backend: runtime.SolutionSpill,
+		MemoryBudget: solutionBenchN * record.EncodedSize / 4}},
+}
+
+// BenchmarkSolutionSetMerge measures the steady-state generational merge:
+// per op, one Reset (slab reuse) plus an insert wave and an improving
+// delta wave arbitrated by a comparator — the per-superstep ∪̇ work of an
+// incremental iteration.
+func BenchmarkSolutionSetMerge(b *testing.B) {
+	inserts := solutionBenchRecords()
+	improved := make([]record.Record, len(inserts))
+	for i, r := range inserts {
+		improved[i] = record.Record{A: r.A, B: r.B - solutionBenchN}
+	}
+	for _, bk := range solutionBackendsBench {
+		b.Run(bk.name, func(b *testing.B) {
+			s := runtime.NewSolutionSetWith(benchParallelism, record.KeyA, minBComparator, nil, bk.opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Reset()
+				s.MergeDelta(inserts)
+				s.MergeDelta(improved)
+			}
+		})
+	}
+}
+
+// BenchmarkSolutionSetLookup measures a cold build plus a full probe
+// sweep: per op, a fresh solution set is loaded with Init and every key is
+// looked up once. The compact backend sizes its slabs from the bulk load
+// and keeps records unboxed, so it allocates far less than the map
+// backend's incremental growth.
+func BenchmarkSolutionSetLookup(b *testing.B) {
+	recs := solutionBenchRecords()
+	for _, bk := range solutionBackendsBench {
+		b.Run(bk.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := runtime.NewSolutionSetWith(benchParallelism, record.KeyA, nil, nil, bk.opts)
+				s.Init(recs)
+				// Partition-major probing, as partition-pinned workers do.
+				for p := 0; p < benchParallelism; p++ {
+					for k := int64(0); k < solutionBenchN; k++ {
+						if s.PartitionFor(k) != p {
+							continue
+						}
+						if _, ok := s.Lookup(p, k); !ok {
+							b.Fatal("missing key")
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolutionSetSpill measures the out-of-core cycle: merges and a
+// partition-crossing lookup sweep under a budget that keeps only a
+// quarter of the set resident, so evictions and reloads happen on the
+// measured path (compare against the unbudgeted compact run).
+func BenchmarkSolutionSetSpill(b *testing.B) {
+	recs := solutionBenchRecords()
+	variants := []struct {
+		name string
+		opts runtime.SolutionOptions
+	}{
+		{"compact-unbudgeted", runtime.SolutionOptions{Backend: runtime.SolutionCompact}},
+		{"spill-quarter", runtime.SolutionOptions{Backend: runtime.SolutionSpill,
+			MemoryBudget: solutionBenchN * record.EncodedSize / 4}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			s := runtime.NewSolutionSetWith(benchParallelism, record.KeyA, nil, nil, v.opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Reset()
+				s.MergeDelta(recs)
+				// Probe partition-major, the partition-pinned access pattern
+				// the runtime produces; an interleaved sweep under a tight
+				// budget would measure eviction thrash instead.
+				for p := 0; p < benchParallelism; p++ {
+					for k := int64(0); k < solutionBenchN; k += 97 {
+						if s.PartitionFor(k) == p {
+							s.Lookup(p, k)
+						}
+					}
+				}
+			}
+		})
+	}
+}

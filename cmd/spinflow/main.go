@@ -77,7 +77,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|explain|all>...")
+		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|explain|all>...")
 		os.Exit(2)
 	}
 	for _, name := range args {
@@ -103,6 +103,8 @@ func main() {
 			_, err = harness.Figure11(opts)
 		case "fig12":
 			_, err = harness.Figure12(opts)
+		case "outofcore":
+			_, err = harness.OutOfCore(opts)
 		case "all":
 			err = harness.All(opts)
 		case "explain":

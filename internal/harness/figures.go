@@ -505,5 +505,8 @@ func All(o Options) error {
 	if _, err := Figure12(o); err != nil {
 		return err
 	}
+	if _, err := OutOfCore(o); err != nil {
+		return err
+	}
 	return nil
 }

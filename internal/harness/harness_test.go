@@ -181,3 +181,29 @@ func TestFigure12(t *testing.T) {
 		}
 	}
 }
+
+func TestOutOfCore(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := OutOfCore(tinyOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Footprint <= 0 {
+		t.Fatalf("unbudgeted footprint = %d, want > 0", res.Footprint)
+	}
+	if res.Budget >= res.Footprint {
+		t.Fatalf("budget %d not below footprint %d", res.Budget, res.Footprint)
+	}
+	if res.Spills == 0 {
+		t.Error("budgeted run never spilled a partition")
+	}
+	if res.Reloads == 0 {
+		t.Error("budgeted run never reloaded a partition")
+	}
+	if !res.Identical {
+		t.Error("budgeted run diverged from the unbudgeted solution")
+	}
+	if !strings.Contains(buf.String(), "Out-of-core") {
+		t.Error("missing output")
+	}
+}

@@ -36,6 +36,17 @@ type Config struct {
 	Metrics *metrics.Counters
 	// CollectTrace records per-iteration statistics.
 	CollectTrace bool
+	// SolutionBackend selects the solution-set index implementation for
+	// incremental/microstep iterations: runtime.SolutionCompact (the
+	// default), runtime.SolutionMap (the boxed baseline), or
+	// runtime.SolutionSpill (out-of-core under SolutionMemoryBudget).
+	SolutionBackend runtime.SolutionBackendKind
+	// SolutionMemoryBudget bounds the resident bytes of the solution set
+	// (serialized-form estimate). A positive budget selects the spillable
+	// backend: cold partitions are evicted to disk through the batch codec
+	// and reloaded on access, with SolutionSpills/SolutionReloads counting
+	// the traffic (§4.3's gradual spilling applied to iteration state).
+	SolutionMemoryBudget int64
 }
 
 func (c Config) normalized() Config {
@@ -43,6 +54,14 @@ func (c Config) normalized() Config {
 		c.Parallelism = 1
 	}
 	return c
+}
+
+// newSolutionSet builds the solution set the Config asks for.
+func (c Config) newSolutionSet(key record.KeyFunc, cmp record.Comparator) *runtime.SolutionSet {
+	return runtime.NewSolutionSetWith(c.Parallelism, key, cmp, c.Metrics, runtime.SolutionOptions{
+		Backend:      c.SolutionBackend,
+		MemoryBudget: c.SolutionMemoryBudget,
+	})
 }
 
 // ErrNoProgress is returned when an iteration hits its step budget.
@@ -332,7 +351,7 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 
 	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
 	defer exec.Close()
-	exec.Solution = runtime.NewSolutionSet(cfg.Parallelism, spec.SolutionKey, spec.Comparator, cfg.Metrics)
+	exec.Solution = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
 	exec.Solution.Init(initialSolution)
 	// §5.3: when the Δ flow meets the microstep locality conditions, delta
 	// records merge into S directly during the superstep, so later

@@ -406,7 +406,7 @@ func RunMicrostep(spec IncrementalSpec, initialSolution, initialWorkset []record
 	}
 
 	m := &microRun{spec: spec, cfg: cfg}
-	m.solution = runtime.NewSolutionSet(cfg.Parallelism, spec.SolutionKey, spec.Comparator, cfg.Metrics)
+	m.solution = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
 	m.solution.Init(initialSolution)
 	m.queues = make([]*microQueue, cfg.Parallelism)
 	for i := range m.queues {

@@ -43,6 +43,15 @@ type Counters struct {
 	// BatchesRecycled counts consumed batches returned to the pool for
 	// reuse by a later writer.
 	BatchesRecycled atomic.Int64
+	// SolutionBytes is a gauge of the solution set's resident in-memory
+	// footprint (serialized-form estimate), refreshed on every merge.
+	SolutionBytes atomic.Int64
+	// SolutionSpills counts solution-set partitions evicted to disk by the
+	// spillable backend under memory pressure.
+	SolutionSpills atomic.Int64
+	// SolutionReloads counts spilled solution-set partitions replayed back
+	// into memory on access.
+	SolutionReloads atomic.Int64
 }
 
 // Snapshot is an immutable copy of counter values.
@@ -56,6 +65,9 @@ type Snapshot struct {
 	ExchangesReused  int64
 	BatchesAllocated int64
 	BatchesRecycled  int64
+	SolutionBytes    int64
+	SolutionSpills   int64
+	SolutionReloads  int64
 }
 
 // Snapshot captures current counter values.
@@ -70,6 +82,9 @@ func (c *Counters) Snapshot() Snapshot {
 		ExchangesReused:  c.ExchangesReused.Load(),
 		BatchesAllocated: c.BatchesAllocated.Load(),
 		BatchesRecycled:  c.BatchesRecycled.Load(),
+		SolutionBytes:    c.SolutionBytes.Load(),
+		SolutionSpills:   c.SolutionSpills.Load(),
+		SolutionReloads:  c.SolutionReloads.Load(),
 	}
 }
 
@@ -85,6 +100,9 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		ExchangesReused:  s.ExchangesReused - o.ExchangesReused,
 		BatchesAllocated: s.BatchesAllocated - o.BatchesAllocated,
 		BatchesRecycled:  s.BatchesRecycled - o.BatchesRecycled,
+		SolutionBytes:    s.SolutionBytes - o.SolutionBytes,
+		SolutionSpills:   s.SolutionSpills - o.SolutionSpills,
+		SolutionReloads:  s.SolutionReloads - o.SolutionReloads,
 	}
 }
 
@@ -99,6 +117,9 @@ func (c *Counters) Reset() {
 	c.ExchangesReused.Store(0)
 	c.BatchesAllocated.Store(0)
 	c.BatchesRecycled.Store(0)
+	c.SolutionBytes.Store(0)
+	c.SolutionSpills.Store(0)
+	c.SolutionReloads.Store(0)
 }
 
 // IterationStat records one iteration/superstep of an iterative job — one

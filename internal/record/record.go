@@ -152,7 +152,14 @@ func DecodeBatch(src []byte) (Batch, []byte, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(src[:4]))
 	src = src[4:]
-	out := make(Batch, 0, n)
+	// Cap the allocation hint by what the buffer can actually hold, so a
+	// corrupt length prefix fails with a decode error instead of a
+	// multi-gigabyte allocation.
+	capHint := n
+	if max := len(src) / EncodedSize; capHint > max {
+		capHint = max
+	}
+	out := make(Batch, 0, capHint)
 	for i := 0; i < n; i++ {
 		var r Record
 		var err error

@@ -13,7 +13,11 @@ import (
 // optimizer picks (or is forced into), the result of a plan must be
 // identical. These are the invariants that make the optimizer safe.
 
-// randomRecords derives a deterministic record set from a seed.
+// randomRecords derives a deterministic record set from a seed. X values
+// are whole numbers so that float sums are exact and order-independent:
+// the equivalence properties assert invariance of grouping and
+// partitioning, and must not trip over float reassociation when batch
+// arrival order shifts with goroutine scheduling.
 func randomRecords(seed uint64, n int, keyRange int64) []record.Record {
 	s := seed | 1
 	out := make([]record.Record, n)
@@ -22,7 +26,7 @@ func randomRecords(seed uint64, n int, keyRange int64) []record.Record {
 		s ^= s << 25
 		s ^= s >> 27
 		v := s * 0x2545f4914f6cdd1d
-		out[i] = record.Record{A: int64(v % uint64(keyRange)), B: int64(v >> 32 % 97), X: float64(v%1000) / 10}
+		out[i] = record.Record{A: int64(v % uint64(keyRange)), B: int64(v >> 32 % 97), X: float64(v % 1000)}
 	}
 	return out
 }

@@ -15,9 +15,18 @@
 // passes — so an iteration's steady-state supersteps avoid both goroutine
 // spawning and nearly all heap allocation. Executor.Run is the one-shot
 // convenience wrapper for non-iterative plans.
+//
+// The solution set stores its records through a pluggable SolutionBackend:
+// a compact open-addressing index over flat record slabs by default, the
+// original boxed-map implementation as a differential baseline, and a
+// spillable variant that evicts cold partitions to disk under a memory
+// budget — the §4.3 gradual-spilling rule applied to iteration state, which
+// lets incremental iterations run out-of-core.
 package runtime
 
 import (
+	"sync"
+
 	"repro/internal/metrics"
 	"repro/internal/record"
 )
@@ -27,36 +36,84 @@ import (
 // key to the current record. It lives across supersteps; delta sets are
 // merged with the ∪̇ operator, optionally arbitrated by a comparator that
 // keeps the CPO-successor record.
+//
+// Every partition is guarded by its own sharded lock, so concurrent
+// updates — the microstep Update path and DirectMerge superstep emitters —
+// are safe even when a record's key routes it to a partition other than
+// the calling worker's (partition pinning is the common case, not a
+// correctness requirement).
 type SolutionSet struct {
-	parts []map[int64]record.Record
-	key   record.KeyFunc
-	cmp   record.Comparator
-	m     *metrics.Counters
+	backend SolutionBackend
+	locks   []sync.Mutex
+	par     int
+	key     record.KeyFunc
+	cmp     record.Comparator
+	m       *metrics.Counters
 }
 
 // NewSolutionSet creates an empty solution set with the given partition
 // count, identifying key, and optional comparator (nil = delta always
-// replaces).
+// replaces), backed by the default compact index.
 func NewSolutionSet(parallelism int, key record.KeyFunc, cmp record.Comparator, m *metrics.Counters) *SolutionSet {
+	return NewSolutionSetWith(parallelism, key, cmp, m, SolutionOptions{})
+}
+
+// NewSolutionSetWith is NewSolutionSet with an explicit backend selection
+// (see SolutionOptions): the boxed-map baseline, the compact index, or the
+// spillable index under a memory budget.
+func NewSolutionSetWith(parallelism int, key record.KeyFunc, cmp record.Comparator, m *metrics.Counters, opts SolutionOptions) *SolutionSet {
 	if parallelism < 1 {
 		parallelism = 1
 	}
-	parts := make([]map[int64]record.Record, parallelism)
-	for i := range parts {
-		parts[i] = make(map[int64]record.Record)
+	return &SolutionSet{
+		backend: newSolutionBackend(parallelism, key, m, opts),
+		locks:   make([]sync.Mutex, parallelism),
+		par:     parallelism,
+		key:     key,
+		cmp:     cmp,
+		m:       m,
 	}
-	return &SolutionSet{parts: parts, key: key, cmp: cmp, m: m}
 }
 
 // Parallelism returns the number of partitions.
-func (s *SolutionSet) Parallelism() int { return len(s.parts) }
+func (s *SolutionSet) Parallelism() int { return s.par }
 
-// Init loads the initial solution set S0, hash-partitioned by key.
+// Init loads the initial solution set S0, hash-partitioned by key. Records
+// are applied partition-grouped (one pass per partition), so the compact
+// backend can size its slabs from the bulk load and the spill backend
+// fills each partition once instead of ping-ponging between them.
 func (s *SolutionSet) Init(recs []record.Record) {
-	for _, r := range recs {
-		k := s.key(r)
-		s.parts[record.PartitionOf(k, len(s.parts))][k] = r
+	if cb, ok := s.backend.(*compactBackend); ok {
+		per := len(recs)/s.par + 1
+		for p := 0; p < s.par; p++ {
+			cb.Reserve(p, per)
+		}
 	}
+	if s.par == 1 {
+		s.locks[0].Lock()
+		for _, r := range recs {
+			s.backend.Store(0, s.key(r), r)
+		}
+		s.locks[0].Unlock()
+		s.publishBytes()
+		return
+	}
+	parts := make([][]record.Record, s.par)
+	for _, r := range recs {
+		p := record.PartitionOf(s.key(r), s.par)
+		parts[p] = append(parts[p], r)
+	}
+	for p := 0; p < s.par; p++ {
+		if len(parts[p]) == 0 {
+			continue
+		}
+		s.locks[p].Lock()
+		for _, r := range parts[p] {
+			s.backend.Store(p, s.key(r), r)
+		}
+		s.locks[p].Unlock()
+	}
+	s.publishBytes()
 }
 
 // Lookup probes partition part for key k. It counts a solution access.
@@ -64,41 +121,100 @@ func (s *SolutionSet) Lookup(part int, k int64) (record.Record, bool) {
 	if s.m != nil {
 		s.m.SolutionAccesses.Add(1)
 	}
-	r, ok := s.parts[part][k]
+	s.locks[part].Lock()
+	r, ok := s.backend.Lookup(part, k)
+	s.locks[part].Unlock()
 	return r, ok
 }
 
-// put writes r under key k into its owning partition, honoring the
+// putLocked writes r under key k into partition part, honoring the
 // comparator: the CPO-larger record wins (§5.1). It reports whether the
-// stored record changed.
-func (s *SolutionSet) put(r record.Record) bool {
-	k := s.key(r)
-	part := record.PartitionOf(k, len(s.parts))
-	old, exists := s.parts[part][k]
+// stored record changed. The caller holds the partition's lock.
+func (s *SolutionSet) putLocked(part int, k int64, r record.Record) bool {
+	old, exists := s.backend.Lookup(part, k)
 	if exists && s.cmp != nil && s.cmp(r, old) <= 0 {
 		return false // the existing record is the successor state; drop r
 	}
 	if exists && old.Equal(r) {
 		return false
 	}
-	s.parts[part][k] = r
+	s.backend.Store(part, k, r)
 	if s.m != nil {
 		s.m.SolutionUpdates.Add(1)
 	}
 	return true
 }
 
+// put is putLocked for a single record, taking the partition lock.
+func (s *SolutionSet) put(r record.Record) bool {
+	k := s.key(r)
+	part := record.PartitionOf(k, s.par)
+	s.locks[part].Lock()
+	changed := s.putLocked(part, k, r)
+	s.locks[part].Unlock()
+	return changed
+}
+
+// publishBytes refreshes the resident-bytes gauge.
+func (s *SolutionSet) publishBytes() {
+	if s.m != nil {
+		s.m.SolutionBytes.Store(s.backend.Bytes())
+	}
+}
+
 // MergeDelta applies a delta set with the ∪̇ operator: every delta record
 // replaces the solution record under the same key (subject to the
 // comparator), new keys are inserted. It returns the number of records
 // that actually changed the solution.
+//
+// The delta is applied partition-grouped: each partition is visited once,
+// under one lock acquisition, with all of its updates. For the spill
+// backend this is the difference between one reload per partition per
+// superstep and one reload per record — a partition-interleaved merge
+// under a tight budget would otherwise thrash the eviction path.
 func (s *SolutionSet) MergeDelta(delta []record.Record) int {
 	changed := 0
-	for _, r := range delta {
-		if s.put(r) {
-			changed++
+	if s.par == 1 {
+		s.locks[0].Lock()
+		for _, r := range delta {
+			if s.putLocked(0, s.key(r), r) {
+				changed++
+			}
 		}
+		s.locks[0].Unlock()
+		s.publishBytes()
+		return changed
 	}
+	// Two passes over the delta: count per-partition, then fill one
+	// backing array partition-contiguously (no per-partition slices).
+	counts := make([]int, s.par)
+	for _, r := range delta {
+		counts[record.PartitionOf(s.key(r), s.par)]++
+	}
+	offsets := make([]int, s.par+1)
+	for p := 0; p < s.par; p++ {
+		offsets[p+1] = offsets[p] + counts[p]
+	}
+	grouped := make([]record.Record, len(delta))
+	fill := append([]int(nil), offsets[:s.par]...)
+	for _, r := range delta {
+		p := record.PartitionOf(s.key(r), s.par)
+		grouped[fill[p]] = r
+		fill[p]++
+	}
+	for p := 0; p < s.par; p++ {
+		if offsets[p] == offsets[p+1] {
+			continue
+		}
+		s.locks[p].Lock()
+		for _, r := range grouped[offsets[p]:offsets[p+1]] {
+			if s.putLocked(p, s.key(r), r) {
+				changed++
+			}
+		}
+		s.locks[p].Unlock()
+	}
+	s.publishBytes()
 	return changed
 }
 
@@ -106,30 +222,55 @@ func (s *SolutionSet) MergeDelta(delta []record.Record) int {
 // §5.2: the partial solution reflects the modification when the next
 // element is processed). It reports whether the solution changed.
 func (s *SolutionSet) Update(r record.Record) bool {
-	return s.put(r)
+	changed := s.put(r)
+	// Refresh the gauge even when the record was rejected: for the spill
+	// backend, the probe itself can reload a partition and evict others,
+	// changing residency.
+	s.publishBytes()
+	return changed
 }
 
 // Size returns the total number of records.
 func (s *SolutionSet) Size() int {
 	n := 0
-	for _, p := range s.parts {
-		n += len(p)
+	for p := 0; p < s.par; p++ {
+		s.locks[p].Lock()
+		n += s.backend.Len(p)
+		s.locks[p].Unlock()
 	}
 	return n
 }
 
-// Snapshot copies all records out (order unspecified).
+// Snapshot copies all records out (order unspecified). Spilled partitions
+// are streamed from disk without being forced back into memory.
 func (s *SolutionSet) Snapshot() []record.Record {
 	out := make([]record.Record, 0, s.Size())
-	for _, p := range s.parts {
-		for _, r := range p {
-			out = append(out, r)
-		}
+	for p := 0; p < s.par; p++ {
+		s.locks[p].Lock()
+		s.backend.Each(p, func(r record.Record) { out = append(out, r) })
+		s.locks[p].Unlock()
 	}
 	return out
 }
 
+// Reset empties the solution set for a new generation, retaining backend
+// capacity (compact slabs, map buckets) so steady-state reuse across runs
+// on one session avoids reallocation. Spill files are deleted.
+func (s *SolutionSet) Reset() {
+	for p := 0; p < s.par; p++ {
+		s.locks[p].Lock()
+	}
+	s.backend.Reset()
+	for p := s.par - 1; p >= 0; p-- {
+		s.locks[p].Unlock()
+	}
+	s.publishBytes()
+}
+
+// Bytes reports the backend's resident in-memory footprint estimate.
+func (s *SolutionSet) Bytes() int64 { return s.backend.Bytes() }
+
 // PartitionFor returns the partition owning key k.
 func (s *SolutionSet) PartitionFor(k int64) int {
-	return record.PartitionOf(k, len(s.parts))
+	return record.PartitionOf(k, s.par)
 }

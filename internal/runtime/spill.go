@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -55,26 +56,51 @@ func spillBatches(batches []record.Batch) (*spillFile, error) {
 	return &spillFile{path: f.Name(), bytes: total}, nil
 }
 
-// replay streams the spilled batches back through f.
+// replayBufSize is the fixed size of the buffered reader replay streams
+// spilled data through; memory per replay is bounded by this plus one
+// decoded batch, independent of the spill file's size.
+const replayBufSize = 64 << 10
+
+// replay streams the spilled batches back through f, decoding records
+// one at a time from a fixed-size buffered reader — the file is never
+// materialized in memory, which is the point of spilling it.
 func (s *spillFile) replay(f func(record.Batch)) error {
 	file, err := os.Open(s.path)
 	if err != nil {
 		return fmt.Errorf("runtime: opening spill file: %w", err)
 	}
 	defer file.Close()
-	data, err := io.ReadAll(bufio.NewReader(file))
-	if err != nil {
-		return fmt.Errorf("runtime: reading spill file: %w", err)
-	}
-	for len(data) > 0 {
-		var b record.Batch
-		b, data, err = record.DecodeBatch(data)
-		if err != nil {
-			return fmt.Errorf("runtime: decoding spill file: %w", err)
+	br := bufio.NewReaderSize(file, replayBufSize)
+	var hdr [4]byte
+	var rbuf [record.EncodedSize]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("runtime: reading spill batch header: %w", err)
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		// Cap the allocation hint: a corrupt length prefix must produce a
+		// short-read error below, not a multi-gigabyte allocation. (Same
+		// hardening as record.DecodeBatch.)
+		capHint := n
+		if capHint > spillChunk {
+			capHint = spillChunk
+		}
+		b := make(record.Batch, 0, capHint)
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(br, rbuf[:]); err != nil {
+				return fmt.Errorf("runtime: reading spill record: %w", err)
+			}
+			r, _, err := record.Decode(rbuf[:])
+			if err != nil {
+				return fmt.Errorf("runtime: decoding spill file: %w", err)
+			}
+			b = append(b, r)
 		}
 		f(b)
 	}
-	return nil
 }
 
 // remove deletes the backing file.
