@@ -1,23 +1,65 @@
-// Command spinflow regenerates the paper's tables and figures.
+// Command spinflow regenerates the paper's tables and figures, and runs
+// the live serving mode.
 //
 // Usage:
 //
 //	spinflow [-scale f] [-par n] [-iters n] <experiment>...
+//	spinflow serve [-addr :8080] [-par n] [-budget bytes]
 //
-// Experiments: table1 table2 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12 all
+// Experiments: table1 table2 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12
+// outofcore live explain all
+//
+// `spinflow serve` starts the long-running maintenance service: named
+// live views over resident solution sets, maintained under streaming
+// graph mutations through an HTTP JSON API (see internal/live). SIGINT or
+// SIGTERM shuts it down cleanly — pending mutation batches are flushed
+// and spill files removed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/algorithms"
 	"repro/internal/graphgen"
 	"repro/internal/harness"
+	"repro/internal/iterative"
+	"repro/internal/live"
 	"repro/internal/optimizer"
 	"repro/internal/record"
 )
+
+// serve runs the live maintenance service until SIGINT/SIGTERM.
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	par := fs.Int("par", 4, "default per-view parallelism")
+	budget := fs.Int64("budget", 0, "total resident solution-memory budget in bytes (0 = unlimited)")
+	viewBudget := fs.Int64("view-budget", 0, "per-view solution spill budget in bytes (0 = in-memory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sched := live.NewScheduler(live.SchedulerConfig{
+		MemoryBudget: *budget,
+		DefaultView: live.ViewConfig{
+			Config: iterative.Config{Parallelism: *par, SolutionMemoryBudget: *viewBudget},
+		},
+	})
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "spinflow serve: %v — flushing views and shutting down\n", s)
+		close(stop)
+	}()
+	fmt.Fprintf(os.Stderr, "spinflow serve: listening on %s\n", *addr)
+	return live.Serve(*addr, sched, stop, nil)
+}
 
 // explain prints the optimized physical plans (text and Graphviz DOT) for
 // the PageRank bulk iteration and the incremental Connected Components
@@ -63,6 +105,16 @@ func explain(opts harness.Options) error {
 }
 
 func main() {
+	// The serve mode has its own flags; dispatch before the experiment
+	// flag set claims the command line.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serve(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "spinflow: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default laptop scale)")
 	par := flag.Int("par", 4, "parallelism (number of partitions/workers)")
 	iters := flag.Int("iters", 20, "PageRank iteration count")
@@ -77,7 +129,8 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|explain|all>...")
+		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|explain|all>...")
+		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes]")
 		os.Exit(2)
 	}
 	for _, name := range args {
@@ -105,6 +158,8 @@ func main() {
 			_, err = harness.Figure12(opts)
 		case "outofcore":
 			_, err = harness.OutOfCore(opts)
+		case "live":
+			_, err = harness.Live(opts)
 		case "all":
 			err = harness.All(opts)
 		case "explain":

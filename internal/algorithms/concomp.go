@@ -104,10 +104,32 @@ const (
 // for the changed vertex's neighbors.
 func CCIncrementalSpec(g *graphgen.Graph, variant CCVariant) (iterative.IncrementalSpec, []record.Record, []record.Record) {
 	und := g.Undirected()
-	edgeRecs := EdgeRecords(und)
+	spec, w0 := ccSpecOverEdges(EdgeRecords(und), und.NumVertices, variant)
+	return spec, InitialComponentRecords(und.NumVertices), w0
+}
+
+// CCMaintenanceSpec is CCIncrementalSpec over an explicit vertex set and a
+// symmetrized (undirected, deduplicated) edge-record list, for callers
+// whose graphs are not dense id spaces — live views whose vertices come
+// and go. S0 assigns every listed vertex its own id; W0 is the full
+// candidate set.
+func CCMaintenanceSpec(vertices []int64, undirectedEdges []record.Record, variant CCVariant) (iterative.IncrementalSpec, []record.Record, []record.Record) {
+	spec, w0 := ccSpecOverEdges(undirectedEdges, int64(len(vertices)), variant)
+	s0 := make([]record.Record, len(vertices))
+	for i, v := range vertices {
+		s0[i] = record.Record{A: v, B: v}
+	}
+	return spec, s0, w0
+}
+
+// ccSpecOverEdges builds the Δ dataflow of Figure 5 over the given
+// undirected edge records; estVertices feeds the optimizer's delta-size
+// estimate.
+func ccSpecOverEdges(edgeRecs []record.Record, estVertices int64, variant CCVariant) (iterative.IncrementalSpec, []record.Record) {
 	plan := dataflow.NewPlan()
 
-	w := plan.IterationPlaceholder("W", und.NumEdges())
+	numEdges := int64(len(edgeRecs))
+	w := plan.IterationPlaceholder("W", numEdges)
 
 	var delta *dataflow.Node
 	switch variant {
@@ -133,7 +155,7 @@ func CCIncrementalSpec(g *graphgen.Graph, variant CCVariant) (iterative.Incremen
 			})
 	}
 	delta.Preserve(0, record.KeyA) // updates stay with their vertex
-	delta.EstRecords = und.NumVertices / 2
+	delta.EstRecords = estVertices / 2
 
 	dSink := plan.SinkNode("D", delta)
 
@@ -142,7 +164,7 @@ func CCIncrementalSpec(g *graphgen.Graph, variant CCVariant) (iterative.Incremen
 		func(d, e record.Record, out dataflow.Emitter) {
 			out.Emit(record.Record{A: e.B, B: d.B})
 		})
-	propagate.EstRecords = und.NumEdges() / 2
+	propagate.EstRecords = numEdges / 2
 	wSink := plan.SinkNode("W'", propagate)
 
 	spec := iterative.IncrementalSpec{
@@ -154,7 +176,7 @@ func CCIncrementalSpec(g *graphgen.Graph, variant CCVariant) (iterative.Incremen
 		WorksetKey:  record.KeyA,
 		Comparator:  MinCidComparator,
 	}
-	return spec, InitialComponentRecords(und.NumVertices), InitialCandidateRecords(edgeRecs)
+	return spec, InitialCandidateRecords(edgeRecs)
 }
 
 // CCIncremental runs the superstep-synchronized incremental Connected

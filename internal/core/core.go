@@ -22,6 +22,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/iterative"
 	"repro/internal/record"
+	"repro/internal/runtime"
 )
 
 // Core dataflow types.
@@ -72,6 +73,19 @@ func RunIncremental(spec IncrementalSpec, s0, w0 []Record, cfg Config) (*Increme
 // asynchronously in microsteps (§5.2).
 func RunMicrostep(spec IncrementalSpec, s0, w0 []Record, cfg Config) (*IncrementalResult, error) {
 	return iterative.RunMicrostep(spec, s0, w0, cfg)
+}
+
+// SolutionSet is the partitioned, keyed, resident state of an incremental
+// iteration. A converged run hands it back via IncrementalResult.Set, and
+// ResumeIncremental continues from it.
+type SolutionSet = runtime.SolutionSet
+
+// ResumeIncremental warm-restarts an incremental iteration over an
+// existing converged solution set with only delta as the working set —
+// the maintenance form of §5: fixpoints absorb new input without
+// recomputation.
+func ResumeIncremental(spec IncrementalSpec, existing *SolutionSet, delta []Record, cfg Config) (*IncrementalResult, error) {
+	return iterative.ResumeIncremental(spec, existing, delta, cfg)
 }
 
 // ValidateMicrostep checks the §5.2 admissibility conditions.

@@ -73,6 +73,9 @@ func pageRankOnAllEngines(o Options, g *graphgen.Graph, trace bool) ([]EngineTim
 // Figure7 measures total PageRank runtime on Spark-like, Pregel-like, and
 // both Stratosphere plans over the web/social datasets (paper Figure 7).
 func Figure7(o Options) ([]EngineTiming, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	var all []EngineTiming
 	for _, d := range []graphgen.Dataset{graphgen.DSWikipedia, graphgen.DSWebbase, graphgen.DSTwitter} {
@@ -90,6 +93,9 @@ func Figure7(o Options) ([]EngineTiming, error) {
 // Figure8 measures per-iteration PageRank times on the Wikipedia graph
 // (paper Figure 8).
 func Figure8(o Options) ([]EngineTiming, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	g := graphgen.Load(graphgen.DSWikipedia, o.Scale)
 	ts, err := pageRankOnAllEngines(o, g, true)
@@ -236,6 +242,9 @@ func ccAllEngines(o Options, g *graphgen.Graph, cap int, trace bool, includeSpar
 // Figure9 measures total Connected Components runtime for all engines
 // (paper Figure 9: Wikipedia, Hollywood, Twitter, Webbase capped at 20).
 func Figure9(o Options) ([]EngineTiming, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	var all []EngineTiming
 	datasets := []struct {
@@ -272,6 +281,9 @@ type Figure10Result struct {
 
 // Figure10 regenerates the long-tail experiment.
 func Figure10(o Options) (*Figure10Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	g := graphgen.Load(graphgen.DSWebbase, o.Scale)
 
@@ -326,6 +338,9 @@ func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 // Figure11 measures per-iteration Connected Components times on Wikipedia
 // for all engines including Spark's simulated-incremental variant.
 func Figure11(o Options) ([]EngineTiming, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	g := graphgen.Load(graphgen.DSWikipedia, o.Scale)
 	ts, err := ccAllEngines(o, g, 0, true, true)
@@ -380,6 +395,9 @@ type Figure12Variant struct {
 // candidate messages for the bulk, batch-incremental (CoGroup) and
 // microstep (Match) Connected Components variants (paper Figure 12).
 func Figure12(o Options) (*Figure12Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	g := graphgen.Load(graphgen.DSWikipedia, o.Scale)
 
@@ -506,6 +524,9 @@ func All(o Options) error {
 		return err
 	}
 	if _, err := OutOfCore(o); err != nil {
+		return err
+	}
+	if _, err := Live(o); err != nil {
 		return err
 	}
 	return nil

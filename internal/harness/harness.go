@@ -46,6 +46,23 @@ func (o Options) normalized() Options {
 	return o
 }
 
+// Validate rejects option values that normalized() would otherwise
+// silently replace with defaults: a negative scale, parallelism, or
+// iteration count is a caller bug, not a request for the default. Every
+// scenario entry point returns this error instead of ignoring it.
+func (o Options) Validate() error {
+	if o.Scale < 0 {
+		return fmt.Errorf("harness: negative scale %v", float64(o.Scale))
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("harness: negative parallelism %d", o.Parallelism)
+	}
+	if o.PageRankIterations < 0 {
+		return fmt.Errorf("harness: negative PageRankIterations %d", o.PageRankIterations)
+	}
+	return nil
+}
+
 func (o Options) printf(format string, args ...any) {
 	fmt.Fprintf(o.Out, format, args...)
 }
@@ -62,6 +79,9 @@ type Table1Result struct {
 // Table1 runs FIXPOINT-CC, INCR-CC and MICRO-CC on the Figure-1 graph and
 // prints the Kleene chain of partial solutions.
 func Table1(o Options) (*Table1Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	adj := fixpoint.Figure1Graph()
 	res := &Table1Result{}
@@ -109,6 +129,9 @@ type DatasetStats struct {
 // Table2 prints the dataset properties (paper Table 2) for the scaled
 // synthetic stand-ins.
 func Table2(o Options) ([]DatasetStats, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	o.printf("Table 2 — dataset properties (synthetic stand-ins, scale %.2f)\n", float64(o.Scale))
 	o.printf("  %-12s %12s %14s %10s\n", "DataSet", "Vertices", "Edges", "Avg.Deg")
@@ -135,6 +158,9 @@ type Figure2Row struct {
 // reports the per-iteration effective work (vertices inspected/changed,
 // workset entries) — the decaying curves of Figure 2.
 func Figure2(o Options) ([]Figure2Row, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	g := graphgen.FOAF(o.Scale)
 	var m metrics.Counters
@@ -195,6 +221,9 @@ func usesBroadcast(p *optimizer.PhysPlan) bool {
 // near-tied at web-graph density; the broadcast plan wins clearly only
 // when the model is much smaller than the matrix (the regime sweep).
 func Figure4(o Options) (*Figure4Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	res := &Figure4Result{}
 	g := graphgen.Wikipedia(o.Scale)

@@ -207,3 +207,53 @@ func TestOutOfCore(t *testing.T) {
 		t.Error("missing output")
 	}
 }
+
+// TestLive runs the serving scenario at test scale: warm deltas must beat
+// the cold rerun and converge to identical assignments.
+func TestLive(t *testing.T) {
+	res, err := Live(Options{Scale: graphgen.ScaleTiny, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Error("warm maintained state diverged from cold recompute")
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 mutation rates, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Mutations <= 0 || r.Warm <= 0 || r.Cold <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+	if res.PartialRecomputes == 0 {
+		t.Error("fringe deletions did not take the bounded path")
+	}
+	if res.FullRecomputes == 0 {
+		t.Error("giant-component deletion did not take the full path")
+	}
+}
+
+// TestOptionsValidate checks that scenarios return configuration errors
+// instead of silently normalizing them away.
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{Scale: -1},
+		{Parallelism: -2},
+		{PageRankIterations: -1},
+	}
+	for i, o := range bad {
+		if _, err := Table1(o); err == nil {
+			t.Errorf("Table1 accepted bad options %d", i)
+		}
+		if _, err := Table2(o); err == nil {
+			t.Errorf("Table2 accepted bad options %d", i)
+		}
+		if _, err := OutOfCore(o); err == nil {
+			t.Errorf("OutOfCore accepted bad options %d", i)
+		}
+		if _, err := Live(o); err == nil {
+			t.Errorf("Live accepted bad options %d", i)
+		}
+	}
+}

@@ -58,6 +58,9 @@ func recordsIdentical(a, b []record.Record) bool {
 // class the compact/spill backends open: iteration state larger than RAM
 // (§4.3's gradual spilling, applied to the solution set).
 func OutOfCore(o Options) (*OutOfCoreResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
 	o = o.normalized()
 	g := graphgen.FOAF(o.Scale)
 

@@ -181,10 +181,11 @@ func ResumeBulk(spec BulkSpec, cp *Checkpoint, cfg Config) (*BulkResult, error) 
 	return res, err
 }
 
-// ResumeIncremental restarts an incremental iteration from a checkpoint:
+// RestoreIncremental restarts an incremental iteration from a checkpoint:
 // the snapshot's solution set and pending working set continue where the
-// failed run left off.
-func ResumeIncremental(spec IncrementalSpec, cp *Checkpoint, cfg Config) (*IncrementalResult, error) {
+// failed run left off. (ResumeIncremental, by contrast, warm-restarts over
+// a live in-memory solution set rather than a persisted snapshot.)
+func RestoreIncremental(spec IncrementalSpec, cp *Checkpoint, cfg Config) (*IncrementalResult, error) {
 	if cp.Kind != "incremental" {
 		return nil, fmt.Errorf("iterative: cannot resume incremental iteration from %q checkpoint", cp.Kind)
 	}

@@ -155,7 +155,7 @@ func TestIncrementalCheckpointAndResumeAfterFailure(t *testing.T) {
 	// Recovery: disable the injector and resume.
 	failAt.Store(1 << 30)
 	spec2, _, _ := build()
-	res, err := ResumeIncremental(spec2, last, Config{Parallelism: 2})
+	res, err := RestoreIncremental(spec2, last, Config{Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestResumeKindMismatch(t *testing.T) {
 		t.Error("bulk resume accepted incremental checkpoint")
 	}
 	ispec, _, _ := incrSpec(4)
-	if _, err := ResumeIncremental(ispec, &Checkpoint{Kind: "bulk"}, Config{}); err == nil {
+	if _, err := RestoreIncremental(ispec, &Checkpoint{Kind: "bulk"}, Config{}); err == nil {
 		t.Error("incremental resume accepted bulk checkpoint")
 	}
 }

@@ -295,6 +295,10 @@ type IncrementalResult struct {
 	Trace metrics.Trace
 	// Plan is the physical plan (nil for microstep execution).
 	Plan *optimizer.PhysPlan
+	// Set is the resident solution set that produced Solution. It remains
+	// valid after the run (sessions close, state survives) and can seed
+	// ResumeIncremental or a live view — the warm-restart handoff.
+	Set *runtime.SolutionSet
 }
 
 func (s *IncrementalSpec) validate() error {
@@ -329,19 +333,7 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 	}
 
 	optimize := func() (*optimizer.PhysPlan, error) {
-		return optimizer.Optimize(spec.Plan, optimizer.Options{
-			Parallelism:        cfg.Parallelism,
-			ExpectedIterations: expected,
-			PlaceholderProps: map[int]optimizer.Props{
-				spec.Workset.ID: {Part: record.KeyID(spec.WorksetKey)},
-			},
-			SinkPartition: map[int]record.KeyFunc{
-				spec.DeltaSink.ID:   spec.SolutionKey,
-				spec.WorksetSink.ID: spec.WorksetKey,
-			},
-			Feedback:  map[int]int{spec.Workset.ID: spec.WorksetSink.ID},
-			JoinHints: spec.JoinHints,
-		})
+		return optimizeIncremental(&spec, cfg, expected)
 	}
 	phys, err := optimize()
 	if err != nil {
@@ -371,7 +363,7 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 	sess := exec.OpenSession(phys)
 	defer func() { sess.Close() }()
 
-	out := &IncrementalResult{Plan: phys}
+	out := &IncrementalResult{Plan: phys, Set: exec.Solution}
 	for step := 0; step < maxSteps; step++ {
 		start := time.Now()
 		var before metrics.Snapshot

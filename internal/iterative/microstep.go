@@ -468,7 +468,7 @@ func RunMicrostep(spec IncrementalSpec, initialSolution, initialWorkset []record
 	// Seed the queues and run one worker per partition until the
 	// in-flight count hits zero.
 	if len(initialWorkset) == 0 {
-		return &IncrementalResult{Solution: m.solution.Snapshot(), Supersteps: 0}, nil
+		return &IncrementalResult{Solution: m.solution.Snapshot(), Supersteps: 0, Set: m.solution}, nil
 	}
 	for _, r := range initialWorkset {
 		m.enqueue(r)
@@ -477,7 +477,7 @@ func RunMicrostep(spec IncrementalSpec, initialSolution, initialWorkset []record
 	// Optional progress sampling: without supersteps there is no natural
 	// iteration boundary, so the trace samples the work counters on a
 	// fixed wall-clock cadence instead.
-	out := &IncrementalResult{}
+	out := &IncrementalResult{Set: m.solution}
 	stopSampler := make(chan struct{})
 	samplerDone := make(chan struct{})
 	if cfg.CollectTrace && cfg.Metrics != nil {

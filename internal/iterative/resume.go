@@ -1,0 +1,224 @@
+package iterative
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/runtime"
+)
+
+// Fixpoint is a *resident* incremental iteration: the optimized Δ plan,
+// its persistent partition-pinned session, and the attached solution set,
+// kept open between runs. Where RunIncremental computes one fixpoint and
+// tears everything down, a Fixpoint lets a converged solution set absorb
+// later workset deltas through warm restarts — the paper's observation
+// that (S, W) is exactly the state needed to maintain a fixpoint, not
+// just to compute it. The live maintenance service (internal/live) is
+// built on this type.
+//
+// A Fixpoint is not safe for concurrent Run calls; callers serialize
+// maintenance (the live scheduler does so per view).
+type Fixpoint struct {
+	spec IncrementalSpec
+	cfg  Config
+	phys *optimizer.PhysPlan
+	exec *runtime.Executor
+	sess *runtime.Session
+	sol  *runtime.SolutionSet
+}
+
+// optimizeIncremental runs the optimizer for an incremental spec with the
+// workset feedback and sink partitioning RunIncremental uses.
+func optimizeIncremental(spec *IncrementalSpec, cfg Config, expected int) (*optimizer.PhysPlan, error) {
+	return optimizer.Optimize(spec.Plan, optimizer.Options{
+		Parallelism:        cfg.Parallelism,
+		ExpectedIterations: expected,
+		PlaceholderProps: map[int]optimizer.Props{
+			spec.Workset.ID: {Part: record.KeyID(spec.WorksetKey)},
+		},
+		SinkPartition: map[int]record.KeyFunc{
+			spec.DeltaSink.ID:   spec.SolutionKey,
+			spec.WorksetSink.ID: spec.WorksetKey,
+		},
+		Feedback:  map[int]int{spec.Workset.ID: spec.WorksetSink.ID},
+		JoinHints: spec.JoinHints,
+	})
+}
+
+// OpenFixpoint optimizes spec and opens a persistent session for it,
+// attaching sol as the resident solution set. A nil sol creates an empty
+// set from the Config (backend, budget); a non-nil sol is adopted as-is —
+// the handoff path warm restarts use to resume over state produced by an
+// earlier run. An adopted set must have been created with the same
+// parallelism, since record partitioning depends on it.
+func OpenFixpoint(spec IncrementalSpec, sol *runtime.SolutionSet, cfg Config) (*Fixpoint, error) {
+	cfg = cfg.normalized()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if sol != nil && sol.Parallelism() != cfg.Parallelism {
+		return nil, fmt.Errorf("iterative: adopted solution set has %d partitions, config wants %d",
+			sol.Parallelism(), cfg.Parallelism)
+	}
+	expected := spec.ExpectedIterations
+	if expected <= 0 {
+		expected = 10
+	}
+	phys, err := optimizeIncremental(&spec, cfg, expected)
+	if err != nil {
+		return nil, err
+	}
+	if sol == nil {
+		sol = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
+	}
+	f := &Fixpoint{spec: spec, cfg: cfg, phys: phys, sol: sol}
+	f.exec = runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	f.exec.Solution = sol
+	if _, err := ValidateMicrostep(spec); err == nil {
+		f.exec.DirectMerge = true
+	}
+	f.sess = f.exec.OpenSession(phys)
+	return f, nil
+}
+
+// Solution returns the resident solution set. It stays valid across Run
+// calls and after Close, so converged state outlives the session.
+func (f *Fixpoint) Solution() *runtime.SolutionSet { return f.sol }
+
+// Plan returns the optimized physical plan the session executes.
+func (f *Fixpoint) Plan() *optimizer.PhysPlan { return f.phys }
+
+// InvalidateConstants drops the session's loop-invariant caches (edge
+// tables, cached join build sides). Call it after mutating the data behind
+// a Source node of the Δ plan: the next Run re-materializes the constant
+// path from the current data, while workers, exchanges and pooled batches
+// stay warm.
+func (f *Fixpoint) InvalidateConstants() { f.exec.InvalidateCaches() }
+
+// Rebind re-optimizes a structurally new spec and swaps in a fresh session
+// for it, keeping the executor and the resident solution set. Live views
+// use it when the graph has drifted so far from the planned statistics
+// that the old physical plan is no longer credible.
+func (f *Fixpoint) Rebind(spec IncrementalSpec) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	expected := spec.ExpectedIterations
+	if expected <= 0 {
+		expected = 10
+	}
+	phys, err := optimizeIncremental(&spec, f.cfg, expected)
+	if err != nil {
+		return err
+	}
+	f.spec = spec
+	f.phys = phys
+	f.exec.InvalidateCaches()
+	f.exec.DirectMerge = false
+	if _, err := ValidateMicrostep(spec); err == nil {
+		f.exec.DirectMerge = true
+	}
+	f.sess.Close()
+	f.sess = f.exec.OpenSession(phys)
+	return nil
+}
+
+// Run drives the session from the given workset to the fixpoint: every
+// superstep evaluates Δ, merges the delta set into the resident solution
+// with ∪̇, and feeds the produced workset back, until the workset is
+// empty. The result's Solution slice is left nil (snapshotting the whole
+// set on every maintenance batch would defeat the point of warm restarts);
+// read the state through Solution(), or the result's Set handle.
+func (f *Fixpoint) Run(workset []record.Record) (*IncrementalResult, error) {
+	maxSteps := f.spec.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	f.exec.SetPlaceholder(f.spec.Workset.ID, workset, f.spec.WorksetKey, f.cfg.Parallelism)
+	if f.cfg.Metrics != nil {
+		f.cfg.Metrics.WorksetElements.Add(int64(len(workset)))
+	}
+	out := &IncrementalResult{Plan: f.phys, Set: f.sol}
+	for step := 0; step < maxSteps; step++ {
+		start := time.Now()
+		var before metrics.Snapshot
+		if f.cfg.Metrics != nil {
+			before = f.cfg.Metrics.Snapshot()
+		}
+		res, err := f.sess.Run()
+		if err != nil {
+			return nil, err
+		}
+		out.Supersteps = step + 1
+		f.sol.MergeDelta(res.Records(f.spec.DeltaSink.ID))
+
+		nextParts := res[f.spec.WorksetSink.ID]
+		nextCount := 0
+		for _, p := range nextParts {
+			nextCount += len(p)
+		}
+		if f.cfg.Metrics != nil {
+			f.cfg.Metrics.WorksetElements.Add(int64(nextCount))
+		}
+		if f.cfg.CollectTrace {
+			st := metrics.IterationStat{Iteration: step, Duration: time.Since(start)}
+			if f.cfg.Metrics != nil {
+				st.Work = f.cfg.Metrics.Snapshot().Sub(before)
+			}
+			out.Trace.Add(st)
+		}
+		if nextCount == 0 {
+			return out, nil
+		}
+		f.exec.SetPlaceholderParts(f.spec.Workset.ID, nextParts)
+	}
+	return out, fmt.Errorf("%w after %d supersteps", ErrNoProgress, maxSteps)
+}
+
+// Close releases the session and the executor's caches. The solution set
+// is untouched and remains readable (and adoptable by a later
+// OpenFixpoint).
+func (f *Fixpoint) Close() {
+	f.sess.Close()
+	f.exec.Close()
+}
+
+// ResumeIncremental warm-restarts an incremental iteration over an
+// existing, already-converged solution set: instead of loading S0 and
+// processing the full initial workset, the fixpoint continues from
+// `existing` with only `delta` as the working set. This is the maintenance
+// property of incremental iterations as a standalone entry point — the
+// converged (S, ∅) plus a small W is exactly the state of a still-running
+// job, so absorbing new input costs only the supersteps the delta
+// actually needs.
+//
+// The spec's Δ plan must reflect the *current* inputs (e.g. an edge
+// source that already contains a newly inserted edge). `existing` is
+// mutated in place and is also returned in the result's Set field; its
+// partition count must match cfg.Parallelism. Unlike Fixpoint.Run, the
+// result's Solution slice is populated, matching RunIncremental's
+// contract.
+func ResumeIncremental(spec IncrementalSpec, existing *runtime.SolutionSet, delta []record.Record, cfg Config) (*IncrementalResult, error) {
+	if existing == nil {
+		return nil, fmt.Errorf("iterative: ResumeIncremental needs an existing solution set (use RunIncremental for cold starts)")
+	}
+	f, err := OpenFixpoint(spec, existing, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if cfg.Metrics != nil {
+		cfg.Metrics.WarmRestarts.Add(1)
+	}
+	out, err := f.Run(delta)
+	if out != nil {
+		if cfg.Metrics != nil {
+			cfg.Metrics.MaintenanceSupersteps.Add(int64(out.Supersteps))
+		}
+		out.Solution = existing.Snapshot()
+	}
+	return out, err
+}

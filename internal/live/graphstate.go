@@ -1,0 +1,226 @@
+package live
+
+import (
+	"sort"
+
+	"repro/internal/algorithms"
+	"repro/internal/graphgen"
+	"repro/internal/record"
+)
+
+// WEdge is one live directed edge with its weight.
+type WEdge struct {
+	Src, Dst int64
+	Weight   float64
+}
+
+// GraphState is the mutable graph behind a live view: a set of alive
+// vertices plus a directed weighted edge set with O(1) insert/delete.
+// Vertex ids need not be dense — deletions leave holes. All methods are
+// unsynchronized; LiveView serializes access.
+type GraphState struct {
+	verts map[int64]struct{}
+	edges []WEdge
+	index map[[2]int64]int // (src,dst) -> position in edges
+}
+
+// NewGraphState creates an empty graph.
+func NewGraphState() *GraphState {
+	return &GraphState{
+		verts: make(map[int64]struct{}),
+		index: make(map[[2]int64]int),
+	}
+}
+
+// Apply routes one mutation into the state (no maintenance bookkeeping)
+// — the raw graph operation, used for initial loads and test models.
+func (g *GraphState) Apply(m Mutation) {
+	switch m.Op {
+	case OpInsertEdge:
+		g.AddVertex(m.Src)
+		g.AddVertex(m.Dst)
+		g.AddEdge(m.Src, m.Dst, m.Weight)
+	case OpDeleteEdge:
+		g.RemoveEdge(m.Src, m.Dst)
+	case OpAddVertex:
+		g.AddVertex(m.Src)
+	case OpDeleteVertex:
+		g.RemoveVertex(m.Src)
+	}
+}
+
+// AddVertex adds v, reporting whether it was new.
+func (g *GraphState) AddVertex(v int64) bool {
+	if _, ok := g.verts[v]; ok {
+		return false
+	}
+	g.verts[v] = struct{}{}
+	return true
+}
+
+// HasVertex reports membership.
+func (g *GraphState) HasVertex(v int64) bool {
+	_, ok := g.verts[v]
+	return ok
+}
+
+// AddEdge inserts the directed edge (src, dst, w), reporting whether the
+// edge set changed (a fresh edge, or an existing one whose weight moved).
+// Self-loops are ignored — the fixpoint algorithms discard them anyway.
+func (g *GraphState) AddEdge(src, dst int64, w float64) bool {
+	if src == dst {
+		return false
+	}
+	g.AddVertex(src)
+	g.AddVertex(dst)
+	k := [2]int64{src, dst}
+	if i, ok := g.index[k]; ok {
+		if g.edges[i].Weight == w {
+			return false
+		}
+		g.edges[i].Weight = w
+		return true
+	}
+	g.index[k] = len(g.edges)
+	g.edges = append(g.edges, WEdge{Src: src, Dst: dst, Weight: w})
+	return true
+}
+
+// EdgeWeight returns the weight of the directed edge (src, dst) and
+// whether it exists.
+func (g *GraphState) EdgeWeight(src, dst int64) (float64, bool) {
+	if i, ok := g.index[[2]int64{src, dst}]; ok {
+		return g.edges[i].Weight, true
+	}
+	return 0, false
+}
+
+// RemoveEdge deletes the directed edge (src, dst) by swap-remove,
+// returning its weight and whether it existed.
+func (g *GraphState) RemoveEdge(src, dst int64) (float64, bool) {
+	k := [2]int64{src, dst}
+	i, ok := g.index[k]
+	if !ok {
+		return 0, false
+	}
+	w := g.edges[i].Weight
+	last := len(g.edges) - 1
+	if i != last {
+		moved := g.edges[last]
+		g.edges[i] = moved
+		g.index[[2]int64{moved.Src, moved.Dst}] = i
+	}
+	g.edges = g.edges[:last]
+	delete(g.index, k)
+	return w, true
+}
+
+// IncidentEdges returns every live edge touching v (either endpoint).
+func (g *GraphState) IncidentEdges(v int64) []WEdge {
+	var out []WEdge
+	for _, e := range g.edges {
+		if e.Src == v || e.Dst == v {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RemoveVertex deletes v and all incident edges, returning the removed
+// edges.
+func (g *GraphState) RemoveVertex(v int64) []WEdge {
+	if !g.HasVertex(v) {
+		return nil
+	}
+	removed := g.IncidentEdges(v)
+	for _, e := range removed {
+		g.RemoveEdge(e.Src, e.Dst)
+	}
+	delete(g.verts, v)
+	return removed
+}
+
+// NumVertices returns the alive vertex count.
+func (g *GraphState) NumVertices() int { return len(g.verts) }
+
+// NumEdges returns the live directed edge count.
+func (g *GraphState) NumEdges() int { return len(g.edges) }
+
+// Vertices returns the alive vertices in ascending order.
+func (g *GraphState) Vertices() []int64 {
+	out := make([]int64, 0, len(g.verts))
+	for v := range g.verts {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// UndirectedRecords symmetrizes the edge set into deduplicated edge
+// records (A=src, B=dst, both orientations), the neighborhood table N of
+// the Connected Components dataflow. Order is deterministic: edges sort
+// by (A, B).
+func (g *GraphState) UndirectedRecords() []record.Record {
+	seen := make(map[[2]int64]struct{}, 2*len(g.edges))
+	out := make([]record.Record, 0, 2*len(g.edges))
+	add := func(s, d int64) {
+		k := [2]int64{s, d}
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		out = append(out, record.Record{A: s, B: d})
+	}
+	for _, e := range g.edges {
+		add(e.Src, e.Dst)
+		add(e.Dst, e.Src)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// WeightedUndirected symmetrizes the edge set into weighted edges (both
+// orientations). When both orientations were inserted with different
+// weights, the smaller weight wins deterministically.
+func (g *GraphState) WeightedUndirected() []algorithms.WeightedEdge {
+	best := make(map[[2]int64]float64, 2*len(g.edges))
+	for _, e := range g.edges {
+		for _, k := range [][2]int64{{e.Src, e.Dst}, {e.Dst, e.Src}} {
+			if w, ok := best[k]; !ok || e.Weight < w {
+				best[k] = e.Weight
+			}
+		}
+	}
+	out := make([]algorithms.WeightedEdge, 0, len(best))
+	for k, w := range best {
+		out = append(out, algorithms.WeightedEdge{Src: k[0], Dst: k[1], Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// Graph materializes the current directed edge list as a graphgen.Graph
+// (NumVertices = max id + 1), for oracles and differential tests.
+func (g *GraphState) Graph(name string) *graphgen.Graph {
+	var maxID int64 = -1
+	for v := range g.verts {
+		if v > maxID {
+			maxID = v
+		}
+	}
+	edges := make([]graphgen.Edge, len(g.edges))
+	for i, e := range g.edges {
+		edges[i] = graphgen.Edge{Src: e.Src, Dst: e.Dst}
+	}
+	return &graphgen.Graph{Name: name, NumVertices: maxID + 1, Edges: edges}
+}

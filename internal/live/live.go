@@ -1,0 +1,674 @@
+// Package live is the serving side of incremental iterations: it keeps
+// converged fixpoints *resident* and maintains them under streaming graph
+// mutations.
+//
+// The paper's incremental iteration (Δ, S0, W0) converges to a solution
+// set S with an empty working set. That pair (S, ∅) is exactly the state
+// of a still-running job — so absorbing new input does not require
+// recomputation, only a small working-set delta and a warm restart of the
+// same fixpoint loop. A LiveView packages this: it holds the converged
+// runtime.SolutionSet (any backend: map, compact, or spilled under a
+// memory budget), a persistent partition-pinned execution session
+// (iterative.Fixpoint), and the mutable graph, and translates streamed
+// mutations into workset deltas:
+//
+//   - edge/vertex insertions take the monotone fast path: each endpoint
+//     proposes its current state to the other, and the fixpoint re-runs
+//     over just those candidates (typically 1–3 supersteps);
+//   - deletions are not monotone, so the view repairs by bounded
+//     recompute: the maintainer names the affected region (for Connected
+//     Components, the component containing the deleted edge), the region's
+//     entries are force-reset, and the fixpoint re-runs over the region
+//     only — falling back to a full recompute as a last resort (SSSP
+//     deletions, or regions larger than ViewConfig.RecomputeFraction);
+//   - mutations are micro-batched: they buffer until ViewConfig.BatchSize
+//     accumulate or ViewConfig.FlushInterval elapses, and one flush
+//     absorbs the whole batch in a single warm restart.
+//
+// Reads (Query, Snapshot) take a shared lock and see converged state only;
+// maintenance is serialized per view. The Scheduler serves many named
+// views concurrently under a global memory budget, and serve.go exposes
+// the whole service over HTTP for `spinflow serve`.
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/iterative"
+	"repro/internal/record"
+)
+
+// Op enumerates streaming graph mutations.
+type Op int
+
+// The mutation kinds.
+const (
+	// OpInsertEdge adds (or re-weights) the directed edge Src->Dst; views
+	// interpret edges as undirected, matching the paper's §6.2.
+	OpInsertEdge Op = iota
+	// OpDeleteEdge removes the edge Src->Dst.
+	OpDeleteEdge
+	// OpAddVertex adds the isolated vertex Src.
+	OpAddVertex
+	// OpDeleteVertex removes vertex Src and every incident edge.
+	OpDeleteVertex
+)
+
+// String names the op (also the HTTP wire form).
+func (o Op) String() string {
+	switch o {
+	case OpInsertEdge:
+		return "insert-edge"
+	case OpDeleteEdge:
+		return "delete-edge"
+	case OpAddVertex:
+		return "add-vertex"
+	case OpDeleteVertex:
+		return "delete-vertex"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Mutation is one streamed graph change.
+type Mutation struct {
+	Op       Op
+	Src, Dst int64
+	Weight   float64
+}
+
+// Convenience constructors.
+
+// InsertEdge inserts an unweighted edge.
+func InsertEdge(src, dst int64) Mutation { return Mutation{Op: OpInsertEdge, Src: src, Dst: dst} }
+
+// InsertWeightedEdge inserts a weighted edge (SSSP views).
+func InsertWeightedEdge(src, dst int64, w float64) Mutation {
+	return Mutation{Op: OpInsertEdge, Src: src, Dst: dst, Weight: w}
+}
+
+// DeleteEdge removes an edge.
+func DeleteEdge(src, dst int64) Mutation { return Mutation{Op: OpDeleteEdge, Src: src, Dst: dst} }
+
+// AddVertex adds an isolated vertex.
+func AddVertex(v int64) Mutation { return Mutation{Op: OpAddVertex, Src: v} }
+
+// DeleteVertex removes a vertex and its incident edges.
+func DeleteVertex(v int64) Mutation { return Mutation{Op: OpDeleteVertex, Src: v} }
+
+// ViewConfig configures one live view. The embedded iterative.Config
+// selects parallelism, metrics, and the solution-set backend (including
+// SolutionMemoryBudget for out-of-core views).
+type ViewConfig struct {
+	iterative.Config
+	// BatchSize is the number of buffered mutations that triggers an
+	// automatic flush (default 256).
+	BatchSize int
+	// FlushInterval bounds the staleness of buffered mutations: a
+	// non-zero interval flushes the batch that long after its first
+	// mutation arrives. Zero means flushes happen only when BatchSize is
+	// reached or Flush is called.
+	FlushInterval time.Duration
+	// RecomputeFraction is the bounded-recompute cutoff: when a
+	// deletion's affected region exceeds this fraction of the solution
+	// set, the view falls back to a full recompute (default 0.5).
+	RecomputeFraction float64
+}
+
+func (c ViewConfig) normalized() ViewConfig {
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.RecomputeFraction <= 0 {
+		c.RecomputeFraction = 0.5
+	}
+	return c
+}
+
+// Validate rejects configurations that cannot serve: negative knobs that
+// the zero-value defaults would otherwise silently paper over.
+func (c ViewConfig) Validate() error {
+	if c.BatchSize < 0 {
+		return fmt.Errorf("live: negative BatchSize %d", c.BatchSize)
+	}
+	if c.FlushInterval < 0 {
+		return fmt.Errorf("live: negative FlushInterval %v", c.FlushInterval)
+	}
+	if c.RecomputeFraction < 0 || c.RecomputeFraction > 1 {
+		return fmt.Errorf("live: RecomputeFraction %v outside [0,1]", c.RecomputeFraction)
+	}
+	if c.SolutionMemoryBudget < 0 {
+		return fmt.Errorf("live: negative SolutionMemoryBudget %d", c.SolutionMemoryBudget)
+	}
+	return nil
+}
+
+// ViewStats reports one view's lifetime maintenance counters.
+type ViewStats struct {
+	Vertices, Edges   int
+	SolutionRecords   int
+	SolutionBytes     int64
+	MutationsPending  int
+	DeltasApplied     int64
+	Flushes           int64
+	WarmRestarts      int64
+	PartialRecomputes int64
+	FullRecomputes    int64
+	Supersteps        int64
+	Rebinds           int64
+	// LastError is the most recent background (timer) flush failure, if
+	// any — synchronous Flush errors go to the caller instead.
+	LastError string
+}
+
+// LiveView is one maintained fixpoint: a resident solution set plus the
+// machinery to absorb streaming graph mutations into it. Mutate/Flush
+// are safe for concurrent use; maintenance itself is serialized, and
+// Query/Snapshot run concurrently with each other against converged
+// state.
+type LiveView struct {
+	name string
+	m    Maintainer
+	cfg  ViewConfig
+
+	// mu guards the graph, the fixpoint and the solution set: exclusive
+	// for maintenance, shared for reads.
+	mu        sync.RWMutex
+	gs        *GraphState
+	fx        *iterative.Fixpoint
+	spec      iterative.IncrementalSpec
+	sources   []*dataflow.Node
+	planEdges int // directed edge count the current plan was costed with
+	// overlay holds edges live in gs but not yet folded into the plan's
+	// cached edge table: the insert fast path leaves the O(E) caches
+	// untouched and instead re-derives candidates over these edges until
+	// the solution is a fixpoint over N ∪ overlay. Deletions, drift, or
+	// overlay growth fold them in (source refresh + cache invalidation).
+	overlay []WEdge
+	stats   ViewStats
+
+	// pmu guards the pending micro-batch.
+	pmu     sync.Mutex
+	pending []Mutation
+	timer   *time.Timer
+
+	closed atomic.Bool
+	// asyncErr records the last background (timer-driven) flush failure,
+	// surfaced through ViewStats.LastError.
+	asyncErr atomic.Value // string
+}
+
+// NewView builds a view over the graph described by the initial mutations
+// (typically a stream of InsertEdge), runs the cold fixpoint once, and
+// leaves everything resident for maintenance.
+func NewView(name string, m Maintainer, initial []Mutation, cfg ViewConfig) (*LiveView, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	v := &LiveView{name: name, m: m, cfg: cfg, gs: NewGraphState()}
+	for _, mut := range initial {
+		v.gs.Apply(mut)
+	}
+	spec, s0, w0 := m.Spec(v.gs)
+	fx, err := iterative.OpenFixpoint(spec, nil, cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	v.fx = fx
+	v.spec = spec
+	v.rebindSources(spec)
+	v.planEdges = v.gs.NumEdges()
+	fx.Solution().Init(s0)
+	if _, err := fx.Run(w0); err != nil {
+		fx.Close()
+		return nil, err
+	}
+	return v, nil
+}
+
+// rebindSources records the plan's Source nodes, in construction order,
+// so refreshSources can swap their data after graph mutations.
+func (v *LiveView) rebindSources(spec iterative.IncrementalSpec) {
+	v.sources = v.sources[:0]
+	for _, n := range spec.Plan.Nodes() {
+		if n.Contract == dataflow.Source {
+			v.sources = append(v.sources, n)
+		}
+	}
+}
+
+// Name returns the view's name.
+func (v *LiveView) Name() string { return v.name }
+
+// look reads the resident solution set by key.
+func (v *LiveView) look(k int64) (record.Record, bool) {
+	sol := v.fx.Solution()
+	return sol.Lookup(sol.PartitionFor(k), k)
+}
+
+// solReader exposes the resident solution to maintainers. Because flushes
+// force-store region resets before building insert deltas, lookups during
+// delta construction always see repaired labels, never stale ones.
+type solReader struct {
+	v *LiveView
+}
+
+func (r solReader) Lookup(k int64) (record.Record, bool) {
+	return r.v.look(k)
+}
+
+func (r solReader) Each(f func(record.Record)) {
+	r.v.fx.Solution().Each(f)
+}
+
+// Query returns the solution record for key k (e.g. a vertex's component
+// id or distance). It sees converged state only: flushes in progress
+// block it, queued-but-unflushed mutations do not affect it.
+func (v *LiveView) Query(k int64) (record.Record, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.look(k)
+}
+
+// Snapshot copies the converged solution set out.
+func (v *LiveView) Snapshot() []record.Record {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.fx.Solution().Snapshot()
+}
+
+// Bytes reports the solution set's resident in-memory footprint.
+func (v *LiveView) Bytes() int64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.fx.Solution().Bytes()
+}
+
+// Stats reports the view's maintenance counters.
+func (v *LiveView) Stats() ViewStats {
+	v.mu.RLock()
+	st := v.stats
+	st.Vertices = v.gs.NumVertices()
+	st.Edges = v.gs.NumEdges()
+	sol := v.fx.Solution()
+	st.SolutionRecords = sol.Size()
+	st.SolutionBytes = sol.Bytes()
+	v.mu.RUnlock()
+	v.pmu.Lock()
+	st.MutationsPending = len(v.pending)
+	v.pmu.Unlock()
+	if e, ok := v.asyncErr.Load().(string); ok {
+		st.LastError = e
+	}
+	return st
+}
+
+// Mutate queues mutations into the current micro-batch, flushing it when
+// it reaches ViewConfig.BatchSize (and arming the FlushInterval timer on
+// the batch's first mutation). The closed check happens under the batch
+// lock, so an accepted mutation is guaranteed to be either flushed by a
+// later Flush or drained by Close — never silently dropped.
+func (v *LiveView) Mutate(muts ...Mutation) error {
+	v.pmu.Lock()
+	if v.closed.Load() {
+		v.pmu.Unlock()
+		return fmt.Errorf("live: view %q is closed", v.name)
+	}
+	wasEmpty := len(v.pending) == 0
+	v.pending = append(v.pending, muts...)
+	n := len(v.pending)
+	if wasEmpty && n > 0 && v.cfg.FlushInterval > 0 && v.timer == nil {
+		v.timer = time.AfterFunc(v.cfg.FlushInterval, func() {
+			if err := v.Flush(); err != nil {
+				// Background flushes have no caller to return to; record
+				// the failure so Stats exposes it.
+				v.asyncErr.Store(err.Error())
+			}
+		})
+	}
+	v.pmu.Unlock()
+	if n >= v.cfg.BatchSize {
+		return v.Flush()
+	}
+	return nil
+}
+
+// takeBatch drains the pending micro-batch and disarms the timer.
+func (v *LiveView) takeBatch() []Mutation {
+	v.pmu.Lock()
+	batch := v.pending
+	v.pending = nil
+	if v.timer != nil {
+		v.timer.Stop()
+		v.timer = nil
+	}
+	v.pmu.Unlock()
+	return batch
+}
+
+// Flush applies the pending micro-batch now: mutations become workset
+// deltas and one warm restart absorbs them. It is a no-op when nothing is
+// pending. The batch is taken only after the maintenance lock is held and
+// the view is known to be open, so a Flush racing Close either completes
+// fully or leaves the batch for Close to drain.
+func (v *LiveView) Flush() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed.Load() {
+		return fmt.Errorf("live: view %q is closed", v.name)
+	}
+	batch := v.takeBatch()
+	if len(batch) == 0 {
+		return nil
+	}
+	return v.applyLocked(batch)
+}
+
+// insertedEdge records one edge insertion of a batch for delta building.
+type insertedEdge struct {
+	src, dst int64
+	w        float64
+}
+
+// applyLocked absorbs one mutation batch under the exclusive lock.
+func (v *LiveView) applyLocked(batch []Mutation) error {
+	sol := v.fx.Solution()
+
+	// Phase 1: apply the batch to the graph, classifying the work. The
+	// solution set is untouched here, so every impact classification
+	// below reads a consistent pre-batch state.
+	var (
+		inserts   []insertedEdge
+		newVerts  []int64
+		dropVerts []int64
+		affected  map[int64]struct{}
+		full      bool
+		hasDelete bool
+	)
+	reader := solReader{v: v}
+	noteDelete := func(src, dst int64) {
+		hasDelete = true
+		if full {
+			return
+		}
+		// Affected regions are unions of whole components: once an
+		// endpoint is in the set, its component's region is already fully
+		// included, so re-expanding it (an O(V) solution scan) is skipped.
+		if _, seen := affected[src]; seen {
+			return
+		}
+		if _, seen := affected[dst]; seen {
+			return
+		}
+		region, ok := v.m.DeleteImpact(v.gs, src, dst, reader)
+		if !ok {
+			full = true
+			return
+		}
+		if affected == nil {
+			affected = make(map[int64]struct{})
+		}
+		for _, a := range region {
+			affected[a] = struct{}{}
+		}
+	}
+	for _, mut := range batch {
+		switch mut.Op {
+		case OpInsertEdge:
+			for _, e := range []int64{mut.Src, mut.Dst} {
+				if v.gs.AddVertex(e) {
+					newVerts = append(newVerts, e)
+				}
+			}
+			oldW, existed := v.gs.EdgeWeight(mut.Src, mut.Dst)
+			if v.gs.AddEdge(mut.Src, mut.Dst, mut.Weight) {
+				inserts = append(inserts, insertedEdge{mut.Src, mut.Dst, mut.Weight})
+				if existed && oldW != mut.Weight {
+					// Re-weighting an existing edge is not monotone (the
+					// weight may have increased, lengthening paths through
+					// it): repair like a deletion of the old edge.
+					noteDelete(mut.Src, mut.Dst)
+				}
+			}
+		case OpDeleteEdge:
+			if _, ok := v.gs.RemoveEdge(mut.Src, mut.Dst); ok {
+				noteDelete(mut.Src, mut.Dst)
+			}
+		case OpAddVertex:
+			if v.gs.AddVertex(mut.Src) {
+				newVerts = append(newVerts, mut.Src)
+			}
+		case OpDeleteVertex:
+			if !v.gs.HasVertex(mut.Src) {
+				continue
+			}
+			// Classify each incident edge's impact before it disappears.
+			for _, e := range v.gs.IncidentEdges(mut.Src) {
+				noteDelete(e.Src, e.Dst)
+			}
+			v.gs.RemoveVertex(mut.Src)
+			dropVerts = append(dropVerts, mut.Src)
+			hasDelete = true
+		default:
+			return fmt.Errorf("live: unknown mutation op %v", mut.Op)
+		}
+	}
+	if m := v.cfg.Metrics; m != nil {
+		m.DeltasApplied.Add(int64(len(batch)))
+	}
+	v.stats.DeltasApplied += int64(len(batch))
+	v.stats.Flushes++
+
+	// Dropped vertices leave the solution immediately (and must not be
+	// resurrected by region resets).
+	for _, d := range dropVerts {
+		sol.Delete(d)
+		delete(affected, d)
+	}
+	if !full && len(affected) > 0 &&
+		float64(len(affected)) > v.cfg.RecomputeFraction*float64(sol.Size()) {
+		full = true
+	}
+
+	// New edges join the overlay; whether they also reach the plan's
+	// cached edge table depends on the fold decision below.
+	for _, ie := range inserts {
+		v.overlay = append(v.overlay, WEdge{Src: ie.src, Dst: ie.dst, Weight: ie.w})
+	}
+
+	if full {
+		return v.fullRecomputeLocked()
+	}
+
+	// Phase 2 (fold): deletions must be reflected in the plan's edge
+	// table before any repair propagates through it — stale edges would
+	// resurrect retracted state — and an oversized overlay is folded so
+	// the outer loop below stays cheap. Insert-only batches under the
+	// threshold skip this entirely: the O(E) constant caches stay warm,
+	// which is what makes small-delta maintenance fast.
+	if hasDelete || len(v.overlay)*8 > v.gs.NumEdges() {
+		if err := v.refreshPlan(); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: bounded recompute of the affected region — resets plus a
+	// candidate seed over the region's surviving edges.
+	var workset []record.Record
+	if len(affected) > 0 {
+		region := make([]int64, 0, len(affected))
+		for a := range affected {
+			region = append(region, a)
+		}
+		sort.Slice(region, func(i, j int) bool { return region[i] < region[j] })
+		resets, seed, drops := v.m.RecomputeSeed(v.gs, region)
+		for _, d := range drops {
+			sol.Delete(d)
+		}
+		for _, r := range resets {
+			sol.ForceStore(r)
+		}
+		workset = append(workset, seed...)
+		if m := v.cfg.Metrics; m != nil {
+			m.PartialRecomputes.Add(1)
+		}
+		v.stats.PartialRecomputes++
+	}
+	for _, nv := range newVerts {
+		if r, ok := v.m.VertexRecord(nv); ok {
+			sol.Update(r)
+		}
+	}
+	// Monotone insert candidates. Region resets are already force-stored,
+	// so lookups see the re-initialized labels, never stale ones.
+	for _, ie := range inserts {
+		workset = append(workset, v.m.InsertDelta(ie.src, ie.dst, ie.w, reader)...)
+	}
+
+	// Phase 4: drive to the fixpoint over N ∪ overlay. Each inner Run
+	// converges over the plan's (possibly stale) edge table N; overlay
+	// edges are then re-examined — any candidate the comparator says
+	// still improves the solution seeds another round. Candidates only
+	// move entries down the CPO, so the loop terminates.
+	for {
+		workset = v.filterImproving(workset)
+		if len(workset) == 0 {
+			return nil
+		}
+		if err := v.warmRestartLocked(workset); err != nil {
+			return err
+		}
+		if len(v.overlay) == 0 {
+			return nil
+		}
+		workset = workset[:0]
+		for _, e := range v.overlay {
+			workset = append(workset, v.m.InsertDelta(e.Src, e.Dst, e.Weight, reader)...)
+		}
+	}
+}
+
+// filterImproving keeps only workset candidates that would actually
+// advance the solution in the CPO — the comparator-based no-op check that
+// lets the overlay loop detect convergence.
+func (v *LiveView) filterImproving(ws []record.Record) []record.Record {
+	out := ws[:0]
+	for _, r := range ws {
+		old, ok := v.look(v.spec.SolutionKey(r))
+		switch {
+		case !ok:
+			out = append(out, r)
+		case v.spec.Comparator != nil:
+			if v.spec.Comparator(r, old) > 0 {
+				out = append(out, r)
+			}
+		case !old.Equal(r):
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// warmRestartLocked drives the resident fixpoint from the given workset.
+func (v *LiveView) warmRestartLocked(workset []record.Record) error {
+	res, err := v.fx.Run(workset)
+	if res != nil {
+		if m := v.cfg.Metrics; m != nil {
+			m.WarmRestarts.Add(1)
+			m.MaintenanceSupersteps.Add(int64(res.Supersteps))
+		}
+		v.stats.WarmRestarts++
+		v.stats.Supersteps += int64(res.Supersteps)
+	}
+	return err
+}
+
+// fullRecomputeLocked is the last resort: reset the solution set and
+// re-run the fixpoint from S0/W0 over the current graph — still inside
+// the resident session, so even this path reuses workers and state.
+func (v *LiveView) fullRecomputeLocked() error {
+	spec, s0, w0 := v.m.Spec(v.gs)
+	if err := v.fx.Rebind(spec); err != nil {
+		return err
+	}
+	v.spec = spec
+	v.rebindSources(spec)
+	v.planEdges = v.gs.NumEdges()
+	v.overlay = v.overlay[:0]
+	v.stats.Rebinds++
+	sol := v.fx.Solution()
+	sol.Reset()
+	sol.Init(s0)
+	if m := v.cfg.Metrics; m != nil {
+		m.FullRecomputes.Add(1)
+	}
+	v.stats.FullRecomputes++
+	return v.warmRestartLocked(w0)
+}
+
+// refreshPlan folds the current graph (including any overlay edges) into
+// the Δ plan's Source nodes. In the common case the spec is rebuilt only
+// to harvest fresh source data, which is copied into the live plan in
+// place — the session and its workers survive, and InvalidateConstants
+// makes the next superstep re-materialize the edge caches. When the edge
+// count has drifted 4x from what the physical plan was costed with, the
+// view re-optimizes instead.
+func (v *LiveView) refreshPlan() error {
+	edges := v.gs.NumEdges()
+	drifted := edges > 4*v.planEdges || (edges > 0 && v.planEdges > 4*edges)
+	spec, _, _ := v.m.Spec(v.gs)
+	v.overlay = v.overlay[:0]
+	if drifted {
+		if err := v.fx.Rebind(spec); err != nil {
+			return err
+		}
+		v.spec = spec
+		v.rebindSources(spec)
+		v.planEdges = edges
+		v.stats.Rebinds++
+		return nil
+	}
+	fresh := make([]*dataflow.Node, 0, len(v.sources))
+	for _, n := range spec.Plan.Nodes() {
+		if n.Contract == dataflow.Source {
+			fresh = append(fresh, n)
+		}
+	}
+	if len(fresh) != len(v.sources) {
+		return fmt.Errorf("live: maintainer %s produced %d sources, plan has %d",
+			v.m.Name(), len(fresh), len(v.sources))
+	}
+	for i, n := range v.sources {
+		n.Data = fresh[i].Data
+	}
+	v.fx.InvalidateConstants()
+	return nil
+}
+
+// Close flushes pending mutations, releases the session, and drops the
+// solution set (removing any spill files). Idempotent. The closed flag
+// flips under the maintenance lock before the final drain, so any
+// mutation accepted by Mutate is applied here (or was already flushed)
+// and later Mutate/Flush calls fail fast.
+func (v *LiveView) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var err error
+	if batch := v.takeBatch(); len(batch) > 0 {
+		err = v.applyLocked(batch)
+	}
+	v.fx.Solution().Reset()
+	v.fx.Close()
+	return err
+}

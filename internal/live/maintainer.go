@@ -1,0 +1,169 @@
+package live
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/iterative"
+	"repro/internal/record"
+)
+
+// SolutionReader is read access to the resident solution set, as handed
+// to maintainers. During a flush that includes deletions, affected-region
+// entries are force-reset before insert deltas are built, so lookups
+// never observe stale pre-deletion state.
+type SolutionReader interface {
+	// Lookup probes the solution by key.
+	Lookup(k int64) (record.Record, bool)
+	// Each visits every solution record (order unspecified).
+	Each(f func(record.Record))
+}
+
+// Maintainer adapts one incremental fixpoint algorithm to streaming
+// maintenance: it builds the Δ spec for the current graph, turns edge
+// insertions into monotone workset candidates, and scopes the repair work
+// a deletion needs.
+type Maintainer interface {
+	// Name identifies the algorithm ("cc", "sssp") in stats and the HTTP
+	// API.
+	Name() string
+	// Spec assembles the incremental iteration (Δ, S0, W0) for the given
+	// graph state. It is re-invoked after structural mutations; the
+	// Source nodes it produces must appear in a deterministic order.
+	Spec(gs *GraphState) (iterative.IncrementalSpec, []record.Record, []record.Record)
+	// InsertDelta translates the inserted undirected edge (src, dst, w)
+	// into workset candidates over the resident solution — the monotone
+	// fast path. It must be safe for lookups to miss (new or reset
+	// vertices).
+	InsertDelta(src, dst int64, w float64, sol SolutionReader) []record.Record
+	// VertexRecord is the solution entry a fresh isolated vertex starts
+	// with; ok=false if the algorithm keeps no entry for it.
+	VertexRecord(v int64) (record.Record, bool)
+	// DeleteImpact scopes the repair of removing edge (src, dst): the
+	// vertices whose entries may be invalidated (bounded recompute), or
+	// ok=false to demand a full recompute. It runs before any solution
+	// state changes, so lookups see consistent pre-batch values. gs
+	// already reflects the deletion.
+	DeleteImpact(gs *GraphState, src, dst int64, sol SolutionReader) (affected []int64, ok bool)
+	// RecomputeSeed re-initializes the affected region: resets are
+	// force-stored over the resident solution, drops are deleted from it,
+	// and seed becomes the workset driving the bounded restart. gs is the
+	// post-batch graph.
+	RecomputeSeed(gs *GraphState, affected []int64) (resets, seed []record.Record, drops []int64)
+}
+
+// --- Connected Components -----------------------------------------------
+
+// ccMaintainer maintains the incremental Connected Components fixpoint of
+// Figure 5. Insertions are monotone (component ids only shrink under the
+// min-label CPO); a deleted edge can split only the component containing
+// it, so the bounded recompute re-labels exactly that component's members
+// from identity and re-seeds candidates over its surviving edges.
+type ccMaintainer struct{}
+
+// CC returns the Connected Components maintainer.
+func CC() Maintainer { return ccMaintainer{} }
+
+func (ccMaintainer) Name() string { return "cc" }
+
+func (ccMaintainer) Spec(gs *GraphState) (iterative.IncrementalSpec, []record.Record, []record.Record) {
+	return algorithms.CCMaintenanceSpec(gs.Vertices(), gs.UndirectedRecords(), algorithms.CCCoGroup)
+}
+
+// cid reads a vertex's current component label, defaulting to its own id
+// (fresh and reset vertices label themselves).
+func cid(x int64, sol SolutionReader) int64 {
+	if r, ok := sol.Lookup(x); ok {
+		return r.B
+	}
+	return x
+}
+
+func (ccMaintainer) InsertDelta(src, dst int64, _ float64, sol SolutionReader) []record.Record {
+	return []record.Record{
+		{A: dst, B: cid(src, sol)},
+		{A: src, B: cid(dst, sol)},
+	}
+}
+
+func (ccMaintainer) VertexRecord(v int64) (record.Record, bool) {
+	return record.Record{A: v, B: v}, true
+}
+
+func (ccMaintainer) DeleteImpact(_ *GraphState, src, _ int64, sol SolutionReader) ([]int64, bool) {
+	// Both endpoints carried the same label (they were connected); every
+	// vertex with that label is the candidate split region.
+	c, ok := sol.Lookup(src)
+	if !ok {
+		return nil, true // vertex unknown to the solution: nothing to repair
+	}
+	var affected []int64
+	sol.Each(func(r record.Record) {
+		if r.B == c.B {
+			affected = append(affected, r.A)
+		}
+	})
+	return affected, true
+}
+
+func (ccMaintainer) RecomputeSeed(gs *GraphState, affected []int64) (resets, seed []record.Record, drops []int64) {
+	in := make(map[int64]struct{}, len(affected))
+	resets = make([]record.Record, len(affected))
+	for i, v := range affected {
+		in[v] = struct{}{}
+		resets[i] = record.Record{A: v, B: v}
+	}
+	// Surviving edges with both endpoints in the region re-seed the
+	// candidate propagation (UndirectedRecords carries both orientations).
+	for _, e := range gs.UndirectedRecords() {
+		if _, a := in[e.A]; !a {
+			continue
+		}
+		if _, b := in[e.B]; !b {
+			continue
+		}
+		seed = append(seed, record.Record{A: e.B, B: e.A})
+	}
+	return resets, seed, nil
+}
+
+// --- Single-source shortest paths ---------------------------------------
+
+// ssspMaintainer maintains the incremental SSSP fixpoint. Insertions are
+// monotone (distances only shrink); a deleted edge can lengthen any path
+// that used it, and without shortest-path-tree bookkeeping the affected
+// set is unknowable from the solution alone — deletions therefore take
+// the full-recompute last resort.
+type ssspMaintainer struct {
+	source int64
+}
+
+// SSSP returns the shortest-paths maintainer rooted at source.
+func SSSP(source int64) Maintainer { return ssspMaintainer{source: source} }
+
+func (ssspMaintainer) Name() string { return "sssp" }
+
+func (s ssspMaintainer) Spec(gs *GraphState) (iterative.IncrementalSpec, []record.Record, []record.Record) {
+	return algorithms.SSSPSpec(gs.WeightedUndirected(), s.source)
+}
+
+func (s ssspMaintainer) InsertDelta(src, dst int64, w float64, sol SolutionReader) []record.Record {
+	var out []record.Record
+	if d, ok := sol.Lookup(src); ok {
+		out = append(out, record.Record{A: dst, X: d.X + w})
+	}
+	if d, ok := sol.Lookup(dst); ok {
+		out = append(out, record.Record{A: src, X: d.X + w})
+	}
+	return out
+}
+
+func (ssspMaintainer) VertexRecord(int64) (record.Record, bool) {
+	return record.Record{}, false // unreached vertices have no entry
+}
+
+func (ssspMaintainer) DeleteImpact(*GraphState, int64, int64, SolutionReader) ([]int64, bool) {
+	return nil, false
+}
+
+func (ssspMaintainer) RecomputeSeed(*GraphState, []int64) ([]record.Record, []record.Record, []int64) {
+	return nil, nil, nil
+}

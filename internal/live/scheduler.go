@@ -1,0 +1,198 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/record"
+)
+
+// ErrMemoryBudget is returned when creating a view would push the summed
+// resident solution footprint past the scheduler's budget.
+var ErrMemoryBudget = errors.New("live: scheduler memory budget exceeded")
+
+// SchedulerConfig configures the concurrent view scheduler.
+type SchedulerConfig struct {
+	// MemoryBudget bounds the summed resident solution-set bytes across
+	// all views (serialized-form estimate, the same accounting as
+	// Config.SolutionMemoryBudget). Zero means unlimited. Admission is
+	// enforced twice: an optimistic estimate before a view is built, and
+	// the real footprint after its cold run — a view that lands over
+	// budget is torn down again.
+	MemoryBudget int64
+	// DefaultView supplies defaults for views created without an explicit
+	// config (the HTTP API's create endpoint).
+	DefaultView ViewConfig
+}
+
+// SchedulerStats aggregates the scheduler's state.
+type SchedulerStats struct {
+	Views        int
+	MemoryBudget int64
+	MemoryUsed   int64
+	PerView      map[string]ViewStats
+}
+
+// Scheduler serves many named live views concurrently: view creation is
+// admission-controlled against the memory budget, maintenance is
+// serialized per view (by the view itself), and distinct views flush and
+// answer queries fully in parallel.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu    sync.RWMutex
+	views map[string]*LiveView
+}
+
+// NewScheduler creates an empty scheduler.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	return &Scheduler{cfg: cfg, views: make(map[string]*LiveView)}
+}
+
+// Usage returns the summed resident solution bytes across views.
+func (s *Scheduler) Usage() int64 {
+	s.mu.RLock()
+	views := make([]*LiveView, 0, len(s.views))
+	for _, v := range s.views {
+		if v != nil { // skip names reserved by in-flight creates
+			views = append(views, v)
+		}
+	}
+	s.mu.RUnlock()
+	var total int64
+	for _, v := range views {
+		total += v.Bytes()
+	}
+	return total
+}
+
+// Create builds a named view, runs its cold fixpoint, and registers it.
+// A nil cfg uses SchedulerConfig.DefaultView. The build runs outside the
+// scheduler lock (other views keep serving); the name is reserved first
+// so concurrent creates cannot race on it.
+func (s *Scheduler) Create(name string, m Maintainer, initial []Mutation, cfg *ViewConfig) (*LiveView, error) {
+	if name == "" {
+		return nil, fmt.Errorf("live: view name must not be empty")
+	}
+	vcfg := s.cfg.DefaultView
+	if cfg != nil {
+		vcfg = *cfg
+	}
+	if err := vcfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Optimistic admission: each initial mutation contributes at most two
+	// fresh solution entries (an edge's endpoints).
+	if b := s.cfg.MemoryBudget; b > 0 {
+		est := int64(len(initial)) * 2 * record.EncodedSize
+		if s.Usage()+est > b {
+			return nil, fmt.Errorf("%w: %d views use %d bytes, view %q estimated at %d, budget %d",
+				ErrMemoryBudget, s.NumViews(), s.Usage(), name, est, b)
+		}
+	}
+
+	s.mu.Lock()
+	if _, dup := s.views[name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("live: view %q already exists", name)
+	}
+	s.views[name] = nil // reserve the name while building
+	s.mu.Unlock()
+
+	v, err := NewView(name, m, initial, vcfg)
+	if err != nil {
+		s.drop(name)
+		return nil, err
+	}
+	s.mu.Lock()
+	s.views[name] = v
+	s.mu.Unlock()
+
+	// Post-build enforcement against the real footprint.
+	if b := s.cfg.MemoryBudget; b > 0 && s.Usage() > b {
+		used := s.Usage()
+		s.drop(name)
+		v.Close()
+		return nil, fmt.Errorf("%w: view %q would bring usage to %d bytes, budget %d",
+			ErrMemoryBudget, name, used, b)
+	}
+	return v, nil
+}
+
+// drop removes a name from the registry without closing the view.
+func (s *Scheduler) drop(name string) {
+	s.mu.Lock()
+	delete(s.views, name)
+	s.mu.Unlock()
+}
+
+// Get returns a view by name.
+func (s *Scheduler) Get(name string) (*LiveView, bool) {
+	s.mu.RLock()
+	v, ok := s.views[name]
+	s.mu.RUnlock()
+	return v, ok && v != nil
+}
+
+// NumViews returns the number of registered views.
+func (s *Scheduler) NumViews() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.views)
+}
+
+// Names returns the registered view names in sorted order.
+func (s *Scheduler) Names() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.views))
+	for n, v := range s.views {
+		if v != nil {
+			out = append(out, n)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Drop closes a view and removes it.
+func (s *Scheduler) Drop(name string) error {
+	v, ok := s.Get(name)
+	if !ok {
+		return fmt.Errorf("live: no view %q", name)
+	}
+	s.drop(name)
+	return v.Close()
+}
+
+// Stats aggregates scheduler-wide and per-view counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	st := SchedulerStats{MemoryBudget: s.cfg.MemoryBudget, PerView: make(map[string]ViewStats)}
+	for _, name := range s.Names() {
+		if v, ok := s.Get(name); ok {
+			vs := v.Stats()
+			st.PerView[name] = vs
+			st.MemoryUsed += vs.SolutionBytes
+			st.Views++
+		}
+	}
+	return st
+}
+
+// Close flushes and closes every view (pending mutations are applied, the
+// sessions released, spill files removed). The first error is returned;
+// all views are closed regardless.
+func (s *Scheduler) Close() error {
+	var first error
+	for _, name := range s.Names() {
+		if v, ok := s.Get(name); ok {
+			s.drop(name)
+			if err := v.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,223 @@
+package live
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/iterative"
+	"repro/internal/metrics"
+	"repro/internal/record"
+)
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestServeHTTPAPI drives the full view lifecycle over HTTP: create,
+// mutate, flush, query, stats, drop.
+func TestServeHTTPAPI(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{
+		DefaultView: ViewConfig{Config: iterative.Config{Parallelism: 2}}})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Create a CC view over a triangle plus an isolated pair.
+	resp := postJSON(t, srv.URL+"/views", CreateRequest{
+		Name:      "g",
+		Algorithm: "cc",
+		Edges: []EdgeJSON{
+			{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+			{Src: 10, Dst: 11},
+		},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s", resp.Status)
+	}
+	st := decodeJSON[ViewStats](t, resp)
+	if st.SolutionRecords != 5 {
+		t.Fatalf("created view has %d records, want 5", st.SolutionRecords)
+	}
+
+	// Query: vertex 11 belongs to component 10.
+	q := decodeJSON[QueryResponse](t, mustGet(t, srv.URL+"/views/g/query?key=11"))
+	if !q.Found || q.B != 10 {
+		t.Fatalf("query(11) = %+v, want component 10", q)
+	}
+
+	// Stream a mutation joining the two components, flush, re-query.
+	resp = postJSON(t, srv.URL+"/views/g/mutations", []MutationJSON{
+		{Op: "insert-edge", Src: 2, Dst: 10},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("mutations: %s", resp.Status)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, srv.URL+"/views/g/flush", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: %s", resp.Status)
+	}
+	st = decodeJSON[ViewStats](t, resp)
+	if st.DeltasApplied != 1 || st.WarmRestarts != 1 {
+		t.Fatalf("flush stats: %+v", st)
+	}
+	q = decodeJSON[QueryResponse](t, mustGet(t, srv.URL+"/views/g/query?key=11"))
+	if !q.Found || q.B != 0 {
+		t.Fatalf("post-merge query(11) = %+v, want component 0", q)
+	}
+
+	// Missing view and bad payloads.
+	if resp := mustGet(t, srv.URL+"/views/nope/stats"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing view: %s", resp.Status)
+	}
+	if resp := postJSON(t, srv.URL+"/views/g/mutations", []MutationJSON{{Op: "explode"}}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad op: %s", resp.Status)
+	}
+	if resp := postJSON(t, srv.URL+"/views", CreateRequest{Name: "x", Algorithm: "nope"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad algorithm: %s", resp.Status)
+	}
+
+	// Scheduler stats and drop.
+	stats := decodeJSON[SchedulerStats](t, mustGet(t, srv.URL+"/stats"))
+	if stats.Views != 1 {
+		t.Errorf("scheduler stats: %+v", stats)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/views/g", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Errorf("delete: %s", dresp.Status)
+	}
+	if s.NumViews() != 0 {
+		t.Errorf("view survived DELETE: %d", s.NumViews())
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// spillFiles lists the runtime's spill files in the temp dir.
+func spillFiles(t *testing.T) map[string]bool {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(os.TempDir(), "spinflow-spill-*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool, len(matches))
+	for _, m := range matches {
+		out[m] = true
+	}
+	return out
+}
+
+// TestServeShutdownClean is the `spinflow serve` SIGINT contract, tested
+// through the same stop-channel path the command wires a signal into:
+// on shutdown, pending mutations are flushed, the solution state
+// (including spill files of budgeted views) is released, and the listener
+// stops accepting connections.
+func TestServeShutdownClean(t *testing.T) {
+	before := spillFiles(t)
+
+	var m metrics.Counters
+	s := NewScheduler(SchedulerConfig{
+		DefaultView: ViewConfig{
+			Config: iterative.Config{
+				Parallelism: 4,
+				Metrics:     &m,
+				// A budget far below the view's footprint forces spilling.
+				SolutionMemoryBudget: 8 * record.EncodedSize,
+			},
+			BatchSize: 1 << 20, // flushes must come from shutdown, not size
+		}})
+
+	stop := make(chan struct{})
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- Serve("127.0.0.1:0", s, stop, ready) }()
+	addr := (<-ready).String()
+	base := "http://" + addr
+
+	resp := postJSON(t, base+"/views", CreateRequest{
+		Name: "g", Algorithm: "cc",
+		Edges: func() []EdgeJSON {
+			var es []EdgeJSON
+			for i := int64(0); i < 64; i++ {
+				es = append(es, EdgeJSON{Src: i, Dst: i + 1})
+			}
+			return es
+		}(),
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s", resp.Status)
+	}
+	resp.Body.Close()
+	if m.SolutionSpills.Load() == 0 {
+		t.Fatal("budgeted view did not spill; shutdown test needs spill files")
+	}
+
+	// Queue a mutation but do not flush: shutdown must apply it.
+	resp = postJSON(t, base+"/views/g/mutations", []MutationJSON{
+		{Op: "insert-edge", Src: 100, Dst: 101},
+	})
+	resp.Body.Close()
+	applied := m.DeltasApplied.Load()
+
+	close(stop) // the command sends SIGINT through exactly this channel
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+
+	// Views were flushed before closing.
+	if got := m.DeltasApplied.Load(); got != applied+1 {
+		t.Errorf("pending mutation not flushed on shutdown: DeltasApplied %d -> %d", applied, got)
+	}
+	// Spill files are gone (only ones that existed before the test may
+	// remain — other tests' leftovers are not ours to assert on).
+	for f := range spillFiles(t) {
+		if !before[f] {
+			t.Errorf("spill file %s survived shutdown", f)
+		}
+	}
+	// The listener is down.
+	if _, err := http.Get(base + "/stats"); err == nil {
+		t.Error("server still serving after shutdown")
+	}
+	// And the scheduler is empty.
+	if s.NumViews() != 0 {
+		t.Errorf("%d views survived shutdown", s.NumViews())
+	}
+}

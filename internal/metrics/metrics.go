@@ -52,6 +52,22 @@ type Counters struct {
 	// SolutionReloads counts spilled solution-set partitions replayed back
 	// into memory on access.
 	SolutionReloads atomic.Int64
+	// DeltasApplied counts streamed graph mutations absorbed by live views
+	// (each edge/vertex mutation counts once, when its batch is flushed).
+	DeltasApplied atomic.Int64
+	// WarmRestarts counts incremental-iteration restarts over an existing
+	// resident solution set (live maintenance flushes and
+	// ResumeIncremental calls), as opposed to cold runs from S0.
+	WarmRestarts atomic.Int64
+	// PartialRecomputes counts deletion repairs that re-ran the fixpoint
+	// over only the affected region of the graph.
+	PartialRecomputes atomic.Int64
+	// FullRecomputes counts deletion repairs that fell back to a full
+	// recompute from scratch (the last resort).
+	FullRecomputes atomic.Int64
+	// MaintenanceSupersteps counts supersteps executed by warm restarts —
+	// the marginal fixpoint work of absorbing mutations.
+	MaintenanceSupersteps atomic.Int64
 }
 
 // Snapshot is an immutable copy of counter values.
@@ -68,6 +84,12 @@ type Snapshot struct {
 	SolutionBytes    int64
 	SolutionSpills   int64
 	SolutionReloads  int64
+
+	DeltasApplied         int64
+	WarmRestarts          int64
+	PartialRecomputes     int64
+	FullRecomputes        int64
+	MaintenanceSupersteps int64
 }
 
 // Snapshot captures current counter values.
@@ -85,6 +107,12 @@ func (c *Counters) Snapshot() Snapshot {
 		SolutionBytes:    c.SolutionBytes.Load(),
 		SolutionSpills:   c.SolutionSpills.Load(),
 		SolutionReloads:  c.SolutionReloads.Load(),
+
+		DeltasApplied:         c.DeltasApplied.Load(),
+		WarmRestarts:          c.WarmRestarts.Load(),
+		PartialRecomputes:     c.PartialRecomputes.Load(),
+		FullRecomputes:        c.FullRecomputes.Load(),
+		MaintenanceSupersteps: c.MaintenanceSupersteps.Load(),
 	}
 }
 
@@ -103,6 +131,12 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		SolutionBytes:    s.SolutionBytes - o.SolutionBytes,
 		SolutionSpills:   s.SolutionSpills - o.SolutionSpills,
 		SolutionReloads:  s.SolutionReloads - o.SolutionReloads,
+
+		DeltasApplied:         s.DeltasApplied - o.DeltasApplied,
+		WarmRestarts:          s.WarmRestarts - o.WarmRestarts,
+		PartialRecomputes:     s.PartialRecomputes - o.PartialRecomputes,
+		FullRecomputes:        s.FullRecomputes - o.FullRecomputes,
+		MaintenanceSupersteps: s.MaintenanceSupersteps - o.MaintenanceSupersteps,
 	}
 }
 
@@ -120,6 +154,11 @@ func (c *Counters) Reset() {
 	c.SolutionBytes.Store(0)
 	c.SolutionSpills.Store(0)
 	c.SolutionReloads.Store(0)
+	c.DeltasApplied.Store(0)
+	c.WarmRestarts.Store(0)
+	c.PartialRecomputes.Store(0)
+	c.FullRecomputes.Store(0)
+	c.MaintenanceSupersteps.Store(0)
 }
 
 // IterationStat records one iteration/superstep of an iterative job — one

@@ -51,6 +51,27 @@ func TestRuntimeReuseCounters(t *testing.T) {
 	}
 }
 
+func TestMaintenanceCounters(t *testing.T) {
+	var c Counters
+	c.DeltasApplied.Add(12)
+	c.WarmRestarts.Add(3)
+	c.MaintenanceSupersteps.Add(7)
+	s1 := c.Snapshot()
+	if s1.DeltasApplied != 12 || s1.WarmRestarts != 3 || s1.MaintenanceSupersteps != 7 {
+		t.Errorf("snapshot wrong: %+v", s1)
+	}
+	c.PartialRecomputes.Add(2)
+	c.FullRecomputes.Add(1)
+	d := c.Snapshot().Sub(s1)
+	if d.PartialRecomputes != 2 || d.FullRecomputes != 1 || d.DeltasApplied != 0 {
+		t.Errorf("delta wrong: %+v", d)
+	}
+	c.Reset()
+	if s := c.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("reset left %+v", s)
+	}
+}
+
 func TestConcurrentUpdates(t *testing.T) {
 	var c Counters
 	var wg sync.WaitGroup

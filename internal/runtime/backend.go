@@ -21,6 +21,10 @@ type SolutionBackend interface {
 	Lookup(part int, k int64) (record.Record, bool)
 	// Store inserts or overwrites the record under key k in partition part.
 	Store(part int, k int64, r record.Record)
+	// Delete removes the record under key k from partition part, reporting
+	// whether an entry existed. Live maintenance uses it when vertices
+	// leave the graph and when bounded recomputes retract state.
+	Delete(part int, k int64) bool
 	// Len returns the number of records in partition part.
 	Len(part int) int
 	// Each visits every record of partition part (order unspecified). It
@@ -100,6 +104,15 @@ func (b *mapBackend) Store(part int, k int64, r record.Record) {
 	b.parts[part][k] = r
 }
 
+func (b *mapBackend) Delete(part int, k int64) bool {
+	if _, exists := b.parts[part][k]; !exists {
+		return false
+	}
+	delete(b.parts[part], k)
+	b.bytes.Add(-record.EncodedSize)
+	return true
+}
+
 func (b *mapBackend) Len(part int) int { return len(b.parts[part]) }
 
 func (b *mapBackend) Each(part int, f func(record.Record)) {
@@ -121,17 +134,26 @@ func (b *mapBackend) Bytes() int64 { return b.bytes.Load() }
 
 // compactIndex is one partition of the compact backend: an open-addressing
 // probe table over flat slabs. slots holds positions into the keys/recs
-// slabs (-1 = empty); records are appended to recs and updated in place,
-// so iteration order is insertion order and a lookup is a linear probe
-// from Hash64(k) with no per-entry heap objects. Slabs are retained across
-// reset(), giving steady-state generations allocation-free rebuilds.
+// slabs (-1 = empty, -2 = tombstone left by a delete); records are
+// appended to recs and updated in place, so iteration order is insertion
+// order and a lookup is a linear probe from Hash64(k) with no per-entry
+// heap objects. Slabs are retained across reset(), giving steady-state
+// generations allocation-free rebuilds. Deletes swap-remove from the slabs
+// and leave a tombstone in the probe table; tombstones are recycled by
+// inserts and swept by a same-size rehash when they pile up.
 type compactIndex struct {
-	slots []int32 // power-of-two table; -1 empty, else index into recs
+	slots []int32 // power-of-two table; -1 empty, -2 tombstone, else index into recs
 	keys  []int64
 	recs  []record.Record
+	tombs int // tombstone count in slots
 }
 
 const compactMaxLoadNum, compactMaxLoadDen = 3, 4 // grow beyond 75% load
+
+const (
+	compactEmpty     = -1
+	compactTombstone = -2
+)
 
 // reserve sizes the probe table for at least n records.
 func (c *compactIndex) reserve(n int) {
@@ -153,15 +175,17 @@ func (c *compactIndex) reserve(n int) {
 	}
 }
 
-// rehash rebuilds the probe table at the given power-of-two size.
+// rehash rebuilds the probe table at the given power-of-two size. Rebuilt
+// tables have no tombstones.
 func (c *compactIndex) rehash(size int) {
 	if cap(c.slots) >= size {
 		c.slots = c.slots[:size]
 	} else {
 		c.slots = make([]int32, size)
 	}
+	c.tombs = 0
 	for i := range c.slots {
-		c.slots[i] = -1
+		c.slots[i] = compactEmpty
 	}
 	mask := uint64(size - 1)
 	for i, k := range c.keys {
@@ -181,10 +205,10 @@ func (c *compactIndex) lookup(k int64) (record.Record, bool) {
 	j := record.Hash64(k) & mask
 	for {
 		s := c.slots[j]
-		if s < 0 {
+		if s == compactEmpty {
 			return record.Record{}, false
 		}
-		if c.keys[s] == k {
+		if s >= 0 && c.keys[s] == k {
 			return c.recs[s], true
 		}
 		j = (j + 1) & mask
@@ -192,8 +216,10 @@ func (c *compactIndex) lookup(k int64) (record.Record, bool) {
 }
 
 // store inserts or overwrites; it reports whether a new key was inserted.
+// Tombstoned slots are recycled for new keys, but probing continues past
+// them so an existing key further down its chain is still found.
 func (c *compactIndex) store(k int64, r record.Record) bool {
-	if len(c.slots) == 0 || (len(c.recs)+1)*compactMaxLoadDen > len(c.slots)*compactMaxLoadNum {
+	if len(c.slots) == 0 || (len(c.recs)+c.tombs+1)*compactMaxLoadDen > len(c.slots)*compactMaxLoadNum {
 		size := len(c.slots) * 2
 		if size < 8 {
 			size = 8
@@ -202,17 +228,69 @@ func (c *compactIndex) store(k int64, r record.Record) bool {
 	}
 	mask := uint64(len(c.slots) - 1)
 	j := record.Hash64(k) & mask
+	reuse := -1 // first tombstone on the probe path, reusable on insert
 	for {
 		s := c.slots[j]
-		if s < 0 {
+		if s == compactEmpty {
+			if reuse >= 0 {
+				j = uint64(reuse)
+				c.tombs--
+			}
 			c.slots[j] = int32(len(c.recs))
 			c.keys = append(c.keys, k)
 			c.recs = append(c.recs, r)
 			return true
 		}
-		if c.keys[s] == k {
+		if s == compactTombstone {
+			if reuse < 0 {
+				reuse = int(j)
+			}
+		} else if c.keys[s] == k {
 			c.recs[s] = r
 			return false
+		}
+		j = (j + 1) & mask
+	}
+}
+
+// delete removes key k, reporting whether it was present. The record is
+// swap-removed from the slabs (the last record fills the hole) and the
+// vacated probe slot becomes a tombstone; when tombstones exceed a quarter
+// of the table a same-size rehash sweeps them out.
+func (c *compactIndex) delete(k int64) bool {
+	if len(c.slots) == 0 {
+		return false
+	}
+	mask := uint64(len(c.slots) - 1)
+	j := record.Hash64(k) & mask
+	for {
+		s := c.slots[j]
+		if s == compactEmpty {
+			return false
+		}
+		if s >= 0 && c.keys[s] == k {
+			last := len(c.recs) - 1
+			if int(s) != last {
+				// Move the last slab entry into the hole and repoint the
+				// probe slot that referenced it (keys are unique, so the
+				// probe from its hash finds exactly one slot holding last).
+				lk := c.keys[last]
+				jj := record.Hash64(lk) & mask
+				for c.slots[jj] != int32(last) {
+					jj = (jj + 1) & mask
+				}
+				c.slots[jj] = s
+				c.keys[s] = lk
+				c.recs[s] = c.recs[last]
+			}
+			c.keys = c.keys[:last]
+			c.recs = c.recs[:last]
+			c.slots[j] = compactTombstone
+			c.tombs++
+			if c.tombs*4 > len(c.slots) {
+				c.rehash(len(c.slots))
+			}
+			return true
 		}
 		j = (j + 1) & mask
 	}
@@ -222,8 +300,9 @@ func (c *compactIndex) store(k int64, r record.Record) bool {
 func (c *compactIndex) reset() {
 	c.keys = c.keys[:0]
 	c.recs = c.recs[:0]
+	c.tombs = 0
 	for i := range c.slots {
-		c.slots[i] = -1
+		c.slots[i] = compactEmpty
 	}
 }
 
@@ -253,6 +332,14 @@ func (b *compactBackend) Store(part int, k int64, r record.Record) {
 	if b.parts[part].store(k, r) {
 		b.bytes.Add(record.EncodedSize)
 	}
+}
+
+func (b *compactBackend) Delete(part int, k int64) bool {
+	if !b.parts[part].delete(k) {
+		return false
+	}
+	b.bytes.Add(-record.EncodedSize)
+	return true
 }
 
 func (b *compactBackend) Len(part int) int { return len(b.parts[part].recs) }
@@ -414,6 +501,19 @@ func (b *spillBackend) Store(part int, k int64, r record.Record) {
 		b.resident += record.EncodedSize
 		b.enforceBudget(part)
 	}
+}
+
+func (b *spillBackend) Delete(part int, k int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ensure(part)
+	p := &b.parts[part]
+	if !p.idx.delete(k) {
+		return false
+	}
+	p.count = len(p.idx.recs)
+	b.resident -= record.EncodedSize
+	return true
 }
 
 func (b *spillBackend) Len(part int) int {

@@ -230,6 +230,36 @@ func (s *SolutionSet) Update(r record.Record) bool {
 	return changed
 }
 
+// ForceStore overwrites the entry under r's key unconditionally, bypassing
+// the comparator. Live maintenance needs it for bounded recomputes after
+// deletions: the affected entries must be movable to a CPO-*smaller* state
+// (e.g. a component label re-initialized to the vertex's own id), which
+// put would reject as a regression.
+func (s *SolutionSet) ForceStore(r record.Record) {
+	k := s.key(r)
+	part := record.PartitionOf(k, s.par)
+	s.locks[part].Lock()
+	s.backend.Store(part, k, r)
+	s.locks[part].Unlock()
+	if s.m != nil {
+		s.m.SolutionUpdates.Add(1)
+	}
+	s.publishBytes()
+}
+
+// Delete removes the entry under key k, reporting whether one existed.
+// Live maintenance uses it when vertices leave the graph and when a
+// recompute retracts state that no longer holds (e.g. a vertex made
+// unreachable by an edge deletion).
+func (s *SolutionSet) Delete(k int64) bool {
+	part := record.PartitionOf(k, s.par)
+	s.locks[part].Lock()
+	ok := s.backend.Delete(part, k)
+	s.locks[part].Unlock()
+	s.publishBytes()
+	return ok
+}
+
 // Size returns the total number of records.
 func (s *SolutionSet) Size() int {
 	n := 0
@@ -251,6 +281,18 @@ func (s *SolutionSet) Snapshot() []record.Record {
 		s.locks[p].Unlock()
 	}
 	return out
+}
+
+// Each visits every record under the partition locks (order unspecified)
+// without materializing a copy the way Snapshot does. The callback must
+// not call back into the set (the partition lock is held). Spilled
+// partitions are streamed from disk, not reloaded.
+func (s *SolutionSet) Each(f func(record.Record)) {
+	for p := 0; p < s.par; p++ {
+		s.locks[p].Lock()
+		s.backend.Each(p, f)
+		s.locks[p].Unlock()
+	}
 }
 
 // Reset empties the solution set for a new generation, retaining backend

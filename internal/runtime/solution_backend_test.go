@@ -212,3 +212,112 @@ func TestCompactIndexGrowth(t *testing.T) {
 		t.Fatal("lookup of absent key succeeded")
 	}
 }
+
+// TestSolutionBackendsDelete drives every backend through interleaved
+// inserts and deletes (including re-inserting deleted keys, which must
+// recycle compact-index tombstones) and checks Lookup/Size/Snapshot and
+// the ForceStore comparator bypass against a model map.
+func TestSolutionBackendsDelete(t *testing.T) {
+	for _, bk := range backendKinds {
+		t.Run(bk.name, func(t *testing.T) {
+			s := NewSolutionSetWith(3, record.KeyA, nil, nil, bk.opts)
+			model := make(map[int64]record.Record)
+			for i := int64(0); i < 400; i++ {
+				r := record.Record{A: i, B: i * 2}
+				s.Update(r)
+				model[i] = r
+			}
+			// Delete every third key, then a missing key.
+			for i := int64(0); i < 400; i += 3 {
+				if !s.Delete(i) {
+					t.Fatalf("Delete(%d) = false, want true", i)
+				}
+				delete(model, i)
+			}
+			if s.Delete(10_000) {
+				t.Fatal("Delete of absent key reported true")
+			}
+			// Re-insert a slice of the deleted range (tombstone reuse).
+			for i := int64(0); i < 120; i += 3 {
+				r := record.Record{A: i, B: -i}
+				s.Update(r)
+				model[i] = r
+			}
+			if s.Size() != len(model) {
+				t.Fatalf("Size = %d, want %d", s.Size(), len(model))
+			}
+			for i := int64(0); i < 400; i++ {
+				want, wantOK := model[i]
+				got, ok := s.Lookup(s.PartitionFor(i), i)
+				if ok != wantOK || (ok && !got.Equal(want)) {
+					t.Fatalf("Lookup(%d) = %v,%v, want %v,%v", i, got, ok, want, wantOK)
+				}
+			}
+			if snap := s.Snapshot(); len(snap) != len(model) {
+				t.Fatalf("Snapshot has %d records, want %d", len(snap), len(model))
+			}
+		})
+	}
+}
+
+// TestSolutionForceStoreBypassesComparator checks that ForceStore can move
+// an entry to a CPO-smaller state that Update would reject — the operation
+// bounded recomputes rely on.
+func TestSolutionForceStoreBypassesComparator(t *testing.T) {
+	minB := func(a, b record.Record) int { // smaller B is the successor
+		switch {
+		case a.B < b.B:
+			return 1
+		case a.B > b.B:
+			return -1
+		}
+		return 0
+	}
+	for _, bk := range backendKinds {
+		t.Run(bk.name, func(t *testing.T) {
+			s := NewSolutionSetWith(2, record.KeyA, minB, nil, bk.opts)
+			s.Update(record.Record{A: 1, B: 5})
+			if s.Update(record.Record{A: 1, B: 9}) {
+				t.Fatal("Update regression was accepted")
+			}
+			s.ForceStore(record.Record{A: 1, B: 9})
+			if r, _ := s.Lookup(s.PartitionFor(1), 1); r.B != 9 {
+				t.Fatalf("ForceStore did not overwrite: %v", r)
+			}
+		})
+	}
+}
+
+// TestCompactIndexDeleteSwap exercises the slab swap-remove paths of
+// compactIndex.delete directly: deleting the last slab entry, a middle
+// entry (which moves the last entry into the hole and repoints its probe
+// slot), and the tombstone sweep rehash.
+func TestCompactIndexDeleteSwap(t *testing.T) {
+	var c compactIndex
+	const n = 1000
+	for i := int64(0); i < n; i++ {
+		c.store(i, record.Record{A: i, B: i})
+	}
+	// Delete in an order that hits both the s==last and s!=last paths.
+	for i := int64(0); i < n; i += 2 {
+		if !c.delete(i) {
+			t.Fatalf("delete(%d) = false", i)
+		}
+		if c.delete(i) {
+			t.Fatalf("double delete(%d) = true", i)
+		}
+	}
+	if len(c.recs) != n/2 {
+		t.Fatalf("count = %d, want %d", len(c.recs), n/2)
+	}
+	for i := int64(0); i < n; i++ {
+		r, ok := c.lookup(i)
+		if i%2 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d still present: %v", i, r)
+			}
+		} else if !ok || r.B != i {
+			t.Fatalf("surviving key %d = %v,%v", i, r, ok)
+		}
+	}
+}

@@ -7,11 +7,11 @@ import (
 	"repro/internal/record"
 )
 
-// FuzzSolutionBackend feeds a random insert/update/lookup sequence to all
-// solution backends (including a spill backend under a tiny budget, so
-// evictions interleave with the operations) and checks every observation
-// against a model map applying the seed semantics, including comparator
-// arbitration in put.
+// FuzzSolutionBackend feeds a random insert/update/lookup/delete sequence
+// to all solution backends (including a spill backend under a tiny budget,
+// so evictions interleave with the operations) and checks every
+// observation against a model map applying the seed semantics, including
+// comparator arbitration in put and tombstone recycling after deletes.
 func FuzzSolutionBackend(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
 	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 1, 2, 3, 4, 0, 0, 0, 0, 9, 9, 9, 9, 8, 7})
@@ -37,7 +37,7 @@ func FuzzSolutionBackend(f *testing.F) {
 		model := make(map[int64]record.Record)
 
 		for len(data) >= 5 {
-			op := data[0] % 3
+			op := data[0] % 5
 			k := int64(data[1] % 61)
 			x := float64(int8(data[2]))
 			b := int64(data[3])
@@ -61,12 +61,20 @@ func FuzzSolutionBackend(f *testing.F) {
 						t.Fatalf("backend %d: Update(%v) = %v, want %v", i, r, got, changed)
 					}
 				}
-			case 2: // lookup
+			case 2, 3: // lookup
 				want, wantOK := model[k]
 				for i, s := range sets {
 					got, ok := s.Lookup(s.PartitionFor(k), k)
 					if ok != wantOK || (ok && !got.Equal(want)) {
 						t.Fatalf("backend %d: Lookup(%d) = %v,%v, want %v,%v", i, k, got, ok, want, wantOK)
+					}
+				}
+			case 4: // delete
+				_, wantOK := model[k]
+				delete(model, k)
+				for i, s := range sets {
+					if got := s.Delete(k); got != wantOK {
+						t.Fatalf("backend %d: Delete(%d) = %v, want %v", i, k, got, wantOK)
 					}
 				}
 			}

@@ -62,6 +62,21 @@
 // residency observable; results are identical across backends (enforced
 // by the cross-engine differential suite in internal/difftest).
 //
+// # Serving mode: warm restarts and live maintenance
+//
+// A converged incremental iteration's state — the solution set S plus an
+// empty working set — is exactly what is needed to absorb new input
+// without recomputation. Every IncrementalResult carries its resident
+// solution set in the Set field, and ResumeIncremental warm-restarts the
+// fixpoint over it with only a delta working set. internal/live builds
+// the full serving system on top: LiveViews that keep fixpoints resident
+// under streaming graph mutations (monotone fast path for insertions,
+// bounded recompute for deletions), a concurrent view scheduler with
+// memory-budget admission control, and the HTTP API behind the
+// `spinflow serve` command. Maintenance work is observable through the
+// DeltasApplied, WarmRestarts, PartialRecomputes, FullRecomputes and
+// MaintenanceSupersteps counters.
+//
 // Ready-made algorithms (PageRank, Connected Components, SSSP, adaptive
 // PageRank), baseline engines (Pregel-style, Spark-style) and the paper's
 // experiment harness live in the internal packages; the cmd/spinflow
@@ -198,6 +213,19 @@ func RunIncremental(spec IncrementalSpec, s0, w0 []Record, cfg Config) (*Increme
 // asynchronously in microsteps.
 func RunMicrostep(spec IncrementalSpec, s0, w0 []Record, cfg Config) (*IncrementalResult, error) {
 	return core.RunMicrostep(spec, s0, w0, cfg)
+}
+
+// SolutionSet is the resident state of an incremental iteration, handed
+// back by IncrementalResult.Set after a run.
+type SolutionSet = core.SolutionSet
+
+// ResumeIncremental warm-restarts an incremental iteration over an
+// existing converged solution set, processing only the delta working set:
+// the serving-side maintenance form of incremental iterations. The spec's
+// plan must reflect the current inputs (e.g. an edge source containing a
+// newly inserted edge).
+func ResumeIncremental(spec IncrementalSpec, existing *SolutionSet, delta []Record, cfg Config) (*IncrementalResult, error) {
+	return core.ResumeIncremental(spec, existing, delta, cfg)
 }
 
 // ValidateMicrostep checks the §5.2 microstep admissibility conditions
