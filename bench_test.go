@@ -9,7 +9,9 @@
 package spinflow
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/algorithms"
@@ -658,6 +660,31 @@ func BenchmarkLiveMaintenance(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkAdaptiveAuto runs the harness `auto` scenario at bench scale —
+// static engine choices vs the adaptive runner on every dataset × scale —
+// and emits the table as BENCH_adaptive.json, the benchmark-trajectory
+// artifact CI uploads. The custom metrics are the scenario's two
+// acceptance ratios: auto vs the best and worst static choices.
+func BenchmarkAdaptiveAuto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Auto(harness.Options{
+			Scale: graphgen.ScaleBench, Parallelism: benchParallelism,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_adaptive.json", buf, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxVsBest, "vs-best")
+		b.ReportMetric(res.MaxVsWorst, "vs-worst")
 	}
 }
 

@@ -129,7 +129,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|explain|all>...")
+		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|auto|explain|all>...")
 		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes]")
 		os.Exit(2)
 	}
@@ -160,6 +160,8 @@ func main() {
 			_, err = harness.OutOfCore(opts)
 		case "live":
 			_, err = harness.Live(opts)
+		case "auto":
+			_, err = harness.Auto(opts)
 		case "all":
 			err = harness.All(opts)
 		case "explain":

@@ -14,17 +14,24 @@ import (
 // this is the baseline incremental iterations beat.
 func CCBulkSpec(g *graphgen.Graph) (iterative.BulkSpec, []record.Record) {
 	und := g.Undirected()
+	return ccBulkSpecOverEdges(EdgeRecords(und), und.NumVertices)
+}
+
+// ccBulkSpecOverEdges builds the bulk CC dataflow over an already
+// symmetrized edge-record list, so callers assembling several specs for
+// one graph (CCAutoSpec) pay the undirected conversion once.
+func ccBulkSpecOverEdges(edgeRecs []record.Record, numVertices int64) (iterative.BulkSpec, []record.Record) {
 	plan := dataflow.NewPlan()
 
-	state := plan.IterationPlaceholder("S", und.NumVertices)
-	edges := plan.SourceOf("N", EdgeRecords(und))
+	state := plan.IterationPlaceholder("S", numVertices)
+	edges := plan.SourceOf("N", edgeRecs)
 
 	// Each vertex sends its cid to every neighbor.
 	send := plan.MatchNode("sendToNeighbors", state, edges, record.KeyA, record.KeyA,
 		func(s, e record.Record, out dataflow.Emitter) {
 			out.Emit(record.Record{A: e.B, B: s.B})
 		})
-	send.EstRecords = und.NumEdges()
+	send.EstRecords = int64(len(edgeRecs))
 
 	// Every vertex also keeps its own cid as a candidate.
 	all := plan.UnionNode("candidates", send, state)
@@ -40,7 +47,7 @@ func CCBulkSpec(g *graphgen.Graph) (iterative.BulkSpec, []record.Record) {
 			out.Emit(record.Record{A: k, B: m})
 		})
 	minCid.Combinable = true
-	minCid.EstRecords = und.NumVertices
+	minCid.EstRecords = numVertices
 
 	next := plan.SinkNode("O", minCid)
 
@@ -52,7 +59,7 @@ func CCBulkSpec(g *graphgen.Graph) (iterative.BulkSpec, []record.Record) {
 			return ComponentsEqual(prev, next)
 		},
 	}
-	return spec, InitialComponentRecords(und.NumVertices)
+	return spec, InitialComponentRecords(numVertices)
 }
 
 // ComponentsEqual compares two component assignments as sets.
@@ -195,6 +202,30 @@ func CCIncremental(g *graphgen.Graph, variant CCVariant, cfg iterative.Config) (
 func CCMicrostepAsync(g *graphgen.Graph, cfg iterative.Config) (map[int64]int64, *iterative.IncrementalResult, error) {
 	spec, s0, w0 := CCIncrementalSpec(g, CCMatch)
 	res, err := iterative.RunMicrostep(spec, s0, w0, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ComponentsToMap(res.Solution), res, nil
+}
+
+// CCAutoSpec assembles the AutoSpec covering all three engines for
+// Connected Components on g: the microstep-admissible Match variant of
+// Figure 5 plus the bulk alternative of Table 1. Both plans share one
+// symmetrized edge-record list.
+func CCAutoSpec(g *graphgen.Graph) (iterative.AutoSpec, []record.Record, []record.Record) {
+	und := g.Undirected()
+	edgeRecs := EdgeRecords(und)
+	inc, w0 := ccSpecOverEdges(edgeRecs, und.NumVertices, CCMatch)
+	bulk, bulkInit := ccBulkSpecOverEdges(edgeRecs, und.NumVertices)
+	return iterative.AutoSpec{Incremental: inc, Bulk: &bulk, BulkInitial: bulkInit},
+		InitialComponentRecords(und.NumVertices), w0
+}
+
+// CCAuto runs Connected Components through the adaptive runner: the cost
+// model picks the engine and may switch mid-run.
+func CCAuto(g *graphgen.Graph, cfg iterative.Config) (map[int64]int64, *iterative.AutoResult, error) {
+	spec, s0, w0 := CCAutoSpec(g)
+	res, err := iterative.RunAuto(spec, s0, w0, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -88,6 +88,30 @@ func ResumeIncremental(spec IncrementalSpec, existing *SolutionSet, delta []Reco
 	return iterative.ResumeIncremental(spec, existing, delta, cfg)
 }
 
+// ResumeMicrostep is the asynchronous counterpart of ResumeIncremental:
+// it finishes a fixpoint over an existing resident solution set in
+// microsteps — the warm handoff adaptive execution uses when it switches
+// engines mid-run.
+func ResumeMicrostep(spec IncrementalSpec, existing *SolutionSet, workset []Record, cfg Config) (*IncrementalResult, error) {
+	return iterative.ResumeMicrostep(spec, existing, workset, cfg)
+}
+
+// Adaptive engine selection (§4.3 extended from plans to engines).
+type (
+	// AutoSpec describes one computation executable by several engines.
+	AutoSpec = iterative.AutoSpec
+	// AutoResult is the outcome of an adaptive run, including the
+	// engine sequence, candidate costs and calibrated weights.
+	AutoResult = iterative.AutoResult
+)
+
+// RunAuto costs the bulk, incremental and microstep engines, runs the
+// cheapest, and switches engines mid-run when observed per-superstep
+// cardinalities cross the dispatch-overhead crossover.
+func RunAuto(spec AutoSpec, s0, w0 []Record, cfg Config) (*AutoResult, error) {
+	return iterative.RunAuto(spec, s0, w0, cfg)
+}
+
 // ValidateMicrostep checks the §5.2 admissibility conditions.
 func ValidateMicrostep(spec IncrementalSpec) ([]*Node, error) {
 	return iterative.ValidateMicrostep(spec)

@@ -1,0 +1,136 @@
+package difftest
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/graphgen"
+	"repro/internal/iterative"
+	"repro/internal/metrics"
+	"repro/internal/record"
+)
+
+// sortedSolution canonicalizes a solution set for byte-level comparison.
+func sortedSolution(recs []record.Record) []record.Record {
+	out := append([]record.Record(nil), recs...)
+	sort.Slice(out, func(i, j int) bool { return record.Less(out[i], out[j]) })
+	return out
+}
+
+// crossoverWeights pins cost weights so the adaptive runner starts on the
+// incremental engine (microstep's per-element total misses the selection
+// margin) and switches to microsteps once the per-superstep element flow
+// decays below ~w0/4 — a deterministic dispatch-overhead crossover for
+// the table below.
+func crossoverWeights(w0 int, tasks int) *metrics.CalibratedWeights {
+	return &metrics.CalibratedWeights{
+		Net:          1,
+		Dispatch:     3,
+		StepOverhead: float64(w0) / 2 / float64(tasks),
+	}
+}
+
+// TestAutoCrossoverDifferential shrinks the initial workset (via graph
+// size) across a table of long-tailed chain graphs: at every size, the
+// adaptive run must be byte-identical to both single-engine runs and to
+// the union-find oracle; across the table, the runs must demonstrate the
+// crossover — at least one run that switched incremental → microstep
+// mid-way, with the workset at the switch point strictly smaller than
+// the initial one.
+func TestAutoCrossoverDifferential(t *testing.T) {
+	const par = 2
+	type entry struct {
+		communities int64
+		switched    bool
+	}
+	table := []entry{{48, false}, {24, false}, {12, false}, {6, false}}
+
+	anySwitch := false
+	for i := range table {
+		e := &table[i]
+		g := graphgen.ChainedCommunities("xover", e.communities, 12, 24, 0xD1FF)
+		spec, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCMatch)
+
+		// Single-engine baselines on fresh specs (state is resident).
+		incSpec, incS0, incW0 := algorithms.CCIncrementalSpec(g, algorithms.CCMatch)
+		incRes, err := iterative.RunIncremental(incSpec, incS0, incW0, iterative.Config{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		micSpec, micS0, micW0 := algorithms.CCIncrementalSpec(g, algorithms.CCMatch)
+		micRes, err := iterative.RunMicrostep(micSpec, micS0, micW0, iterative.Config{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tasks := len(spec.Plan.Nodes()) * par
+		var m metrics.Counters
+		autoRes, err := iterative.RunAuto(iterative.AutoSpec{Incremental: spec}, s0, w0,
+			iterative.Config{
+				Parallelism:   par,
+				Metrics:       &m,
+				EngineWeights: crossoverWeights(len(w0), tasks),
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.switched = autoRes.Switches > 0
+		anySwitch = anySwitch || e.switched
+		if e.switched && m.EngineSwitches.Load() == 0 {
+			t.Errorf("communities=%d: result reports a switch, metrics do not", e.communities)
+		}
+
+		// Byte-identical solutions across all engines, and oracle-true.
+		auto := sortedSolution(autoRes.Solution)
+		for name, other := range map[string][]record.Record{
+			"incremental": incRes.Solution,
+			"microstep":   micRes.Solution,
+		} {
+			got := sortedSolution(other)
+			if len(got) != len(auto) {
+				t.Fatalf("communities=%d: %s has %d records, auto %d",
+					e.communities, name, len(got), len(auto))
+			}
+			for j := range got {
+				if got[j] != auto[j] {
+					t.Fatalf("communities=%d: %s[%d]=%v, auto[%d]=%v",
+						e.communities, name, j, got[j], j, auto[j])
+				}
+			}
+		}
+		oracle := algorithms.CCReference(g)
+		assign := algorithms.ComponentsToMap(autoRes.Solution)
+		for v, c := range oracle {
+			if assign[v] != c {
+				t.Fatalf("communities=%d: vertex %d -> %d, oracle %d", e.communities, v, assign[v], c)
+			}
+		}
+	}
+	if !anySwitch {
+		t.Fatalf("no table entry switched incremental → microstep: %+v", table)
+	}
+}
+
+// TestAutoMatchesAllEnginesOnDiffGraphs runs the adaptive runner over the
+// suite's standard random graphs (every backendless engine choice left to
+// the cost model) and cross-checks against the union-find oracle — the
+// differential contract extended to engine selection.
+func TestAutoMatchesAllEnginesOnDiffGraphs(t *testing.T) {
+	for _, g := range diffGraphs() {
+		for _, par := range []int{1, 4} {
+			spec, s0, w0 := algorithms.CCAutoSpec(g)
+			res, err := iterative.RunAuto(spec, s0, w0, iterative.Config{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s/par=%d: %v", g.Name, par, err)
+			}
+			oracle := algorithms.CCReference(g)
+			assign := algorithms.ComponentsToMap(res.Solution)
+			for v, c := range oracle {
+				if assign[v] != c {
+					t.Fatalf("%s/par=%d: vertex %d -> %d, oracle %d", g.Name, par, v, assign[v], c)
+				}
+			}
+		}
+	}
+}

@@ -529,5 +529,8 @@ func All(o Options) error {
 	if _, err := Live(o); err != nil {
 		return err
 	}
+	if _, err := Auto(o); err != nil {
+		return err
+	}
 	return nil
 }

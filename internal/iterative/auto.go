@@ -1,0 +1,444 @@
+package iterative
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/runtime"
+)
+
+// AutoSpec describes one iterative computation executable by several
+// engines, so the runner — not the caller — picks the engine. The paper's
+// §4.3 observes that "in the general case, a different plan may be
+// optimal for every iteration"; RunAuto extends that from plans to whole
+// engines, with runtime cardinality feedback driving mid-run switches.
+type AutoSpec struct {
+	// Incremental is the Δ iteration (Δ, S0, W0) — required. The
+	// superstep engine executes it directly; the microstep engine
+	// executes it asynchronously when it meets the §5.2 admissibility
+	// conditions.
+	Incremental IncrementalSpec
+	// Bulk optionally supplies an equivalent bulk iteration computing
+	// the same fixpoint by full recomputation; when set it competes in
+	// the engine choice (it wins when the working set is nearly as large
+	// as the solution and grouping whole partitions beats per-delta
+	// bookkeeping).
+	Bulk *BulkSpec
+	// BulkInitial is the initial partial solution for Bulk; nil defaults
+	// to the initial solution passed to RunAuto.
+	BulkInitial []record.Record
+	// Force pins the initial engine choice instead of costing the
+	// candidates (mid-run switching still applies). Nil means cost-based
+	// selection.
+	Force *optimizer.Engine
+}
+
+// EngineCandidate reports one engine's up-front costing in an AutoResult.
+type EngineCandidate struct {
+	Engine optimizer.Engine
+	// Cost is the estimated whole-run cost in the selection weights'
+	// unit system (meaningless across weight sets, comparable within).
+	Cost float64
+	// Viable is false when the engine cannot run this spec; Reason says
+	// why.
+	Viable bool
+	Reason string
+}
+
+// AutoResult is the outcome of an adaptive run. The embedded
+// IncrementalResult carries the solution, trace and (for runs that ended
+// on the incremental or microstep engine) the resident solution set.
+type AutoResult struct {
+	IncrementalResult
+	// Engines is the sequence of engines that executed, in order; more
+	// than one entry means the run switched mid-way.
+	Engines []optimizer.Engine
+	// Switches counts mid-run engine handoffs.
+	Switches int
+	// Candidates are the per-engine cost estimates selection compared.
+	Candidates []EngineCandidate
+	// Weights are the cost weights selection used (calibrated when a
+	// Calibrator with enough samples was configured, Samples > 0).
+	Weights metrics.CalibratedWeights
+	// PlannedVsObserved pairs each barrier superstep's predicted cost
+	// against its measured wall time — the feedback the calibrator fits.
+	PlannedVsObserved []metrics.PlannedVsObserved
+}
+
+// engineWeights resolves the weights RunAuto plans with: pinned >
+// calibrated > defaults.
+func engineWeights(cfg Config) metrics.CalibratedWeights {
+	if cfg.EngineWeights != nil {
+		return *cfg.EngineWeights
+	}
+	if cfg.Calibrator != nil {
+		return cfg.Calibrator.Weights()
+	}
+	return optimizer.DefaultWeights()
+}
+
+// constantSize sums the cardinalities of a plan's Source nodes — the
+// loop-invariant inputs the constant-path cache materializes.
+func constantSize(p *dataflow.Plan) int64 {
+	var n int64
+	for _, node := range p.Nodes() {
+		if node.Contract == dataflow.Source {
+			n += int64(len(node.Data))
+		}
+	}
+	return n
+}
+
+// incrementalStats derives the engine-costing statistics for the Δ spec.
+func incrementalStats(spec *IncrementalSpec, solution, workset int, cfg Config) optimizer.EngineStats {
+	expected := spec.ExpectedIterations
+	if expected <= 0 {
+		expected = 10
+	}
+	return optimizer.EngineStats{
+		SolutionSize:       int64(solution),
+		WorksetSize:        int64(workset),
+		ConstantSize:       constantSize(spec.Plan),
+		ExpectedSupersteps: expected,
+		Tasks:              len(spec.Plan.Nodes()) * cfg.Parallelism,
+	}
+}
+
+// RunAuto executes one iterative computation on whichever engine the cost
+// model says is cheapest, and keeps watching: observed per-superstep
+// cardinalities can trigger a mid-run switch — incremental → microstep
+// once the workset collapses below the dispatch-overhead crossover — with
+// the resident solution set handed over warm, so no state is rebuilt.
+// With Config.Calibrator set, every superstep's measured work and wall
+// time feed a least-squares fit of the cost weights, so repeated runs
+// plan with observed rather than guessed constants.
+func RunAuto(spec AutoSpec, initialSolution, initialWorkset []record.Record, cfg Config) (*AutoResult, error) {
+	cfg = cfg.normalized()
+	if err := spec.Incremental.validate(); err != nil {
+		return nil, err
+	}
+	weights := engineWeights(cfg)
+
+	_, microErr := ValidateMicrostep(spec.Incremental)
+	incStats := incrementalStats(&spec.Incremental, len(initialSolution), len(initialWorkset), cfg)
+
+	out := &AutoResult{Weights: weights}
+	out.Candidates = []EngineCandidate{
+		{Engine: optimizer.EngineIncremental, Viable: true,
+			Cost: optimizer.EngineCost(optimizer.EngineIncremental, incStats, weights)},
+	}
+	if microErr == nil {
+		out.Candidates = append(out.Candidates, EngineCandidate{
+			Engine: optimizer.EngineMicrostep, Viable: true,
+			Cost: optimizer.EngineCost(optimizer.EngineMicrostep, incStats, weights)})
+	} else {
+		out.Candidates = append(out.Candidates, EngineCandidate{
+			Engine: optimizer.EngineMicrostep, Reason: microErr.Error()})
+	}
+	var bulkStats *optimizer.EngineStats
+	if spec.Bulk != nil {
+		bulkInitial := spec.BulkInitial
+		if bulkInitial == nil {
+			bulkInitial = initialSolution
+		}
+		expected := spec.Bulk.ExpectedIterations
+		if expected <= 0 {
+			expected = spec.Bulk.FixedIterations
+		}
+		if expected <= 0 {
+			expected = 10
+		}
+		bulkStats = &optimizer.EngineStats{
+			SolutionSize:       int64(len(bulkInitial)),
+			ConstantSize:       constantSize(spec.Bulk.Plan),
+			ExpectedSupersteps: expected,
+			Tasks:              len(spec.Bulk.Plan.Nodes()) * cfg.Parallelism,
+		}
+		out.Candidates = append(out.Candidates, EngineCandidate{
+			Engine: optimizer.EngineBulk, Viable: true,
+			Cost: optimizer.EngineCost(optimizer.EngineBulk, *bulkStats, weights)})
+	} else {
+		out.Candidates = append(out.Candidates, EngineCandidate{
+			Engine: optimizer.EngineBulk, Reason: "no bulk alternative supplied"})
+	}
+
+	chosen := optimizer.EngineIncremental
+	if spec.Force != nil {
+		chosen = *spec.Force
+		for _, c := range out.Candidates {
+			if c.Engine == chosen && !c.Viable {
+				return nil, fmt.Errorf("iterative: forced engine %s not viable: %s", chosen, c.Reason)
+			}
+		}
+	} else {
+		// The incremental engine is the default: its cost is workset-
+		// proportional, so it is never catastrophically wrong, and the
+		// mid-run crossover below still captures microstep's tail wins.
+		// Leaving it requires a clear margin — cardinality estimates and
+		// calibrated constants are noisy, and acting on a near-tie trades
+		// a robust choice for a coin flip. Calibrated weights carry an
+		// extra hazard: a fit over near-collinear samples (a long tail of
+		// identical tiny supersteps) can assign per-record costs almost
+		// arbitrarily, so a calibrated deviation must also hold under the
+		// built-in defaults before it is trusted.
+		const margin = 0.75
+		wins := func(w metrics.CalibratedWeights, e optimizer.Engine, bulkStats *optimizer.EngineStats) bool {
+			inc := optimizer.EngineCost(optimizer.EngineIncremental, incStats, w)
+			st := incStats
+			if e == optimizer.EngineBulk {
+				if bulkStats == nil {
+					return false
+				}
+				st = *bulkStats
+			}
+			return optimizer.EngineCost(e, st, w) < margin*inc
+		}
+		bestCost := 0.0
+		for _, c := range out.Candidates {
+			if c.Engine == optimizer.EngineIncremental {
+				bestCost = c.Cost
+			}
+		}
+		calibrated := cfg.EngineWeights == nil && cfg.Calibrator != nil
+		for _, c := range out.Candidates {
+			if !c.Viable || c.Engine == optimizer.EngineIncremental {
+				continue
+			}
+			ok := wins(weights, c.Engine, bulkStats)
+			if ok && calibrated {
+				ok = wins(optimizer.DefaultWeights(), c.Engine, bulkStats)
+			}
+			if ok && c.Cost < bestCost {
+				chosen, bestCost = c.Engine, c.Cost
+			}
+		}
+	}
+
+	switch chosen {
+	case optimizer.EngineBulk:
+		return runAutoBulk(spec, initialSolution, cfg, out)
+	case optimizer.EngineMicrostep:
+		return runAutoMicrostep(spec.Incremental, initialSolution, initialWorkset, cfg, out, nil)
+	default:
+		return runAutoIncremental(spec, initialSolution, initialWorkset, cfg, out)
+	}
+}
+
+// runAutoBulk executes the bulk alternative and adapts its result.
+func runAutoBulk(spec AutoSpec, initialSolution []record.Record, cfg Config, out *AutoResult) (*AutoResult, error) {
+	initial := spec.BulkInitial
+	if initial == nil {
+		initial = initialSolution
+	}
+	out.Engines = append(out.Engines, optimizer.EngineBulk)
+	runCfg := cfg
+	if cfg.Calibrator != nil && cfg.Metrics != nil {
+		// Calibration samples come from the per-pass trace; collect it
+		// even when the caller did not ask for one.
+		runCfg.CollectTrace = true
+	}
+	res, err := RunBulk(*spec.Bulk, initial, runCfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Trace.Iterations {
+		res.Trace.Iterations[i].Engine = optimizer.EngineBulk.String()
+	}
+	out.Solution = res.Solution
+	out.Supersteps = res.Iterations
+	out.Plan = res.Plan
+	if cfg.Calibrator != nil && cfg.Metrics != nil {
+		tasks := len(spec.Bulk.Plan.Nodes()) * cfg.Parallelism
+		for _, st := range res.Trace.Iterations {
+			cfg.Calibrator.ObserveSuperstep(st.Work, tasks, st.Duration)
+		}
+	}
+	if cfg.CollectTrace {
+		out.Trace = res.Trace
+	}
+	return out, nil
+}
+
+// runAutoMicrostep executes the remaining working set asynchronously.
+// With sol == nil it cold-starts from initialSolution; otherwise it
+// resumes over the handed-over resident set.
+func runAutoMicrostep(spec IncrementalSpec, initialSolution, workset []record.Record, cfg Config, out *AutoResult, sol *runtime.SolutionSet) (*AutoResult, error) {
+	out.Engines = append(out.Engines, optimizer.EngineMicrostep)
+	var before metrics.Snapshot
+	if cfg.Metrics != nil {
+		before = cfg.Metrics.Snapshot()
+	}
+	start := time.Now()
+	var res *IncrementalResult
+	var err error
+	if sol == nil {
+		res, err = RunMicrostep(spec, initialSolution, workset, cfg)
+	} else {
+		res, err = ResumeMicrostep(spec, sol, workset, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Calibrator != nil && cfg.Metrics != nil {
+		cfg.Calibrator.ObserveMicrostepRun(cfg.Metrics.Snapshot().Sub(before), res.Microsteps, time.Since(start))
+	}
+	for i := range res.Trace.Iterations {
+		res.Trace.Iterations[i].Engine = optimizer.EngineMicrostep.String()
+	}
+	prior := out.Supersteps
+	priorMicro := out.Microsteps
+	priorPlan := out.Plan
+	events := out.Trace.Events
+	priorTrace := out.Trace
+	out.IncrementalResult = *res
+	out.Supersteps += prior
+	out.Microsteps += priorMicro
+	if out.Plan == nil {
+		// A handoff keeps the plan the superstep phase executed;
+		// microstep execution itself has none.
+		out.Plan = priorPlan
+	}
+	// Keep the superstep trace collected before a handoff, then append
+	// the asynchronous samples.
+	if len(priorTrace.Iterations) > 0 || len(events) > 0 {
+		merged := priorTrace
+		merged.Events = events
+		for _, st := range res.Trace.Iterations {
+			st.Iteration = prior + st.Iteration
+			merged.Add(st)
+		}
+		merged.Events = append(merged.Events, res.Trace.Events...)
+		out.Trace = merged
+	}
+	return out, nil
+}
+
+// runAutoIncremental drives barrier supersteps while monitoring observed
+// workset cardinalities; once the workset collapses below the
+// dispatch-overhead crossover (and the spec admits microsteps), the run
+// hands its resident solution set to the asynchronous engine and
+// finishes there.
+func runAutoIncremental(auto AutoSpec, initialSolution, initialWorkset []record.Record, cfg Config, out *AutoResult) (*AutoResult, error) {
+	spec := auto.Incremental
+	out.Engines = append(out.Engines, optimizer.EngineIncremental)
+	maxSteps := spec.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = 10000
+	}
+	expected := spec.ExpectedIterations
+	if expected <= 0 {
+		expected = 10
+	}
+	_, microErr := ValidateMicrostep(spec)
+	microOK := microErr == nil
+
+	plannedEst := spec.Workset.EstRecords
+	if plannedEst == 0 {
+		plannedEst = int64(len(initialWorkset))
+	}
+	phys, err := optimizeIncrementalWithEst(&spec, cfg, expected, plannedEst)
+	if err != nil {
+		return nil, err
+	}
+	out.Plan = phys
+	reoptEst := plannedEst
+
+	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	defer exec.Close()
+	exec.Solution = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
+	exec.Solution.Init(initialSolution)
+	exec.DirectMerge = microOK
+	exec.SetPlaceholder(spec.Workset.ID, initialWorkset, spec.WorksetKey, cfg.Parallelism)
+	if cfg.Metrics != nil {
+		cfg.Metrics.WorksetElements.Add(int64(len(initialWorkset)))
+	}
+
+	sess := exec.OpenSession(phys)
+	defer func() { sess.Close() }()
+
+	out.Set = exec.Solution
+	stats := incrementalStats(&spec, len(initialSolution), len(initialWorkset), cfg)
+	inCount := len(initialWorkset)
+	for step := 0; step < maxSteps; step++ {
+		weights := engineWeights(cfg)
+		planned := optimizer.SuperstepCost(int64(inCount), stats, weights)
+		start := time.Now()
+		var before metrics.Snapshot
+		if cfg.Metrics != nil {
+			before = cfg.Metrics.Snapshot()
+		}
+
+		res, err := sess.Run()
+		if err != nil {
+			return nil, err
+		}
+		out.Supersteps = step + 1
+		exec.Solution.MergeDelta(res.Records(spec.DeltaSink.ID))
+
+		nextParts := res[spec.WorksetSink.ID]
+		nextCount := 0
+		for _, p := range nextParts {
+			nextCount += len(p)
+		}
+		dur := time.Since(start)
+		var work metrics.Snapshot
+		if cfg.Metrics != nil {
+			work = cfg.Metrics.Snapshot().Sub(before)
+			cfg.Metrics.WorksetElements.Add(int64(nextCount))
+			if cfg.Calibrator != nil {
+				cfg.Calibrator.ObserveSuperstep(work, stats.Tasks, dur)
+			}
+		}
+		out.PlannedVsObserved = append(out.PlannedVsObserved, metrics.PlannedVsObserved{
+			Engine: optimizer.EngineIncremental.String(), Superstep: step,
+			Planned: planned, Observed: dur,
+		})
+		if cfg.CollectTrace {
+			out.Trace.Add(metrics.IterationStat{
+				Iteration: step, Duration: dur, Work: work,
+				Engine: optimizer.EngineIncremental.String(),
+			})
+		}
+		if err := checkpointIfDue(&spec, step, exec.Solution, nextParts); err != nil {
+			return nil, err
+		}
+		if nextCount == 0 {
+			out.Solution = exec.Solution.Snapshot()
+			return out, nil
+		}
+
+		// Crossover check with the freshest weights: once finishing
+		// asynchronously beats paying further barrier rounds, hand the
+		// resident solution set over and switch engines. Like the initial
+		// selection, a calibrated verdict must also hold under the
+		// default weights before a switch is trusted.
+		switchNow := microOK && optimizer.MicrostepWins(int64(nextCount), step+1, stats, engineWeights(cfg))
+		if switchNow && cfg.EngineWeights == nil && cfg.Calibrator != nil {
+			switchNow = optimizer.MicrostepWins(int64(nextCount), step+1, stats, optimizer.DefaultWeights())
+		}
+		if switchNow {
+			remaining := make([]record.Record, 0, nextCount)
+			for _, p := range nextParts {
+				remaining = append(remaining, p...)
+			}
+			sess.Close()
+			if cfg.Metrics != nil {
+				cfg.Metrics.EngineSwitches.Add(1)
+			}
+			out.Switches++
+			out.Trace.AddEvent(step, fmt.Sprintf(
+				"switched incremental → microstep at workset %d", nextCount))
+			return runAutoMicrostep(spec, nil, remaining, cfg, out, exec.Solution)
+		}
+		sess, reoptEst = reoptimizeCollapsed(&spec, cfg, expected, step, nextCount,
+			reoptEst, exec, sess, &out.Trace)
+		inCount = nextCount
+		exec.SetPlaceholderParts(spec.Workset.ID, nextParts)
+	}
+	out.Solution = exec.Solution.Snapshot()
+	return out, fmt.Errorf("%w after %d supersteps", ErrNoProgress, maxSteps)
+}

@@ -1,0 +1,307 @@
+package iterative_test
+
+// External test package: adaptive execution is exercised against the real
+// Connected Components dataflows from internal/algorithms, which imports
+// iterative.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/graphgen"
+	"repro/internal/iterative"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+// autoCCSpec assembles the AutoSpec all three engines can execute: the
+// Match-variant incremental CC (microstep-admissible) plus the bulk CC
+// alternative.
+func autoCCSpec(g *graphgen.Graph) (iterative.AutoSpec, []record.Record, []record.Record) {
+	inc, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCMatch)
+	bulk, bulkInit := algorithms.CCBulkSpec(g)
+	return iterative.AutoSpec{Incremental: inc, Bulk: &bulk, BulkInitial: bulkInit}, s0, w0
+}
+
+// TestRunAutoMatchesReference checks the engine-choice contract: whatever
+// RunAuto picks, the fixpoint equals the union-find oracle and the forced
+// single-engine runs.
+func TestRunAutoMatchesReference(t *testing.T) {
+	g := graphgen.Uniform("auto-ref", 80, 160, 0xA070)
+	oracle := algorithms.CCReference(g)
+
+	for _, force := range []struct {
+		name   string
+		engine *optimizer.Engine
+	}{
+		{"auto", nil},
+		{"bulk", enginePtr(optimizer.EngineBulk)},
+		{"incremental", enginePtr(optimizer.EngineIncremental)},
+		{"microstep", enginePtr(optimizer.EngineMicrostep)},
+	} {
+		t.Run(force.name, func(t *testing.T) {
+			spec, s0, w0 := autoCCSpec(g)
+			spec.Force = force.engine
+			res, err := iterative.RunAuto(spec, s0, w0, iterative.Config{Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Engines) == 0 {
+				t.Fatal("no engine recorded")
+			}
+			if force.engine != nil && res.Engines[0] != *force.engine {
+				t.Fatalf("forced %v, ran %v", *force.engine, res.Engines[0])
+			}
+			got := algorithms.ComponentsToMap(res.Solution)
+			for v, c := range oracle {
+				if got[v] != c {
+					t.Fatalf("engine %v: vertex %d -> %d, oracle %d", res.Engines, v, got[v], c)
+				}
+			}
+			if len(res.Candidates) != 3 {
+				t.Fatalf("candidates = %d, want 3", len(res.Candidates))
+			}
+		})
+	}
+}
+
+func enginePtr(e optimizer.Engine) *optimizer.Engine { return &e }
+
+// TestRunAutoForceValidation covers the forced-engine error paths.
+func TestRunAutoForceValidation(t *testing.T) {
+	g := graphgen.Uniform("auto-force", 30, 60, 5)
+	// No bulk alternative: forcing bulk must fail.
+	inc, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCMatch)
+	spec := iterative.AutoSpec{Incremental: inc, Force: enginePtr(optimizer.EngineBulk)}
+	if _, err := iterative.RunAuto(spec, s0, w0, iterative.Config{Parallelism: 2}); err == nil {
+		t.Error("forced bulk without a bulk alternative accepted")
+	}
+	// CoGroup variant is not microstep-admissible: forcing microstep must
+	// fail.
+	incCG, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
+	spec = iterative.AutoSpec{Incremental: incCG, Force: enginePtr(optimizer.EngineMicrostep)}
+	if _, err := iterative.RunAuto(spec, s0, w0, iterative.Config{Parallelism: 2}); err == nil {
+		t.Error("forced microstep on a group-at-a-time spec accepted")
+	}
+}
+
+// switchWeights pins the cost weights so the incremental engine wins the
+// initial choice (microstep's 2W·3 total does not clear the selection
+// margin against incremental's 2W·1 + 10 barrier rounds of W/2 each) but
+// the dispatch-overhead crossover fires mid-run: per superstep,
+// flow·3 < flow·1 + W₀/2 flips once the element flow decays below W₀/4.
+func switchWeights(w0 int, tasks int) *metrics.CalibratedWeights {
+	return &metrics.CalibratedWeights{
+		Net:          1,
+		Dispatch:     3,
+		StepOverhead: float64(w0) / 2 / float64(tasks),
+	}
+}
+
+// TestRunAutoSwitchesMidRun drives a long-tailed CC iteration whose
+// workset collapses over the supersteps, with weights that put the
+// crossover inside the decay: the run must start incremental, switch to
+// microsteps exactly once, and still produce the oracle fixpoint.
+func TestRunAutoSwitchesMidRun(t *testing.T) {
+	// A chain of communities converges community-by-community: the
+	// workset starts at ~2|E| and decays to a handful of records.
+	g := graphgen.ChainedCommunities("auto-switch", 24, 12, 24, 0x51C)
+	spec, s0, w0 := autoCCSpec(g)
+	spec.Bulk = nil // keep the choice between the two §5 engines
+
+	tasks := len(spec.Incremental.Plan.Nodes()) * 2
+	var m metrics.Counters
+	cfg := iterative.Config{
+		Parallelism:   2,
+		Metrics:       &m,
+		CollectTrace:  true,
+		EngineWeights: switchWeights(len(w0), tasks),
+	}
+	res, err := iterative.RunAuto(spec, s0, w0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Engines) != 2 ||
+		res.Engines[0] != optimizer.EngineIncremental ||
+		res.Engines[1] != optimizer.EngineMicrostep {
+		t.Fatalf("engines = %v, want [incremental microstep]", res.Engines)
+	}
+	if res.Switches != 1 {
+		t.Errorf("Switches = %d, want 1", res.Switches)
+	}
+	if m.EngineSwitches.Load() != 1 {
+		t.Errorf("metrics.EngineSwitches = %d, want 1", m.EngineSwitches.Load())
+	}
+	if res.Microsteps == 0 {
+		t.Error("no microsteps executed after the switch")
+	}
+	found := false
+	for _, ev := range res.Trace.Events {
+		if strings.Contains(ev.Event, "switched incremental") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no switch event in trace, events = %v", res.Trace.Events)
+	}
+	if len(res.PlannedVsObserved) == 0 {
+		t.Error("no planned-vs-observed superstep records")
+	}
+
+	oracle := algorithms.CCReference(g)
+	got := algorithms.ComponentsToMap(res.Solution)
+	for v, c := range oracle {
+		if got[v] != c {
+			t.Fatalf("vertex %d -> %d, oracle %d", v, got[v], c)
+		}
+	}
+}
+
+// TestResumeMicrostep converges CC on a graph missing one bridge edge,
+// then finishes over the full graph asynchronously with only the bridge's
+// candidates — the warm handoff as a standalone entry point.
+func TestResumeMicrostep(t *testing.T) {
+	full := graphgen.Uniform("micro-resume", 80, 160, 0x30B)
+	bridge := graphgen.Edge{Src: 3, Dst: 77}
+	full.Edges = append(full.Edges, bridge)
+	partial := &graphgen.Graph{Name: "micro-partial", NumVertices: full.NumVertices,
+		Edges: full.Edges[:len(full.Edges)-1]}
+
+	cfg := iterative.Config{Parallelism: 4}
+	_, res, err := algorithms.CCIncremental(partial, algorithms.CCMatch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _, _ := algorithms.CCIncrementalSpec(full, algorithms.CCMatch)
+	delta := insertDeltaCC(res.Set, bridge.Src, bridge.Dst)
+	warm, err := iterative.ResumeMicrostep(spec, res.Set, delta, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := algorithms.CCReference(full)
+	got := algorithms.ComponentsToMap(warm.Solution)
+	for v, c := range oracle {
+		if got[v] != c {
+			t.Fatalf("vertex %d -> %d, oracle %d", v, got[v], c)
+		}
+	}
+
+	// Error paths.
+	if _, err := iterative.ResumeMicrostep(spec, nil, nil, cfg); err == nil {
+		t.Error("nil solution set accepted")
+	}
+	if _, err := iterative.ResumeMicrostep(spec, res.Set, nil, iterative.Config{Parallelism: 8}); err == nil {
+		t.Error("partition mismatch accepted")
+	}
+}
+
+// TestIncrementalSpecReuse is the regression test for the estimate-
+// mutation bug: RunIncremental used to overwrite the shared plan node's
+// EstRecords (once at entry, again on every reoptimize), so a reused spec
+// silently planned run 2 with run 1's final workset size. Both runs must
+// now plan identically, and the spec must come back unchanged.
+func TestIncrementalSpecReuse(t *testing.T) {
+	g := graphgen.ChainedCommunities("spec-reuse", 30, 12, 24, 42)
+	spec, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
+	spec.Reoptimize = true
+	origEst := spec.Workset.EstRecords
+
+	var m metrics.Counters
+	cfg := iterative.Config{Parallelism: 4, Metrics: &m}
+	res1, err := iterative.RunIncremental(spec, s0, w0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reoptimizations.Load() == 0 {
+		t.Fatalf("run did not reoptimize (supersteps=%d); the regression needs the reoptimize path",
+			res1.Supersteps)
+	}
+	if got := spec.Workset.EstRecords; got != origEst {
+		t.Fatalf("spec.Workset.EstRecords mutated: %d -> %d", origEst, got)
+	}
+
+	res2, err := iterative.RunIncremental(spec, s0, w0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1, p2 := res1.Plan.Explain(), res2.Plan.Explain(); p1 != p2 {
+		t.Errorf("run-2's first plan differs from run-1's:\nrun1:\n%s\nrun2:\n%s", p1, p2)
+	}
+	if got := spec.Workset.EstRecords; got != origEst {
+		t.Errorf("spec.Workset.EstRecords mutated by run 2: %d -> %d", origEst, got)
+	}
+}
+
+// TestReoptimizeCounters asserts the happy path increments Reoptimizations
+// and records a trace event (failures would land in ReoptimizeFailures;
+// re-planning the same valid Δ cannot be made to fail deterministically,
+// so the failure branch is covered by the counter contract only).
+func TestReoptimizeCounters(t *testing.T) {
+	g := graphgen.ChainedCommunities("reopt", 30, 12, 24, 7)
+	spec, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
+	spec.Reoptimize = true
+
+	var m metrics.Counters
+	res, err := iterative.RunIncremental(spec, s0, w0, iterative.Config{Parallelism: 4, Metrics: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reoptimizations.Load() == 0 {
+		t.Fatalf("Reoptimizations = 0 after %d supersteps of a collapsing workset", res.Supersteps)
+	}
+	if m.ReoptimizeFailures.Load() != 0 {
+		t.Errorf("ReoptimizeFailures = %d, want 0", m.ReoptimizeFailures.Load())
+	}
+	var events int
+	for _, ev := range res.Trace.Events {
+		if strings.Contains(ev.Event, "reoptimized") {
+			events++
+		}
+	}
+	if int64(events) != m.Reoptimizations.Load() {
+		t.Errorf("trace records %d reoptimizations, counter says %d", events, m.Reoptimizations.Load())
+	}
+}
+
+// TestRunAutoHonorsReoptimize: the adaptive runner's incremental phase
+// must support the same mid-run re-planning as RunIncremental.
+func TestRunAutoHonorsReoptimize(t *testing.T) {
+	g := graphgen.ChainedCommunities("auto-reopt", 30, 12, 24, 11)
+	inc, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
+	inc.Reoptimize = true
+
+	var m metrics.Counters
+	res, err := iterative.RunAuto(iterative.AutoSpec{Incremental: inc}, s0, w0,
+		iterative.Config{Parallelism: 4, Metrics: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reoptimizations.Load() == 0 {
+		t.Fatalf("RunAuto ignored Reoptimize over %d supersteps", res.Supersteps)
+	}
+	oracle := algorithms.CCReference(g)
+	got := algorithms.ComponentsToMap(res.Solution)
+	for v, c := range oracle {
+		if got[v] != c {
+			t.Fatalf("vertex %d -> %d, oracle %d", v, got[v], c)
+		}
+	}
+}
+
+// TestBulkSpecReuse is the bulk-side counterpart: RunBulk must not leave
+// the initial-solution cardinality written into the shared Input node.
+func TestBulkSpecReuse(t *testing.T) {
+	g := graphgen.Uniform("bulk-reuse", 40, 80, 9)
+	spec, initial := algorithms.CCBulkSpec(g)
+	// A zero estimate is the case RunBulk used to overwrite in place.
+	spec.Input.EstRecords = 0
+	origEst := spec.Input.EstRecords
+	if _, err := iterative.RunBulk(spec, initial, iterative.Config{Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Input.EstRecords; got != origEst {
+		t.Errorf("spec.Input.EstRecords mutated: %d -> %d", origEst, got)
+	}
+}

@@ -12,6 +12,15 @@
 //   - Microstep iterations (§5.2): incremental iterations whose Δ meets
 //     the record-at-a-time/locality conditions execute asynchronously,
 //     one working-set element at a time, without superstep barriers.
+//   - Adaptive execution (§4.3 extended): an AutoSpec bundles the
+//     incremental form with an optional equivalent bulk iteration, and
+//     RunAuto costs all three engines with the optimizer's cost model,
+//     runs the cheapest, and monitors observed per-superstep
+//     cardinalities — switching incremental → microstep mid-run via the
+//     ResumeMicrostep warm handoff once the workset collapses below the
+//     dispatch-overhead crossover. A shared optimizer.Calibrator fits
+//     the cost weights from measured supersteps so repeated runs (live
+//     views, harness sweeps) plan with observed constants.
 package iterative
 
 import (
@@ -47,6 +56,18 @@ type Config struct {
 	// and reloaded on access, with SolutionSpills/SolutionReloads counting
 	// the traffic (§4.3's gradual spilling applied to iteration state).
 	SolutionMemoryBudget int64
+	// Calibrator, if set, receives every measured superstep (work
+	// counters + wall time) from RunAuto and supplies fitted cost weights
+	// back to its engine selection. Sharing one calibrator across runs —
+	// live views, harness sweeps — makes repeated runs plan with observed
+	// rather than guessed constants. Calibration needs Metrics set (the
+	// work counters are the regression features).
+	Calibrator *optimizer.Calibrator
+	// EngineWeights, if set, pins the cost weights RunAuto selects and
+	// switches engines with, overriding both Calibrator and the built-in
+	// defaults — for tests and experiments that need a deterministic
+	// crossover.
+	EngineWeights *metrics.CalibratedWeights
 }
 
 func (c Config) normalized() Config {
@@ -142,16 +163,23 @@ func RunBulk(spec BulkSpec, initial []record.Record, cfg Config) (*BulkResult, e
 	if expected <= 0 {
 		expected = 10
 	}
-	if spec.Input.EstRecords == 0 {
-		spec.Input.EstRecords = int64(len(initial))
+	// Plan with the initial-solution cardinality when the caller gave no
+	// estimate — but only for the optimizer call: the node may be shared
+	// by later runs of the same spec, which must plan from their own
+	// initial statistics, not this run's.
+	est := spec.Input.EstRecords
+	if est == 0 {
+		est = int64(len(initial))
 	}
-
+	savedEst := spec.Input.EstRecords
+	spec.Input.EstRecords = est
 	phys, err := optimizer.Optimize(spec.Plan, optimizer.Options{
 		Parallelism:        cfg.Parallelism,
 		ExpectedIterations: expected,
 		Feedback:           map[int]int{spec.Input.ID: spec.Output.ID},
 		JoinHints:          spec.JoinHints,
 	})
+	spec.Input.EstRecords = savedEst
 	if err != nil {
 		return nil, err
 	}
@@ -328,18 +356,15 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 	if expected <= 0 {
 		expected = 10
 	}
-	if spec.Workset.EstRecords == 0 {
-		spec.Workset.EstRecords = int64(len(initialWorkset))
+	plannedEst := spec.Workset.EstRecords
+	if plannedEst == 0 {
+		plannedEst = int64(len(initialWorkset))
 	}
 
-	optimize := func() (*optimizer.PhysPlan, error) {
-		return optimizeIncremental(&spec, cfg, expected)
-	}
-	phys, err := optimize()
+	phys, err := optimizeIncrementalWithEst(&spec, cfg, expected, plannedEst)
 	if err != nil {
 		return nil, err
 	}
-	plannedEst := spec.Workset.EstRecords
 
 	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
 	defer exec.Close()
@@ -397,34 +422,15 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 			}
 			out.Trace.Add(st)
 		}
-		if spec.CheckpointEvery > 0 && spec.OnCheckpoint != nil && (step+1)%spec.CheckpointEvery == 0 {
-			var pending []record.Record
-			for _, p := range nextParts {
-				pending = append(pending, p...)
-			}
-			cp := &Checkpoint{Kind: "incremental", Iteration: step + 1,
-				Solution: exec.Solution.Snapshot(), Workset: pending}
-			if err := spec.OnCheckpoint(cp); err != nil {
-				return nil, fmt.Errorf("iterative: checkpoint at superstep %d: %w", step+1, err)
-			}
+		if err := checkpointIfDue(&spec, step, exec.Solution, nextParts); err != nil {
+			return nil, err
 		}
 		if nextCount == 0 {
 			out.Solution = exec.Solution.Snapshot()
 			return out, nil
 		}
-		// Adaptive re-planning: when the working set has collapsed far
-		// below the size the plan was costed with, choose a new plan for
-		// the remaining supersteps.
-		if spec.Reoptimize && int64(nextCount)*16 < plannedEst {
-			spec.Workset.EstRecords = int64(nextCount)
-			if newPhys, rerr := optimize(); rerr == nil {
-				phys = newPhys
-				plannedEst = int64(nextCount)
-				exec.InvalidateCaches()
-				sess.Close()
-				sess = exec.OpenSession(phys)
-			}
-		}
+		sess, plannedEst = reoptimizeCollapsed(&spec, cfg, expected, step, nextCount,
+			plannedEst, exec, sess, &out.Trace)
 		// The workset sink is partition-pinned on WorksetKey, so its
 		// partitions re-enter directly — the paper's partitioned queues.
 		exec.SetPlaceholderParts(spec.Workset.ID, nextParts)
@@ -432,4 +438,52 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 	// Budget exhausted: hand back the partial state for capped runs.
 	out.Solution = exec.Solution.Snapshot()
 	return out, fmt.Errorf("%w after %d supersteps", ErrNoProgress, maxSteps)
+}
+
+// checkpointIfDue snapshots the solution set and pending working set
+// after every CheckpointEvery-th superstep (§4.2's recovery logging) —
+// shared by RunIncremental and RunAuto's incremental phase.
+func checkpointIfDue(spec *IncrementalSpec, step int, sol *runtime.SolutionSet, nextParts [][]record.Record) error {
+	if spec.CheckpointEvery <= 0 || spec.OnCheckpoint == nil || (step+1)%spec.CheckpointEvery != 0 {
+		return nil
+	}
+	var pending []record.Record
+	for _, p := range nextParts {
+		pending = append(pending, p...)
+	}
+	cp := &Checkpoint{Kind: "incremental", Iteration: step + 1,
+		Solution: sol.Snapshot(), Workset: pending}
+	if err := spec.OnCheckpoint(cp); err != nil {
+		return fmt.Errorf("iterative: checkpoint at superstep %d: %w", step+1, err)
+	}
+	return nil
+}
+
+// reoptimizeCollapsed is the adaptive re-planning step shared by
+// RunIncremental and RunAuto's incremental phase: when Reoptimize is set
+// and the working set has collapsed far below the size the current plan
+// was costed with, Δ is re-planned for the remaining supersteps and a
+// fresh session swapped in. Failures are surfaced (ReoptimizeFailures +
+// a trace event) and the run continues on the stale plan. Returns the
+// session and costed estimate to continue with.
+func reoptimizeCollapsed(spec *IncrementalSpec, cfg Config, expected, step, nextCount int,
+	plannedEst int64, exec *runtime.Executor, sess *runtime.Session, trace *metrics.Trace) (*runtime.Session, int64) {
+	if !spec.Reoptimize || int64(nextCount)*16 >= plannedEst {
+		return sess, plannedEst
+	}
+	newPhys, rerr := optimizeIncrementalWithEst(spec, cfg, expected, int64(nextCount))
+	if rerr != nil {
+		if cfg.Metrics != nil {
+			cfg.Metrics.ReoptimizeFailures.Add(1)
+		}
+		trace.AddEvent(step, fmt.Sprintf("reoptimize failed: %v", rerr))
+		return sess, plannedEst
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Reoptimizations.Add(1)
+	}
+	trace.AddEvent(step, fmt.Sprintf("reoptimized for workset %d", nextCount))
+	exec.InvalidateCaches()
+	sess.Close()
+	return exec.OpenSession(newPhys), int64(nextCount)
 }

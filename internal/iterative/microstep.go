@@ -400,14 +400,46 @@ func (m *microRun) processOne(part int, r record.Record) {
 // is applied first).
 func RunMicrostep(spec IncrementalSpec, initialSolution, initialWorkset []record.Record, cfg Config) (*IncrementalResult, error) {
 	cfg = cfg.normalized()
+	// Validate before building the solution set: an inadmissible spec
+	// must not pay the O(S) init — or, under a memory budget, leave
+	// orphaned spill files behind.
+	if _, err := ValidateMicrostep(spec); err != nil {
+		return nil, err
+	}
+	sol := cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
+	sol.Init(initialSolution)
+	return runMicrostepOn(spec, sol, initialWorkset, cfg)
+}
+
+// ResumeMicrostep continues an incremental iteration asynchronously over
+// an existing resident solution set, processing only the given working
+// set — the microstep counterpart of ResumeIncremental, and the warm
+// handoff RunAuto uses when it switches a run from supersteps to
+// microsteps: the solution state built so far re-enters as-is, nothing is
+// rebuilt. `existing` is mutated in place and returned in the result's
+// Set field; its partition count must match cfg.Parallelism.
+func ResumeMicrostep(spec IncrementalSpec, existing *runtime.SolutionSet, workset []record.Record, cfg Config) (*IncrementalResult, error) {
+	cfg = cfg.normalized()
+	if existing == nil {
+		return nil, fmt.Errorf("iterative: ResumeMicrostep needs an existing solution set (use RunMicrostep for cold starts)")
+	}
+	if existing.Parallelism() != cfg.Parallelism {
+		return nil, fmt.Errorf("iterative: adopted solution set has %d partitions, config wants %d",
+			existing.Parallelism(), cfg.Parallelism)
+	}
+	return runMicrostepOn(spec, existing, workset, cfg)
+}
+
+// runMicrostepOn is the asynchronous execution core over an
+// already-populated solution set.
+func runMicrostepOn(spec IncrementalSpec, sol *runtime.SolutionSet, initialWorkset []record.Record, cfg Config) (*IncrementalResult, error) {
 	path, err := ValidateMicrostep(spec)
 	if err != nil {
 		return nil, err
 	}
 
 	m := &microRun{spec: spec, cfg: cfg}
-	m.solution = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
-	m.solution.Init(initialSolution)
+	m.solution = sol
 	m.queues = make([]*microQueue, cfg.Parallelism)
 	for i := range m.queues {
 		m.queues[i] = newMicroQueue()

@@ -30,6 +30,20 @@ type Fixpoint struct {
 	sol  *runtime.SolutionSet
 }
 
+// optimizeIncrementalWithEst plans Δ with the given workset-cardinality
+// estimate, restoring the node's original estimate afterwards: the plan
+// node may be shared with later runs of the same spec (live view
+// recomputes, ResumeIncremental, difftest loops), which must plan from
+// their own initial statistics rather than this run's final workset size.
+func optimizeIncrementalWithEst(spec *IncrementalSpec, cfg Config, expected int, est int64) (*optimizer.PhysPlan, error) {
+	saved := spec.Workset.EstRecords
+	if est > 0 {
+		spec.Workset.EstRecords = est
+	}
+	defer func() { spec.Workset.EstRecords = saved }()
+	return optimizeIncremental(spec, cfg, expected)
+}
+
 // optimizeIncremental runs the optimizer for an incremental spec with the
 // workset feedback and sink partitioning RunIncremental uses.
 func optimizeIncremental(spec *IncrementalSpec, cfg Config, expected int) (*optimizer.PhysPlan, error) {
@@ -162,6 +176,15 @@ func (f *Fixpoint) Run(workset []record.Record) (*IncrementalResult, error) {
 		}
 		if f.cfg.Metrics != nil {
 			f.cfg.Metrics.WorksetElements.Add(int64(nextCount))
+			if f.cfg.Calibrator != nil {
+				// Maintenance supersteps feed the cost-weight fit, so a
+				// view's later engine choices use observed constants.
+				// The tasks feature counts logical plan nodes — the same
+				// unit RunAuto's engine formulas multiply the fitted
+				// StepOverhead by.
+				f.cfg.Calibrator.ObserveSuperstep(f.cfg.Metrics.Snapshot().Sub(before),
+					len(f.spec.Plan.Nodes())*f.cfg.Parallelism, time.Since(start))
+			}
 		}
 		if f.cfg.CollectTrace {
 			st := metrics.IterationStat{Iteration: step, Duration: time.Since(start)}

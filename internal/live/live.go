@@ -40,6 +40,8 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/iterative"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
 	"repro/internal/record"
 )
 
@@ -117,6 +119,16 @@ type ViewConfig struct {
 	// deletion's affected region exceeds this fraction of the solution
 	// set, the view falls back to a full recompute (default 0.5).
 	RecomputeFraction float64
+	// AutoEngine routes full recomputes through iterative.RunAuto: the
+	// cost model — calibrated from this view's own measured supersteps —
+	// picks between the superstep and microstep engines per recompute
+	// instead of always re-running incrementally. Views created over the
+	// HTTP API with algorithm=auto set this. Calibration samples come
+	// from the embedded Metrics: when several concurrently-flushing
+	// views share one Counters, samples include the neighbors' work and
+	// the fit degrades toward the (safe) built-in defaults — give auto
+	// views private Counters when switch precision matters.
+	AutoEngine bool
 }
 
 func (c ViewConfig) normalized() ViewConfig {
@@ -163,6 +175,9 @@ type ViewStats struct {
 	FullRecomputes    int64
 	Supersteps        int64
 	Rebinds           int64
+	// EngineSwitches counts mid-recompute engine handoffs by AutoEngine
+	// views (incremental → microstep once the workset collapsed).
+	EngineSwitches int64
 	// LastError is the most recent background (timer) flush failure, if
 	// any — synchronous Flush errors go to the caller instead.
 	LastError string
@@ -213,6 +228,19 @@ func NewView(name string, m Maintainer, initial []Mutation, cfg ViewConfig) (*Li
 		return nil, err
 	}
 	cfg = cfg.normalized()
+	if cfg.AutoEngine {
+		// A per-view calibrator: every maintained superstep feeds the
+		// fit, so later recomputes plan with this view's observed
+		// constants. The fit's features are the work counters, so a
+		// view without metrics gets its own — otherwise calibration
+		// would be silently inert.
+		if cfg.Calibrator == nil {
+			cfg.Calibrator = optimizer.NewCalibrator()
+		}
+		if cfg.Metrics == nil {
+			cfg.Metrics = &metrics.Counters{}
+		}
+	}
 	v := &LiveView{name: name, m: m, cfg: cfg, gs: NewGraphState()}
 	for _, mut := range initial {
 		v.gs.Apply(mut)
@@ -596,6 +624,9 @@ func (v *LiveView) warmRestartLocked(workset []record.Record) error {
 // the resident session, so even this path reuses workers and state.
 func (v *LiveView) fullRecomputeLocked() error {
 	spec, s0, w0 := v.m.Spec(v.gs)
+	if v.cfg.AutoEngine {
+		return v.autoRecomputeLocked(spec, s0, w0)
+	}
 	if err := v.fx.Rebind(spec); err != nil {
 		return err
 	}
@@ -612,6 +643,47 @@ func (v *LiveView) fullRecomputeLocked() error {
 	}
 	v.stats.FullRecomputes++
 	return v.warmRestartLocked(w0)
+}
+
+// autoRecomputeLocked is the AutoEngine full recompute: the fixpoint is
+// recomputed through iterative.RunAuto — the cost model (calibrated from
+// this view's measured supersteps) picks the engine and may switch to
+// microsteps mid-run — and the converged result is installed into the
+// resident session, which is re-bound to the new spec for subsequent
+// maintenance.
+func (v *LiveView) autoRecomputeLocked(spec iterative.IncrementalSpec, s0, w0 []record.Record) error {
+	// The resident set is about to be overwritten anyway; dropping it
+	// before the runner builds its own keeps peak solution memory at
+	// ~1× instead of transiently doubling the admitted footprint. (On
+	// error the view is left empty — the same state a failed non-auto
+	// recompute leaves behind.)
+	v.fx.Solution().Reset()
+	res, err := iterative.RunAuto(iterative.AutoSpec{Incremental: spec}, s0, w0, v.cfg.Config)
+	if err != nil {
+		return err
+	}
+	if err := v.fx.Rebind(spec); err != nil {
+		return err
+	}
+	v.spec = spec
+	v.rebindSources(spec)
+	v.planEdges = v.gs.NumEdges()
+	v.overlay = v.overlay[:0]
+	v.stats.Rebinds++
+	sol := v.fx.Solution()
+	sol.Init(res.Solution)
+	if res.Set != nil {
+		// Drop the runner's scratch solution set (under a spill budget it
+		// may hold disk-backed partitions).
+		res.Set.Reset()
+	}
+	if m := v.cfg.Metrics; m != nil {
+		m.FullRecomputes.Add(1)
+	}
+	v.stats.FullRecomputes++
+	v.stats.EngineSwitches += int64(res.Switches)
+	v.stats.Supersteps += int64(res.Supersteps)
+	return nil
 }
 
 // refreshPlan folds the current graph (including any overlay edges) into

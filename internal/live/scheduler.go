@@ -25,6 +25,10 @@ type SchedulerConfig struct {
 	// DefaultView supplies defaults for views created without an explicit
 	// config (the HTTP API's create endpoint).
 	DefaultView ViewConfig
+	// MaxRequestBytes bounds the HTTP request bodies the API decodes
+	// (view creation edge lists, mutation batches); larger bodies get
+	// 413. Zero means the 1 MiB default.
+	MaxRequestBytes int64
 }
 
 // SchedulerStats aggregates the scheduler's state.

@@ -25,7 +25,10 @@ import (
 // CreateRequest is the body of POST /views.
 type CreateRequest struct {
 	Name string `json:"name"`
-	// Algorithm selects the maintainer: "cc" or "sssp".
+	// Algorithm selects the maintainer: "cc", "sssp", or "auto" —
+	// Connected Components with adaptive engine selection: full
+	// recomputes go through iterative.RunAuto, costed with weights
+	// calibrated from the view's own measured supersteps.
 	Algorithm string `json:"algorithm"`
 	// Source is the SSSP source vertex (ignored for cc).
 	Source int64 `json:"source"`
@@ -89,20 +92,46 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// decodeBody decodes a JSON request body under the scheduler's size
+// limit, answering 413 (with the standard error JSON) for oversized
+// bodies and 400 for malformed ones. It reports whether decoding
+// succeeded; on failure the response has been written.
+func (s *Scheduler) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	limit := s.cfg.MaxRequestBytes
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("live: request body exceeds %d bytes", limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
 // Handler returns the scheduler's HTTP API.
 func (s *Scheduler) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /views", func(w http.ResponseWriter, r *http.Request) {
 		var req CreateRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+		if !s.decodeBody(w, r, &req) {
 			return
 		}
 		var m Maintainer
+		auto := false
 		switch req.Algorithm {
 		case "cc", "":
 			m = CC()
+		case "auto":
+			m = CC()
+			auto = true
 		case "sssp":
 			m = SSSP(req.Source)
 		default:
@@ -125,6 +154,9 @@ func (s *Scheduler) Handler() http.Handler {
 		}
 		if req.SolutionMemoryBudget != 0 {
 			cfg.SolutionMemoryBudget = req.SolutionMemoryBudget
+		}
+		if auto {
+			cfg.AutoEngine = true
 		}
 		v, err := s.Create(req.Name, m, initial, &cfg)
 		if err != nil {
@@ -164,8 +196,7 @@ func (s *Scheduler) Handler() http.Handler {
 			return
 		}
 		var wire []MutationJSON
-		if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+		if !s.decodeBody(w, r, &wire) {
 			return
 		}
 		muts := make([]Mutation, len(wire))

@@ -121,6 +121,104 @@ func TestServeHTTPAPI(t *testing.T) {
 	}
 }
 
+// TestServeBodyLimit posts an oversized mutation batch: the handler must
+// answer 413 with the standard error JSON instead of decoding an
+// unbounded body, and the view must stay usable.
+func TestServeBodyLimit(t *testing.T) {
+	s := NewScheduler(SchedulerConfig{
+		DefaultView:     ViewConfig{Config: iterative.Config{Parallelism: 2}},
+		MaxRequestBytes: 4 << 10,
+	})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp := postJSON(t, srv.URL+"/views", CreateRequest{
+		Name: "g", Algorithm: "cc", Edges: []EdgeJSON{{Src: 0, Dst: 1}},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// ~50 bytes per mutation: 1000 of them blow the 4 KiB limit.
+	big := make([]MutationJSON, 1000)
+	for i := range big {
+		big[i] = MutationJSON{Op: "insert-edge", Src: int64(i), Dst: int64(i + 1)}
+	}
+	resp = postJSON(t, srv.URL+"/views/g/mutations", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: %s, want 413", resp.Status)
+	}
+	errBody := decodeJSON[map[string]string](t, resp)
+	if errBody["error"] == "" {
+		t.Errorf("413 response missing standard error JSON: %v", errBody)
+	}
+
+	// An oversized create body gets the same treatment.
+	edges := make([]EdgeJSON, 1000)
+	for i := range edges {
+		edges[i] = EdgeJSON{Src: int64(i), Dst: int64(i + 1)}
+	}
+	resp = postJSON(t, srv.URL+"/views", CreateRequest{Name: "big", Algorithm: "cc", Edges: edges})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized create: %s, want 413", resp.Status)
+	}
+	resp.Body.Close()
+
+	// The rejected batch left no partial state; a small one still works.
+	resp = postJSON(t, srv.URL+"/views/g/mutations", []MutationJSON{{Op: "insert-edge", Src: 1, Dst: 2}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("small batch after 413: %s", resp.Status)
+	}
+	resp.Body.Close()
+}
+
+// TestServeAutoAlgorithm creates an algorithm=auto view: maintenance works
+// like a cc view, and a deletion-driven full recompute goes through the
+// adaptive runner.
+func TestServeAutoAlgorithm(t *testing.T) {
+	var m metrics.Counters
+	s := NewScheduler(SchedulerConfig{
+		DefaultView: ViewConfig{Config: iterative.Config{Parallelism: 2, Metrics: &m}}})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp := postJSON(t, srv.URL+"/views", CreateRequest{
+		Name: "g", Algorithm: "auto",
+		Edges: []EdgeJSON{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Deleting a chain edge splits the component: the affected region is
+	// the whole view, forcing the full-recompute path — which auto views
+	// route through RunAuto.
+	resp = postJSON(t, srv.URL+"/views/g/mutations", []MutationJSON{
+		{Op: "delete-edge", Src: 1, Dst: 2},
+	})
+	resp.Body.Close()
+	resp = postJSON(t, srv.URL+"/views/g/flush", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flush: %s", resp.Status)
+	}
+	st := decodeJSON[ViewStats](t, resp)
+	if st.FullRecomputes != 1 {
+		t.Fatalf("FullRecomputes = %d, want 1 (stats %+v)", st.FullRecomputes, st)
+	}
+	q := decodeJSON[QueryResponse](t, mustGet(t, srv.URL+"/views/g/query?key=3"))
+	if !q.Found || q.B != 2 {
+		t.Fatalf("post-split query(3) = %+v, want component 2", q)
+	}
+	q = decodeJSON[QueryResponse](t, mustGet(t, srv.URL+"/views/g/query?key=1"))
+	if !q.Found || q.B != 0 {
+		t.Fatalf("post-split query(1) = %+v, want component 0", q)
+	}
+}
+
 func mustGet(t *testing.T, url string) *http.Response {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -68,6 +68,17 @@ type Counters struct {
 	// MaintenanceSupersteps counts supersteps executed by warm restarts —
 	// the marginal fixpoint work of absorbing mutations.
 	MaintenanceSupersteps atomic.Int64
+	// EngineSwitches counts mid-run engine handoffs by the adaptive
+	// runner (e.g. incremental → microstep once the workset collapses
+	// below the dispatch-overhead crossover).
+	EngineSwitches atomic.Int64
+	// Reoptimizations counts successful mid-run re-plans of the Δ
+	// dataflow after the working set drifted from the costed estimate.
+	Reoptimizations atomic.Int64
+	// ReoptimizeFailures counts mid-run re-plans that failed; the run
+	// continues on the stale plan, and the failure is also recorded as a
+	// trace event.
+	ReoptimizeFailures atomic.Int64
 }
 
 // Snapshot is an immutable copy of counter values.
@@ -90,6 +101,10 @@ type Snapshot struct {
 	PartialRecomputes     int64
 	FullRecomputes        int64
 	MaintenanceSupersteps int64
+
+	EngineSwitches     int64
+	Reoptimizations    int64
+	ReoptimizeFailures int64
 }
 
 // Snapshot captures current counter values.
@@ -113,6 +128,10 @@ func (c *Counters) Snapshot() Snapshot {
 		PartialRecomputes:     c.PartialRecomputes.Load(),
 		FullRecomputes:        c.FullRecomputes.Load(),
 		MaintenanceSupersteps: c.MaintenanceSupersteps.Load(),
+
+		EngineSwitches:     c.EngineSwitches.Load(),
+		Reoptimizations:    c.Reoptimizations.Load(),
+		ReoptimizeFailures: c.ReoptimizeFailures.Load(),
 	}
 }
 
@@ -137,6 +156,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		PartialRecomputes:     s.PartialRecomputes - o.PartialRecomputes,
 		FullRecomputes:        s.FullRecomputes - o.FullRecomputes,
 		MaintenanceSupersteps: s.MaintenanceSupersteps - o.MaintenanceSupersteps,
+
+		EngineSwitches:     s.EngineSwitches - o.EngineSwitches,
+		Reoptimizations:    s.Reoptimizations - o.Reoptimizations,
+		ReoptimizeFailures: s.ReoptimizeFailures - o.ReoptimizeFailures,
 	}
 }
 
@@ -159,6 +182,9 @@ func (c *Counters) Reset() {
 	c.PartialRecomputes.Store(0)
 	c.FullRecomputes.Store(0)
 	c.MaintenanceSupersteps.Store(0)
+	c.EngineSwitches.Store(0)
+	c.Reoptimizations.Store(0)
+	c.ReoptimizeFailures.Store(0)
 }
 
 // IterationStat records one iteration/superstep of an iterative job — one
@@ -167,12 +193,26 @@ type IterationStat struct {
 	Iteration int
 	Duration  time.Duration
 	Work      Snapshot
+	// Engine names the engine that executed this superstep when the
+	// adaptive runner collected the trace ("bulk", "incremental",
+	// "microstep"); empty for single-engine runs.
+	Engine string
+}
+
+// TraceEvent is an out-of-band occurrence during a run (an engine switch,
+// a re-optimization, a re-optimization failure), anchored to the superstep
+// it followed.
+type TraceEvent struct {
+	Iteration int
+	Event     string
 }
 
 // Trace accumulates per-iteration statistics for one job run.
 type Trace struct {
 	Iterations []IterationStat
 	Total      time.Duration
+	// Events holds out-of-band occurrences in arrival order.
+	Events []TraceEvent
 }
 
 // Add appends one iteration's stats.
@@ -181,5 +221,49 @@ func (t *Trace) Add(st IterationStat) {
 	t.Total += st.Duration
 }
 
+// AddEvent records an out-of-band occurrence after the given iteration.
+func (t *Trace) AddEvent(iteration int, event string) {
+	t.Events = append(t.Events, TraceEvent{Iteration: iteration, Event: event})
+}
+
 // NumIterations returns the number of recorded iterations.
 func (t *Trace) NumIterations() int { return len(t.Iterations) }
+
+// CalibratedWeights is a fitted set of cost-model weights: the unitless
+// constants of the optimizer's cost formulas replaced by values estimated
+// from measured superstep timings (regression of wall time against the
+// work counters). Only the ratios matter for plan and engine choice, so
+// the fitted values being in nanoseconds-per-record is immaterial.
+type CalibratedWeights struct {
+	// Net is the cost per record crossing a partitioning exchange.
+	Net float64
+	// CPU is the cost per UDF invocation.
+	CPU float64
+	// Group is the cost per solution-set access (the grouped probe work
+	// of the superstep engines).
+	Group float64
+	// Merge is the cost per solution-set update (the ∪̇ write path).
+	Merge float64
+	// Dispatch is the per-element overhead of microstep execution:
+	// queue push/pop and termination accounting for one workset element.
+	Dispatch float64
+	// StepOverhead is the fixed per-(task × superstep) cost of the
+	// superstep engines: waking one partition-pinned worker for one
+	// plan node and running the barrier protocol.
+	StepOverhead float64
+	// Samples counts the superstep observations the fit consumed;
+	// 0 means the weights are the built-in defaults.
+	Samples int
+}
+
+// PlannedVsObserved pairs the cost the engine selector predicted for one
+// superstep against the wall time the superstep actually took — the
+// feedback signal of adaptive execution.
+type PlannedVsObserved struct {
+	Engine    string
+	Superstep int
+	// Planned is the predicted cost in the weights' (unitless) scale.
+	Planned float64
+	// Observed is the measured superstep duration.
+	Observed time.Duration
+}

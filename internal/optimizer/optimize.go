@@ -2,6 +2,7 @@ package optimizer
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dataflow"
 	"repro/internal/record"
@@ -366,7 +367,9 @@ func best(cs []cand) cand {
 
 // prune keeps, for each distinct property set, the cheapest candidate, and
 // drops candidates dominated by a cheaper candidate covering their
-// properties.
+// properties. The result is returned in a deterministic order (cost, then
+// properties), so cost ties resolve identically on every run — repeated
+// optimizations of the same plan must yield the same physical plan.
 func prune(cs []cand) []cand {
 	byProps := make(map[Props]cand)
 	for _, c := range cs {
@@ -387,6 +390,19 @@ func prune(cs []cand) []cand {
 			out = append(out, c)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].cost != out[j].cost {
+			return out[i].cost < out[j].cost
+		}
+		pi, pj := out[i].props, out[j].props
+		if pi.Part != pj.Part {
+			return pi.Part < pj.Part
+		}
+		if pi.Sort != pj.Sort {
+			return pi.Sort < pj.Sort
+		}
+		return !pi.Repl && pj.Repl
+	})
 	return out
 }
 

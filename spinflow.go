@@ -30,6 +30,17 @@
 // merging deltas with the ∪̇ operator, and RunMicrostep executes
 // admissible plans asynchronously one element at a time.
 //
+// # Adaptive engine selection
+//
+// RunAuto removes the engine choice from the caller: an AutoSpec bundles
+// the incremental form with an optional bulk alternative, the optimizer's
+// cost model (extended with per-engine formulas) picks the cheapest
+// engine, and runtime cardinality feedback can switch a run from
+// supersteps to microsteps once the workset collapses below the
+// dispatch-overhead crossover, handing the resident solution set over
+// warm. With a Calibrator in the Config, measured superstep timings fit
+// the cost weights, so repeated runs plan with observed constants.
+//
 // # Execution model: sessions and partition-pinned workers
 //
 // The runtime executes a physical plan through a session
@@ -215,6 +226,26 @@ func RunMicrostep(spec IncrementalSpec, s0, w0 []Record, cfg Config) (*Increment
 	return core.RunMicrostep(spec, s0, w0, cfg)
 }
 
+// AutoSpec describes one iterative computation executable by several
+// engines: the incremental form (required) plus an optional equivalent
+// bulk iteration.
+type AutoSpec = core.AutoSpec
+
+// AutoResult reports an adaptive run: the solution, the engine sequence
+// executed, per-engine candidate costs, and the cost weights used.
+type AutoResult = core.AutoResult
+
+// RunAuto lets the engine pick itself: the three engines are costed with
+// the optimizer's (optionally calibrated) cost model, the cheapest runs,
+// and observed per-superstep cardinalities can switch the run to
+// microsteps once the workset collapses below the dispatch-overhead
+// crossover — with the resident solution set handed over warm. Set
+// Config.Calibrator to plan repeated runs with observed rather than
+// guessed constants.
+func RunAuto(spec AutoSpec, s0, w0 []Record, cfg Config) (*AutoResult, error) {
+	return core.RunAuto(spec, s0, w0, cfg)
+}
+
 // SolutionSet is the resident state of an incremental iteration, handed
 // back by IncrementalResult.Set after a run.
 type SolutionSet = core.SolutionSet
@@ -226,6 +257,14 @@ type SolutionSet = core.SolutionSet
 // newly inserted edge).
 func ResumeIncremental(spec IncrementalSpec, existing *SolutionSet, delta []Record, cfg Config) (*IncrementalResult, error) {
 	return core.ResumeIncremental(spec, existing, delta, cfg)
+}
+
+// ResumeMicrostep is the asynchronous counterpart of ResumeIncremental:
+// it finishes a fixpoint over an existing resident solution set in
+// microsteps — the warm handoff RunAuto uses when it switches engines
+// mid-run, available as a standalone entry point.
+func ResumeMicrostep(spec IncrementalSpec, existing *SolutionSet, workset []Record, cfg Config) (*IncrementalResult, error) {
+	return core.ResumeMicrostep(spec, existing, workset, cfg)
 }
 
 // ValidateMicrostep checks the §5.2 microstep admissibility conditions
