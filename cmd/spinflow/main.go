@@ -4,16 +4,20 @@
 // Usage:
 //
 //	spinflow [-scale f] [-par n] [-iters n] <experiment>...
-//	spinflow serve [-addr :8080] [-par n] [-budget bytes]
+//	spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir]
 //
 // Experiments: table1 table2 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12
-// outofcore live explain all
+// outofcore live durable auto explain all
 //
 // `spinflow serve` starts the long-running maintenance service: named
 // live views over resident solution sets, maintained under streaming
 // graph mutations through an HTTP JSON API (see internal/live). SIGINT or
-// SIGTERM shuts it down cleanly — pending mutation batches are flushed
-// and spill files removed.
+// SIGTERM shuts it down cleanly — pending mutation batches are flushed,
+// final snapshots written, and spill files removed. With -data-dir, views
+// are durable: mutations are write-ahead logged before acknowledgment,
+// snapshots stream periodically, and a restarted server recovers every
+// view (SIGKILL included — the WAL tail replays through the maintenance
+// path).
 package main
 
 import (
@@ -39,16 +43,25 @@ func serve(args []string) error {
 	par := fs.Int("par", 4, "default per-view parallelism")
 	budget := fs.Int64("budget", 0, "total resident solution-memory budget in bytes (0 = unlimited)")
 	viewBudget := fs.Int64("view-budget", 0, "per-view solution spill budget in bytes (0 = in-memory)")
+	dataDir := fs.String("data-dir", "", "directory for durable view state (WAL + snapshots); views are recovered from it on startup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	sched := live.NewScheduler(live.SchedulerConfig{
 		MemoryBudget: *budget,
+		DataDir:      *dataDir,
 		DefaultView: live.ViewConfig{
 			Config: iterative.Config{Parallelism: *par, SolutionMemoryBudget: *viewBudget},
 		},
 	})
+	if *dataDir != "" {
+		n, err := sched.Recover()
+		if err != nil {
+			return fmt.Errorf("recovering views from %s: %w", *dataDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "spinflow serve: recovered %d durable view(s) from %s\n", n, *dataDir)
+	}
 	stop := make(chan struct{})
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -129,8 +142,8 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|auto|explain|all>...")
-		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes]")
+		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|durable|auto|explain|all>...")
+		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir]")
 		os.Exit(2)
 	}
 	for _, name := range args {
@@ -160,6 +173,8 @@ func main() {
 			_, err = harness.OutOfCore(opts)
 		case "live":
 			_, err = harness.Live(opts)
+		case "durable":
+			_, err = harness.Durable(opts)
 		case "auto":
 			_, err = harness.Auto(opts)
 		case "all":

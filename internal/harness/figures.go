@@ -529,6 +529,9 @@ func All(o Options) error {
 	if _, err := Live(o); err != nil {
 		return err
 	}
+	if _, err := Durable(o); err != nil {
+		return err
+	}
 	if _, err := Auto(o); err != nil {
 		return err
 	}

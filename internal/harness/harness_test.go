@@ -234,6 +234,28 @@ func TestLive(t *testing.T) {
 	}
 }
 
+func TestDurableScenario(t *testing.T) {
+	res, err := Durable(Options{Scale: graphgen.ScaleTiny, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RecoveredIdentical {
+		t.Error("recovered state diverged from the acknowledged history")
+	}
+	if res.ReplayedFrames == 0 {
+		t.Error("hard kill with acked batches in flight should force WAL replay")
+	}
+	if res.WALBytes == 0 {
+		t.Error("durable stream logged no bytes")
+	}
+	if res.Overhead <= 0 {
+		t.Errorf("degenerate overhead %v", res.Overhead)
+	}
+	if res.SnapshotPeakRatio <= 0 {
+		t.Errorf("degenerate snapshot peak ratio %v", res.SnapshotPeakRatio)
+	}
+}
+
 // TestOptionsValidate checks that scenarios return configuration errors
 // instead of silently normalizing them away.
 func TestOptionsValidate(t *testing.T) {

@@ -2,6 +2,9 @@ package iterative
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
@@ -43,6 +46,136 @@ func TestCheckpointRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadCheckpoint(bytes.NewReader([]byte{0x57, 0x4c, 0x46, 0x53})); err == nil {
 		t.Error("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointRejectsOversizeKind(t *testing.T) {
+	// A corrupt kind-length must be rejected before any allocation
+	// depends on it.
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, checkpointMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, checkpointVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, 1<<30)
+	if _, err := ReadCheckpoint(bytes.NewReader(buf)); err == nil ||
+		!strings.Contains(err.Error(), "kind length") {
+		t.Fatalf("oversize kind length: %v", err)
+	}
+}
+
+func TestCheckpointTruncatedSection(t *testing.T) {
+	cp := &Checkpoint{Kind: "incremental", Iteration: 1,
+		Solution: manyRecords(3 * checkpointChunk / 2), Workset: []record.Record{{A: 1}}}
+	var buf bytes.Buffer
+	if _, err := cp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	back, err := ReadCheckpoint(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Solution) != len(cp.Solution) || len(back.Workset) != 1 {
+		t.Fatalf("round trip lost records: %d/%d", len(back.Solution), len(back.Workset))
+	}
+	// Every proper prefix must error (torn checkpoint), never panic or
+	// silently return partial state.
+	for _, cut := range []int{len(full) - 1, len(full) / 2, 30, 21} {
+		if _, err := ReadCheckpoint(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("cut at %d accepted", cut)
+		}
+	}
+}
+
+// TestCheckpointStreamingWrite checks the chunked encoding: a checkpoint
+// larger than one frame must produce multiple bounded frames, and the
+// writer must never hold more than ~one frame of encoded bytes.
+func TestCheckpointStreamingWrite(t *testing.T) {
+	n := 3*checkpointChunk + 17
+	cp := &Checkpoint{Kind: "bulk", Iteration: 2, Solution: manyRecords(n)}
+	var buf bytes.Buffer
+	if _, err := cp.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Solution) != n {
+		t.Fatalf("solution: %d records, want %d", len(back.Solution), n)
+	}
+	for i, r := range back.Solution {
+		if !r.Equal(cp.Solution[i]) {
+			t.Fatalf("record %d: %v != %v", i, r, cp.Solution[i])
+		}
+	}
+}
+
+func manyRecords(n int) []record.Record {
+	out := make([]record.Record, n)
+	for i := range out {
+		out[i] = record.Record{A: int64(i), B: int64(i % 97), X: float64(i) / 3, Tag: uint8(i)}
+	}
+	return out
+}
+
+// FuzzCheckpointRead feeds arbitrary bytes through the checkpoint
+// decoder: it must never panic, and anything it accepts must round-trip.
+func FuzzCheckpointRead(f *testing.F) {
+	seed := func(cp *Checkpoint) []byte {
+		var buf bytes.Buffer
+		cp.WriteTo(&buf)
+		return buf.Bytes()
+	}
+	f.Add(seed(&Checkpoint{Kind: "bulk", Iteration: 1, Solution: manyRecords(5)}))
+	f.Add(seed(&Checkpoint{Kind: "incremental", Solution: manyRecords(2), Workset: manyRecords(3)})[:40])
+	f.Add([]byte{0x57, 0x4c, 0x46, 0x53, 2, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := cp.WriteTo(&buf); err != nil {
+			t.Fatalf("accepted checkpoint does not re-encode: %v", err)
+		}
+		back, err := ReadCheckpoint(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint rejected: %v", err)
+		}
+		if len(back.Solution) != len(cp.Solution) || len(back.Workset) != len(cp.Workset) {
+			t.Fatal("round trip changed record counts")
+		}
+	})
+}
+
+func TestWriteFileDurable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFileDurable(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// A failing writer must leave neither the target nor the temp file.
+	bad := filepath.Join(dir, "bad.bin")
+	if err := WriteFileDurable(bad, func(io.Writer) error {
+		return io.ErrClosedPipe
+	}); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Fatalf("failed write left target: %v", err)
+	}
+	if _, err := os.Stat(bad + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("failed write left temp: %v", err)
 	}
 }
 

@@ -29,6 +29,15 @@
 // maintenance is serialized per view. The Scheduler serves many named
 // views concurrently under a global memory budget, and serve.go exposes
 // the whole service over HTTP for `spinflow serve`.
+//
+// Views can be durable (wal.go, ViewConfig.Durable): acknowledged
+// mutation batches are write-ahead logged (CRC32-framed, fsynced before
+// Mutate returns), the resident state is periodically captured by
+// streaming snapshots written partition-by-partition through the
+// iterative checkpoint format, and OpenView recovers a crashed view by
+// loading the latest valid snapshot, replaying the log tail through the
+// ordinary maintenance path, and truncating torn tails at the last valid
+// frame. `spinflow serve -data-dir` turns this on for every served view.
 package live
 
 import (
@@ -119,6 +128,21 @@ type ViewConfig struct {
 	// deletion's affected region exceeds this fraction of the solution
 	// set, the view falls back to a full recompute (default 0.5).
 	RecomputeFraction float64
+	// Durable enables the write-ahead log and snapshot lifecycle: every
+	// Mutate appends its batch to the view's log (fsynced) before
+	// returning, periodic streaming snapshots bound the log, and OpenView
+	// recovers the view after a crash. Requires DataDir.
+	Durable bool
+	// DataDir is the directory durable view state lives under (one
+	// subdirectory per view: wal.log plus snapshot files).
+	DataDir string
+	// SnapshotEveryFlushes is the number of flushed micro-batches between
+	// streaming snapshots (default 32). Durable views only.
+	SnapshotEveryFlushes int
+	// SnapshotEveryBytes additionally triggers a snapshot once the log
+	// has grown this many bytes since the last one (default 4 MiB).
+	// Durable views only.
+	SnapshotEveryBytes int64
 	// AutoEngine routes full recomputes through iterative.RunAuto: the
 	// cost model — calibrated from this view's own measured supersteps —
 	// picks between the superstep and microstep engines per recompute
@@ -141,6 +165,12 @@ func (c ViewConfig) normalized() ViewConfig {
 	if c.RecomputeFraction <= 0 {
 		c.RecomputeFraction = 0.5
 	}
+	if c.SnapshotEveryFlushes <= 0 {
+		c.SnapshotEveryFlushes = 32
+	}
+	if c.SnapshotEveryBytes <= 0 {
+		c.SnapshotEveryBytes = 4 << 20
+	}
 	return c
 }
 
@@ -158,6 +188,15 @@ func (c ViewConfig) Validate() error {
 	}
 	if c.SolutionMemoryBudget < 0 {
 		return fmt.Errorf("live: negative SolutionMemoryBudget %d", c.SolutionMemoryBudget)
+	}
+	if c.SnapshotEveryFlushes < 0 {
+		return fmt.Errorf("live: negative SnapshotEveryFlushes %d", c.SnapshotEveryFlushes)
+	}
+	if c.SnapshotEveryBytes < 0 {
+		return fmt.Errorf("live: negative SnapshotEveryBytes %d", c.SnapshotEveryBytes)
+	}
+	if c.Durable && c.DataDir == "" {
+		return fmt.Errorf("live: Durable requires DataDir")
 	}
 	return nil
 }
@@ -178,8 +217,17 @@ type ViewStats struct {
 	// EngineSwitches counts mid-recompute engine handoffs by AutoEngine
 	// views (incremental → microstep once the workset collapsed).
 	EngineSwitches int64
-	// LastError is the most recent background (timer) flush failure, if
-	// any — synchronous Flush errors go to the caller instead.
+	// Durable reports whether the view logs mutations and snapshots.
+	Durable bool
+	// WALBytes is the current size of the view's write-ahead log.
+	WALBytes int64
+	// SnapshotsWritten counts streaming snapshots this view persisted.
+	SnapshotsWritten int64
+	// RecoveredFrames counts WAL frames replayed through the maintenance
+	// path when this view instance was recovered (0 for fresh views).
+	RecoveredFrames int64
+	// LastError is the most recent background (timer) flush or snapshot
+	// failure, if any — synchronous errors go to the caller instead.
 	LastError string
 }
 
@@ -208,6 +256,10 @@ type LiveView struct {
 	// overlay growth fold them in (source refresh + cache invalidation).
 	overlay []WEdge
 	stats   ViewStats
+	// dur is the durability state (nil for in-memory views). Its wal is
+	// internally locked; the seq/snapshot bookkeeping is guarded by mu,
+	// except that Mutate reads the wal's seq under pmu.
+	dur *durableState
 
 	// pmu guards the pending micro-batch.
 	pmu     sync.Mutex
@@ -220,27 +272,43 @@ type LiveView struct {
 	asyncErr atomic.Value // string
 }
 
+// durableState is the write-ahead log plus snapshot bookkeeping of one
+// durable view.
+type durableState struct {
+	dir string
+	wal *wal
+	// flushedSeq is the WAL frame up to which mutations are reflected in
+	// the resident solution set (guarded by the maintenance lock).
+	flushedSeq uint64
+	// snapSeq is the WAL frame the latest snapshot covers.
+	snapSeq uint64
+	// flushesSinceSnap and walBytesAtSnap drive the snapshot cadence.
+	flushesSinceSnap int
+	walBytesAtSnap   int64
+	// snapshots counts snapshots written by this view instance.
+	snapshots int64
+	// hasSnapshot records that a valid snapshot at snapSeq exists on
+	// disk — written by this instance or loaded at recovery — so Close
+	// can skip re-writing one for an untouched view.
+	hasSnapshot bool
+	// replayed counts WAL frames replayed when this instance recovered.
+	replayed int64
+}
+
 // NewView builds a view over the graph described by the initial mutations
 // (typically a stream of InsertEdge), runs the cold fixpoint once, and
-// leaves everything resident for maintenance.
+// leaves everything resident for maintenance. With ViewConfig.Durable set
+// it is OpenView — which *recovers* existing on-disk state for the name
+// instead of building from `initial`.
 func NewView(name string, m Maintainer, initial []Mutation, cfg ViewConfig) (*LiveView, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	cfg = cfg.normalized()
-	if cfg.AutoEngine {
-		// A per-view calibrator: every maintained superstep feeds the
-		// fit, so later recomputes plan with this view's observed
-		// constants. The fit's features are the work counters, so a
-		// view without metrics gets its own — otherwise calibration
-		// would be silently inert.
-		if cfg.Calibrator == nil {
-			cfg.Calibrator = optimizer.NewCalibrator()
-		}
-		if cfg.Metrics == nil {
-			cfg.Metrics = &metrics.Counters{}
-		}
-	}
+	return OpenView(name, m, initial, cfg)
+}
+
+// newViewCore is the cold build shared by NewView and the durable create
+// path: graph from initial mutations, one cold fixpoint, everything left
+// resident. cfg has been validated and normalized.
+func newViewCore(name string, m Maintainer, initial []Mutation, cfg ViewConfig) (*LiveView, error) {
+	cfg = cfg.withAutoDefaults()
 	v := &LiveView{name: name, m: m, cfg: cfg, gs: NewGraphState()}
 	for _, mut := range initial {
 		v.gs.Apply(mut)
@@ -260,6 +328,34 @@ func NewView(name string, m Maintainer, initial []Mutation, cfg ViewConfig) (*Li
 		return nil, err
 	}
 	return v, nil
+}
+
+// withAutoDefaults gives AutoEngine views a private calibrator: every
+// maintained superstep feeds the fit, so later recomputes plan with this
+// view's observed constants. The fit's features are the work counters,
+// so a view without metrics gets its own — otherwise calibration would
+// be silently inert.
+func (c ViewConfig) withAutoDefaults() ViewConfig {
+	if c.AutoEngine {
+		if c.Calibrator == nil {
+			c.Calibrator = optimizer.NewCalibrator()
+		}
+		if c.Metrics == nil {
+			c.Metrics = &metrics.Counters{}
+		}
+	}
+	return c
+}
+
+// assembleView wires a LiveView around already-recovered state: the
+// graph, the open fixpoint (with its solution set loaded), and the spec
+// the fixpoint was opened with. Used by recovery, where the cold build
+// is replaced by a snapshot load plus WAL replay.
+func assembleView(name string, m Maintainer, cfg ViewConfig, gs *GraphState, fx *iterative.Fixpoint, spec iterative.IncrementalSpec) *LiveView {
+	v := &LiveView{name: name, m: m, cfg: cfg, gs: gs, fx: fx, spec: spec}
+	v.rebindSources(spec)
+	v.planEdges = gs.NumEdges()
+	return v
 }
 
 // rebindSources records the plan's Source nodes, in construction order,
@@ -329,6 +425,12 @@ func (v *LiveView) Stats() ViewStats {
 	sol := v.fx.Solution()
 	st.SolutionRecords = sol.Size()
 	st.SolutionBytes = sol.Bytes()
+	if d := v.dur; d != nil {
+		st.Durable = true
+		st.WALBytes = d.wal.SizeBytes()
+		st.SnapshotsWritten = d.snapshots
+		st.RecoveredFrames = d.replayed
+	}
 	v.mu.RUnlock()
 	v.pmu.Lock()
 	st.MutationsPending = len(v.pending)
@@ -344,11 +446,30 @@ func (v *LiveView) Stats() ViewStats {
 // the batch's first mutation). The closed check happens under the batch
 // lock, so an accepted mutation is guaranteed to be either flushed by a
 // later Flush or drained by Close — never silently dropped.
+//
+// Durable views write the batch to the write-ahead log (one CRC32 frame,
+// fsynced) before it is queued: by the time Mutate returns nil, the
+// mutations survive a crash. A failed log append rejects the batch — it
+// is neither queued nor acknowledged.
 func (v *LiveView) Mutate(muts ...Mutation) error {
+	if len(muts) == 0 {
+		return nil
+	}
 	v.pmu.Lock()
 	if v.closed.Load() {
 		v.pmu.Unlock()
 		return fmt.Errorf("live: view %q is closed", v.name)
+	}
+	if v.dur != nil {
+		_, n, err := v.dur.wal.Append(mutationsToRecords(muts))
+		if err != nil {
+			v.pmu.Unlock()
+			return fmt.Errorf("live: view %q wal append: %w", v.name, err)
+		}
+		if m := v.cfg.Metrics; m != nil {
+			m.WALAppends.Add(1)
+			m.WALBytes.Add(int64(n))
+		}
 	}
 	wasEmpty := len(v.pending) == 0
 	v.pending = append(v.pending, muts...)
@@ -369,17 +490,24 @@ func (v *LiveView) Mutate(muts ...Mutation) error {
 	return nil
 }
 
-// takeBatch drains the pending micro-batch and disarms the timer.
-func (v *LiveView) takeBatch() []Mutation {
+// takeBatch drains the pending micro-batch and disarms the timer. For
+// durable views it also captures the WAL seq the drain corresponds to:
+// the drained mutations are exactly the log frames up to that seq that
+// are not yet flushed, so applying them advances flushedSeq there.
+func (v *LiveView) takeBatch() ([]Mutation, uint64) {
 	v.pmu.Lock()
 	batch := v.pending
 	v.pending = nil
+	var seq uint64
+	if v.dur != nil {
+		seq = v.dur.wal.Seq()
+	}
 	if v.timer != nil {
 		v.timer.Stop()
 		v.timer = nil
 	}
 	v.pmu.Unlock()
-	return batch
+	return batch, seq
 }
 
 // Flush applies the pending micro-batch now: mutations become workset
@@ -393,11 +521,35 @@ func (v *LiveView) Flush() error {
 	if v.closed.Load() {
 		return fmt.Errorf("live: view %q is closed", v.name)
 	}
-	batch := v.takeBatch()
+	batch, seq := v.takeBatch()
 	if len(batch) == 0 {
 		return nil
 	}
-	return v.applyLocked(batch)
+	if err := v.applyLocked(batch); err != nil {
+		return err
+	}
+	v.afterFlushLocked(seq)
+	return nil
+}
+
+// afterFlushLocked advances the durable bookkeeping after a successful
+// flush and writes a snapshot when the cadence (flush count or log
+// growth) says so. Snapshot failures do not fail the flush — the WAL
+// already holds the mutations durably — but surface through
+// ViewStats.LastError.
+func (v *LiveView) afterFlushLocked(seq uint64) {
+	d := v.dur
+	if d == nil {
+		return
+	}
+	d.flushedSeq = seq
+	d.flushesSinceSnap++
+	if d.flushesSinceSnap >= v.cfg.SnapshotEveryFlushes ||
+		d.wal.SizeBytes()-d.walBytesAtSnap >= v.cfg.SnapshotEveryBytes {
+		if err := v.snapshotLocked(); err != nil {
+			v.asyncErr.Store(err.Error())
+		}
+	}
 }
 
 // insertedEdge records one edge insertion of a batch for delta building.
@@ -726,10 +878,12 @@ func (v *LiveView) refreshPlan() error {
 }
 
 // Close flushes pending mutations, releases the session, and drops the
-// solution set (removing any spill files). Idempotent. The closed flag
-// flips under the maintenance lock before the final drain, so any
-// mutation accepted by Mutate is applied here (or was already flushed)
-// and later Mutate/Flush calls fail fast.
+// solution set (removing any spill files). Durable views additionally
+// write a final snapshot and rotate their log, so the next OpenView
+// restarts without replay. Idempotent. The closed flag flips under the
+// maintenance lock before the final drain, so any mutation accepted by
+// Mutate is applied here (or was already flushed) and later Mutate/Flush
+// calls fail fast.
 func (v *LiveView) Close() error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -737,10 +891,69 @@ func (v *LiveView) Close() error {
 		return nil
 	}
 	var err error
-	if batch := v.takeBatch(); len(batch) > 0 {
+	batch, seq := v.takeBatch()
+	if len(batch) > 0 {
 		err = v.applyLocked(batch)
+	}
+	if d := v.dur; d != nil {
+		if err == nil {
+			// Only converged state may be snapshotted; after an apply
+			// failure the log remains the source of truth and the next
+			// open replays it.
+			d.flushedSeq = seq
+			if d.flushedSeq != d.snapSeq || !d.hasSnapshot {
+				if serr := v.snapshotLocked(); serr != nil && err == nil {
+					err = serr
+				}
+			}
+		}
+		if cerr := d.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	v.fx.Solution().Reset()
 	v.fx.Close()
 	return err
+}
+
+// Kill abandons the view without flushing pending mutations, writing a
+// final snapshot, or rotating the log — the in-process stand-in for a
+// hard crash (SIGKILL). Resources are released; the on-disk state is
+// left exactly as an interrupted process would leave it, so a following
+// OpenView exercises real recovery. Crash-recovery tests and the harness
+// use it; servers should Close.
+func (v *LiveView) Kill() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.closed.CompareAndSwap(false, true) {
+		return
+	}
+	v.pmu.Lock()
+	v.pending = nil
+	if v.timer != nil {
+		v.timer.Stop()
+		v.timer = nil
+	}
+	v.pmu.Unlock()
+	if d := v.dur; d != nil {
+		d.wal.Close()
+	}
+	v.fx.Solution().Reset()
+	v.fx.Close()
+}
+
+// Checkpoint forces a streaming snapshot of the current converged state
+// now, regardless of the snapshot cadence, and rotates the log when
+// possible. Pending (acknowledged but unflushed) mutations stay in the
+// WAL and are not flushed by this call.
+func (v *LiveView) Checkpoint() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed.Load() {
+		return fmt.Errorf("live: view %q is closed", v.name)
+	}
+	if v.dur == nil {
+		return fmt.Errorf("live: view %q is not durable", v.name)
+	}
+	return v.snapshotLocked()
 }

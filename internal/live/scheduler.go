@@ -1,11 +1,17 @@
 package live
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/iterative"
 	"repro/internal/record"
 )
 
@@ -29,6 +35,11 @@ type SchedulerConfig struct {
 	// (view creation edge lists, mutation batches); larger bodies get
 	// 413. Zero means the 1 MiB default.
 	MaxRequestBytes int64
+	// DataDir makes every view durable: each gets a write-ahead log and
+	// snapshot directory under DataDir/<name>, plus a meta.json recording
+	// how to rebuild its maintainer. Recover() restores the registered
+	// views on startup. Empty means in-memory views.
+	DataDir string
 }
 
 // SchedulerStats aggregates the scheduler's state.
@@ -97,6 +108,19 @@ func (s *Scheduler) Create(name string, m Maintainer, initial []Mutation, cfg *V
 		}
 	}
 
+	// A scheduler with a data directory serves durable views: the config
+	// is routed through OpenView and the maintainer recipe is persisted
+	// alongside the view's log so Recover can rebuild it.
+	if s.cfg.DataDir != "" && !vcfg.Durable {
+		vcfg.Durable = true
+		vcfg.DataDir = s.cfg.DataDir
+	}
+	if vcfg.Durable {
+		if err := validateViewName(name); err != nil {
+			return nil, err
+		}
+	}
+
 	s.mu.Lock()
 	if _, dup := s.views[name]; dup {
 		s.mu.Unlock()
@@ -105,10 +129,34 @@ func (s *Scheduler) Create(name string, m Maintainer, initial []Mutation, cfg *V
 	s.views[name] = nil // reserve the name while building
 	s.mu.Unlock()
 
-	v, err := NewView(name, m, initial, vcfg)
+	if vcfg.Durable {
+		// meta.json is the scheduler's create-commit marker (written
+		// last, below). A directory holding a log or snapshot but no
+		// meta is a create that crashed mid-way: nothing was ever
+		// acknowledged, Recover skipped it, and silently "recovering" it
+		// here would hand this caller a view built from the crashed
+		// attempt's edges instead of `initial`. Clear it first.
+		dir := filepath.Join(vcfg.DataDir, name)
+		if _, err := os.Stat(filepath.Join(dir, metaFileName)); os.IsNotExist(err) {
+			if rerr := os.RemoveAll(dir); rerr != nil {
+				s.drop(name)
+				return nil, rerr
+			}
+		}
+	}
+
+	v, err := OpenView(name, m, initial, vcfg)
 	if err != nil {
 		s.drop(name)
 		return nil, err
+	}
+	if vcfg.Durable {
+		if err := saveViewMeta(filepath.Join(vcfg.DataDir, name), m, vcfg); err != nil {
+			s.drop(name)
+			v.Kill()
+			os.RemoveAll(filepath.Join(vcfg.DataDir, name))
+			return nil, err
+		}
 	}
 	s.mu.Lock()
 	s.views[name] = v
@@ -119,10 +167,134 @@ func (s *Scheduler) Create(name string, m Maintainer, initial []Mutation, cfg *V
 		used := s.Usage()
 		s.drop(name)
 		v.Close()
+		if vcfg.Durable {
+			// Admission failed, so nothing was acknowledged; an orphaned
+			// durable directory would resurrect the view on Recover.
+			os.RemoveAll(filepath.Join(vcfg.DataDir, name))
+		}
 		return nil, fmt.Errorf("%w: view %q would bring usage to %d bytes, budget %d",
 			ErrMemoryBudget, name, used, b)
 	}
 	return v, nil
+}
+
+// viewMeta is the durable recipe for rebuilding a view's maintainer and
+// config on recovery, stored as meta.json next to the view's log.
+type viewMeta struct {
+	Algorithm            string `json:"algorithm"`
+	Source               int64  `json:"source,omitempty"`
+	Parallelism          int    `json:"parallelism,omitempty"`
+	BatchSize            int    `json:"batch_size,omitempty"`
+	FlushIntervalMS      int64  `json:"flush_interval_ms,omitempty"`
+	SolutionMemoryBudget int64  `json:"solution_memory_budget,omitempty"`
+	AutoEngine           bool   `json:"auto_engine,omitempty"`
+}
+
+const metaFileName = "meta.json"
+
+func saveViewMeta(dir string, m Maintainer, cfg ViewConfig) error {
+	meta := viewMeta{
+		Algorithm:            m.Name(),
+		Parallelism:          cfg.Parallelism,
+		BatchSize:            cfg.BatchSize,
+		FlushIntervalMS:      cfg.FlushInterval.Milliseconds(),
+		SolutionMemoryBudget: cfg.SolutionMemoryBudget,
+		AutoEngine:           cfg.AutoEngine,
+	}
+	if src, ok := m.(interface{ Source() int64 }); ok {
+		meta.Source = src.Source()
+	}
+	return iterative.WriteFileDurable(filepath.Join(dir, metaFileName), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(meta)
+	})
+}
+
+// Recover reopens every durable view found under the scheduler's data
+// directory: per view, the latest valid snapshot is loaded, the WAL tail
+// is replayed, and the view is registered under its directory name. It
+// returns the number of views recovered; on error, views recovered so
+// far stay registered.
+func (s *Scheduler) Recover() (int, error) {
+	if s.cfg.DataDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		dir := filepath.Join(s.cfg.DataDir, name)
+		raw, err := os.ReadFile(filepath.Join(dir, metaFileName))
+		if err != nil {
+			if os.IsNotExist(err) {
+				// No meta: either an unrelated directory or a create that
+				// crashed before its commit marker. Only the latter holds
+				// view state, and none of it was acknowledged — remove it
+				// so a later Create of the same name starts fresh.
+				if _, serr := os.Stat(filepath.Join(dir, walFileName)); serr == nil {
+					os.RemoveAll(dir)
+				}
+				continue
+			}
+			return n, err
+		}
+		var meta viewMeta
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return n, fmt.Errorf("live: view %q meta: %w", name, err)
+		}
+		var m Maintainer
+		switch meta.Algorithm {
+		case "cc":
+			m = CC()
+		case "sssp":
+			m = SSSP(meta.Source)
+		default:
+			return n, fmt.Errorf("live: view %q meta names unknown algorithm %q", name, meta.Algorithm)
+		}
+		cfg := s.cfg.DefaultView
+		cfg.Durable = true
+		cfg.DataDir = s.cfg.DataDir
+		if meta.Parallelism != 0 {
+			cfg.Parallelism = meta.Parallelism
+		}
+		if meta.BatchSize != 0 {
+			cfg.BatchSize = meta.BatchSize
+		}
+		if meta.FlushIntervalMS != 0 {
+			cfg.FlushInterval = time.Duration(meta.FlushIntervalMS) * time.Millisecond
+		}
+		if meta.SolutionMemoryBudget != 0 {
+			cfg.SolutionMemoryBudget = meta.SolutionMemoryBudget
+		}
+		cfg.AutoEngine = meta.AutoEngine
+
+		s.mu.Lock()
+		if _, dup := s.views[name]; dup {
+			s.mu.Unlock()
+			return n, fmt.Errorf("live: view %q already registered", name)
+		}
+		s.views[name] = nil
+		s.mu.Unlock()
+
+		v, err := OpenView(name, m, nil, cfg)
+		if err != nil {
+			s.drop(name)
+			return n, fmt.Errorf("live: recovering view %q: %w", name, err)
+		}
+		s.mu.Lock()
+		s.views[name] = v
+		s.mu.Unlock()
+		n++
+	}
+	return n, nil
 }
 
 // drop removes a name from the registry without closing the view.
@@ -161,14 +333,23 @@ func (s *Scheduler) Names() []string {
 	return out
 }
 
-// Drop closes a view and removes it.
+// Drop closes a view and removes it. A durable view's on-disk state is
+// deleted with it — an explicit drop is a deletion, not a shutdown, and
+// must not resurrect on the next Recover. (Scheduler.Close, by contrast,
+// leaves durable state in place.)
 func (s *Scheduler) Drop(name string) error {
 	v, ok := s.Get(name)
 	if !ok {
 		return fmt.Errorf("live: no view %q", name)
 	}
 	s.drop(name)
-	return v.Close()
+	err := v.Close()
+	if d := v.dur; d != nil {
+		if rerr := os.RemoveAll(d.dir); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	return err
 }
 
 // Stats aggregates scheduler-wide and per-view counters.

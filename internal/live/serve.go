@@ -18,6 +18,7 @@ import (
 //	GET    /stats                 scheduler-wide stats
 //	POST   /views/{name}/mutations append mutations (array of MutationJSON)
 //	POST   /views/{name}/flush    force the pending batch to apply
+//	POST   /views/{name}/checkpoint  force a streaming snapshot (durable views)
 //	GET    /views/{name}/query?key=K  query one solution record
 //	GET    /views/{name}/stats    per-view stats
 //	DELETE /views/{name}          drop the view
@@ -222,6 +223,18 @@ func (s *Scheduler) Handler() http.Handler {
 		}
 		if err := v.Flush(); err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, v.Stats())
+	})
+
+	mux.HandleFunc("POST /views/{name}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := view(w, r)
+		if !ok {
+			return
+		}
+		if err := v.Checkpoint(); err != nil {
+			writeErr(w, http.StatusConflict, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, v.Stats())

@@ -68,6 +68,17 @@ type Counters struct {
 	// MaintenanceSupersteps counts supersteps executed by warm restarts —
 	// the marginal fixpoint work of absorbing mutations.
 	MaintenanceSupersteps atomic.Int64
+	// WALAppends counts acknowledged mutation batches appended (and
+	// fsynced) to live-view write-ahead logs before Mutate returned.
+	WALAppends atomic.Int64
+	// WALBytes counts bytes appended to live-view write-ahead logs.
+	WALBytes atomic.Int64
+	// SnapshotsWritten counts streaming solution-set snapshots persisted
+	// by durable live views (periodic, shutdown, and post-recovery).
+	SnapshotsWritten atomic.Int64
+	// RecoveryReplays counts WAL frames replayed through the maintenance
+	// path while recovering durable live views after a crash.
+	RecoveryReplays atomic.Int64
 	// EngineSwitches counts mid-run engine handoffs by the adaptive
 	// runner (e.g. incremental → microstep once the workset collapses
 	// below the dispatch-overhead crossover).
@@ -102,6 +113,11 @@ type Snapshot struct {
 	FullRecomputes        int64
 	MaintenanceSupersteps int64
 
+	WALAppends       int64
+	WALBytes         int64
+	SnapshotsWritten int64
+	RecoveryReplays  int64
+
 	EngineSwitches     int64
 	Reoptimizations    int64
 	ReoptimizeFailures int64
@@ -128,6 +144,11 @@ func (c *Counters) Snapshot() Snapshot {
 		PartialRecomputes:     c.PartialRecomputes.Load(),
 		FullRecomputes:        c.FullRecomputes.Load(),
 		MaintenanceSupersteps: c.MaintenanceSupersteps.Load(),
+
+		WALAppends:       c.WALAppends.Load(),
+		WALBytes:         c.WALBytes.Load(),
+		SnapshotsWritten: c.SnapshotsWritten.Load(),
+		RecoveryReplays:  c.RecoveryReplays.Load(),
 
 		EngineSwitches:     c.EngineSwitches.Load(),
 		Reoptimizations:    c.Reoptimizations.Load(),
@@ -157,6 +178,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		FullRecomputes:        s.FullRecomputes - o.FullRecomputes,
 		MaintenanceSupersteps: s.MaintenanceSupersteps - o.MaintenanceSupersteps,
 
+		WALAppends:       s.WALAppends - o.WALAppends,
+		WALBytes:         s.WALBytes - o.WALBytes,
+		SnapshotsWritten: s.SnapshotsWritten - o.SnapshotsWritten,
+		RecoveryReplays:  s.RecoveryReplays - o.RecoveryReplays,
+
 		EngineSwitches:     s.EngineSwitches - o.EngineSwitches,
 		Reoptimizations:    s.Reoptimizations - o.Reoptimizations,
 		ReoptimizeFailures: s.ReoptimizeFailures - o.ReoptimizeFailures,
@@ -182,6 +208,10 @@ func (c *Counters) Reset() {
 	c.PartialRecomputes.Store(0)
 	c.FullRecomputes.Store(0)
 	c.MaintenanceSupersteps.Store(0)
+	c.WALAppends.Store(0)
+	c.WALBytes.Store(0)
+	c.SnapshotsWritten.Store(0)
+	c.RecoveryReplays.Store(0)
 	c.EngineSwitches.Store(0)
 	c.Reoptimizations.Store(0)
 	c.ReoptimizeFailures.Store(0)

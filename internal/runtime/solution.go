@@ -289,10 +289,21 @@ func (s *SolutionSet) Snapshot() []record.Record {
 // partitions are streamed from disk, not reloaded.
 func (s *SolutionSet) Each(f func(record.Record)) {
 	for p := 0; p < s.par; p++ {
-		s.locks[p].Lock()
-		s.backend.Each(p, f)
-		s.locks[p].Unlock()
+		s.EachPartition(p, f)
 	}
+}
+
+// EachPartition visits every record of one partition under its lock,
+// without materializing a copy. Snapshot writers iterate partitions in
+// ascending order through it: the partition boundary is a natural point
+// to flush a frame and check for write errors, and only one partition's
+// lock is ever held — a spilled partition streams from disk without
+// being forced resident, so a full-solution snapshot never needs the
+// whole set in memory. The callback must not call back into the set.
+func (s *SolutionSet) EachPartition(part int, f func(record.Record)) {
+	s.locks[part].Lock()
+	s.backend.Each(part, f)
+	s.locks[part].Unlock()
 }
 
 // Reset empties the solution set for a new generation, retaining backend
