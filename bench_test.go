@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/algorithms"
+	"repro/internal/dataflow"
 	"repro/internal/fixpoint"
 	"repro/internal/graphgen"
 	"repro/internal/harness"
@@ -266,7 +267,7 @@ func benchPageRankSuperstep(b *testing.B, cold bool) {
 	}
 	exec := runtime.NewExecutor(runtime.Config{})
 	defer exec.Close()
-	phKey := phys.PlaceholderKey[spec.Input.ID]
+	phKey := phys.PlaceholderKey(spec.Input.ID)
 	exec.SetPlaceholder(spec.Input.ID, initial, phKey, benchParallelism)
 	sess := exec.OpenSession(phys)
 	defer sess.Close()
@@ -716,4 +717,81 @@ func liveBenchBatch(g *graphgen.Graph, n int) []live.Mutation {
 		out = append(out, live.InsertEdge(s, d))
 	}
 	return out
+}
+
+// BenchmarkPlanner runs the harness planning-fast-path scenario — the
+// cost-based enumerator vs the greedy zero-statistics planner vs a plan
+// cache hit on every algorithm plan — and emits the table as
+// BENCH_planner.json, the artifact CI uploads next to BENCH_adaptive.json.
+// The custom metrics are the scenario's acceptance ratios: the smallest
+// cost/greedy and cost/cached speedups over all scenarios.
+func BenchmarkPlanner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Planner(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_planner.json", buf, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MinSpeedup, "min-speedup")
+		b.ReportMetric(res.MinCacheSpeedup, "min-cache-speedup")
+	}
+}
+
+// BenchmarkSuperstepPipeline measures superstep throughput on a
+// map/filter-heavy bulk iteration — the shape operator fusion targets:
+// three chained element-wise operators per pass, whose two intermediate
+// exchange hops (queue round-trip, batch copy, pool cycle) the fusion
+// rewrite removes.
+func BenchmarkSuperstepPipeline(b *testing.B) {
+	const (
+		n     = 20000
+		iters = 20
+	)
+	initial := make([]record.Record, n)
+	for i := range initial {
+		initial[i] = record.Record{A: int64(i), X: 1}
+	}
+	build := func() iterative.BulkSpec {
+		p := dataflow.NewPlan()
+		in := p.IterationPlaceholder("state", n)
+		inc := p.MapNode("inc", in, func(r record.Record, out dataflow.Emitter) {
+			r.X++
+			out.Emit(r)
+		})
+		keep := p.FilterNode("keep", inc, func(r record.Record) bool {
+			return r.A%17 != 3
+		})
+		scale := p.MapNode("scale", keep, func(r record.Record, out dataflow.Emitter) {
+			r.X *= 0.99
+			out.Emit(r)
+		})
+		out := p.SinkNode("next", scale)
+		return iterative.BulkSpec{Plan: p, Input: in, Output: out, FixedIterations: iters}
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fused", false}, {"unfused", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var recs float64
+			for i := 0; i < b.N; i++ {
+				res, err := iterative.RunBulk(build(), initial, iterative.Config{
+					Parallelism:   benchParallelism,
+					DisableFusion: mode.disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recs += float64(res.Iterations) * n
+			}
+			b.ReportMetric(recs/b.Elapsed().Seconds(), "rec/s")
+		})
+	}
 }

@@ -7,7 +7,7 @@
 //	spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir]
 //
 // Experiments: table1 table2 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12
-// outofcore live durable auto explain all
+// outofcore live durable auto planner explain all
 //
 // `spinflow serve` starts the long-running maintenance service: named
 // live views over resident solution sets, maintained under streaming
@@ -142,7 +142,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|durable|auto|explain|all>...")
+		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|durable|auto|planner|explain|all>...")
 		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir]")
 		os.Exit(2)
 	}
@@ -177,6 +177,8 @@ func main() {
 			_, err = harness.Durable(opts)
 		case "auto":
 			_, err = harness.Auto(opts)
+		case "planner":
+			_, err = harness.Planner(opts)
 		case "all":
 			err = harness.All(opts)
 		case "explain":

@@ -535,5 +535,8 @@ func All(o Options) error {
 	if _, err := Auto(o); err != nil {
 		return err
 	}
+	if _, err := Planner(o); err != nil {
+		return err
+	}
 	return nil
 }

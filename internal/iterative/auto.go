@@ -345,7 +345,7 @@ func runAutoIncremental(auto AutoSpec, initialSolution, initialWorkset []record.
 		return nil, err
 	}
 	out.Plan = phys
-	reoptEst := plannedEst
+	reopt := newReoptState(phys, plannedEst)
 
 	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
 	defer exec.Close()
@@ -434,8 +434,8 @@ func runAutoIncremental(auto AutoSpec, initialSolution, initialWorkset []record.
 				"switched incremental → microstep at workset %d", nextCount))
 			return runAutoMicrostep(spec, nil, remaining, cfg, out, exec.Solution)
 		}
-		sess, reoptEst = reoptimizeCollapsed(&spec, cfg, expected, step, nextCount,
-			reoptEst, exec, sess, &out.Trace)
+		sess = reopt.maybeReoptimize(&spec, cfg, expected, step, nextCount,
+			exec, sess, &out.Trace)
 		inCount = nextCount
 		exec.SetPlaceholderParts(spec.Workset.ID, nextParts)
 	}

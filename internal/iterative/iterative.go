@@ -68,6 +68,16 @@ type Config struct {
 	// defaults — for tests and experiments that need a deterministic
 	// crossover.
 	EngineWeights *metrics.CalibratedWeights
+	// Planner selects the plan optimizer. The default (PlannerAuto) plans
+	// the initial run with the cost-based enumerator and mid-run
+	// re-optimizations with the greedy zero-statistics fast path — there,
+	// planning latency sits on the superstep path. PlannerCost or
+	// PlannerGreedy pin one planner for both.
+	Planner optimizer.PlannerKind
+	// DisableFusion turns off the operator-fusion rewrite. By default
+	// chains of adjacent Map operators on forward edges collapse into
+	// single fused nodes executed record-at-a-time.
+	DisableFusion bool
 }
 
 func (c Config) normalized() Config {
@@ -173,20 +183,25 @@ func RunBulk(spec BulkSpec, initial []record.Record, cfg Config) (*BulkResult, e
 	}
 	savedEst := spec.Input.EstRecords
 	spec.Input.EstRecords = est
-	phys, err := optimizer.Optimize(spec.Plan, optimizer.Options{
+	opts := optimizer.Options{
 		Parallelism:        cfg.Parallelism,
 		ExpectedIterations: expected,
 		Feedback:           map[int]int{spec.Input.ID: spec.Output.ID},
 		JoinHints:          spec.JoinHints,
-	})
+		Planner:            plannerFor(cfg, false),
+		Fuse:               !cfg.DisableFusion,
+	}
+	planStart := time.Now()
+	phys, err := optimizer.Optimize(spec.Plan, opts)
 	spec.Input.EstRecords = savedEst
 	if err != nil {
 		return nil, err
 	}
+	notePlanned(cfg, opts.Planner, phys, time.Since(planStart))
 
 	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
 	defer exec.Close()
-	phKey := phys.PlaceholderKey[spec.Input.ID]
+	phKey := phys.PlaceholderKey(spec.Input.ID)
 	exec.SetPlaceholder(spec.Input.ID, initial, phKey, cfg.Parallelism)
 
 	// One session serves every pass: the partition-pinned workers,
@@ -389,6 +404,7 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 	defer func() { sess.Close() }()
 
 	out := &IncrementalResult{Plan: phys, Set: exec.Solution}
+	reopt := newReoptState(phys, plannedEst)
 	for step := 0; step < maxSteps; step++ {
 		start := time.Now()
 		var before metrics.Snapshot
@@ -429,8 +445,8 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 			out.Solution = exec.Solution.Snapshot()
 			return out, nil
 		}
-		sess, plannedEst = reoptimizeCollapsed(&spec, cfg, expected, step, nextCount,
-			plannedEst, exec, sess, &out.Trace)
+		sess = reopt.maybeReoptimize(&spec, cfg, expected, step, nextCount,
+			exec, sess, &out.Trace)
 		// The workset sink is partition-pinned on WorksetKey, so its
 		// partitions re-enter directly — the paper's partitioned queues.
 		exec.SetPlaceholderParts(spec.Workset.ID, nextParts)
@@ -459,31 +475,125 @@ func checkpointIfDue(spec *IncrementalSpec, step int, sol *runtime.SolutionSet, 
 	return nil
 }
 
-// reoptimizeCollapsed is the adaptive re-planning step shared by
-// RunIncremental and RunAuto's incremental phase: when Reoptimize is set
-// and the working set has collapsed far below the size the current plan
-// was costed with, Δ is re-planned for the remaining supersteps and a
-// fresh session swapped in. Failures are surfaced (ReoptimizeFailures +
-// a trace event) and the run continues on the stale plan. Returns the
-// session and costed estimate to continue with.
-func reoptimizeCollapsed(spec *IncrementalSpec, cfg Config, expected, step, nextCount int,
-	plannedEst int64, exec *runtime.Executor, sess *runtime.Session, trace *metrics.Trace) (*runtime.Session, int64) {
-	if !spec.Reoptimize || int64(nextCount)*16 >= plannedEst {
-		return sess, plannedEst
+// plannerFor resolves the configured planner for one planning call:
+// PlannerAuto (the default) plans the initial run with the cost-based
+// enumerator and mid-run re-optimizations — where planning latency sits
+// on the superstep path — with the greedy fast path.
+func plannerFor(cfg Config, reopt bool) optimizer.PlannerKind {
+	switch cfg.Planner {
+	case optimizer.PlannerCost, optimizer.PlannerGreedy:
+		return cfg.Planner
 	}
-	newPhys, rerr := optimizeIncrementalWithEst(spec, cfg, expected, int64(nextCount))
+	if reopt {
+		return optimizer.PlannerGreedy
+	}
+	return optimizer.PlannerCost
+}
+
+// notePlanned records the planning metrics of one optimizer call.
+func notePlanned(cfg Config, planner optimizer.PlannerKind, phys *optimizer.PhysPlan, elapsed time.Duration) {
+	if cfg.Metrics == nil {
+		return
+	}
+	cfg.Metrics.PlanNanos.Add(elapsed.Nanoseconds())
+	if planner == optimizer.PlannerGreedy {
+		cfg.Metrics.GreedyPlans.Add(1)
+	}
+	if phys != nil {
+		cfg.Metrics.FusedOperators.Add(int64(phys.Fused))
+	}
+}
+
+// reoptimizeBackoffSteps is how many supersteps a failed re-optimization
+// suppresses further attempts for: the same collapsed workset would
+// otherwise retry — and fail — every superstep until convergence.
+const reoptimizeBackoffSteps = 8
+
+// reoptState carries the adaptive re-planning state of one running
+// iteration: the estimate the current plan was costed with, the plan
+// cache its re-optimizations share (memoizing the key registry and whole
+// plans by fingerprint), the plan the session is executing, and the
+// backoff window after a failure.
+type reoptState struct {
+	cache *optimizer.PlanCache
+	// cur is the plan the live session executes; a cache hit returning
+	// cur is a pure no-op (no session swap, caches stay warm).
+	cur        *optimizer.PhysPlan
+	plannedEst int64
+	// backoffUntil suppresses re-optimization attempts for supersteps
+	// below it after a failure.
+	backoffUntil int
+}
+
+func newReoptState(cur *optimizer.PhysPlan, plannedEst int64) *reoptState {
+	return &reoptState{cache: optimizer.NewPlanCache(), cur: cur, plannedEst: plannedEst}
+}
+
+// maybeReoptimize is the adaptive re-planning step shared by
+// RunIncremental, RunAuto's incremental phase and Fixpoint: when
+// Reoptimize is set and the working set has collapsed far below the size
+// the current plan was costed with, Δ is re-planned for the remaining
+// supersteps and a fresh session swapped in. Re-planning goes through the
+// plan cache — a hit skips planning entirely, and a hit on the very plan
+// already executing skips the session swap too. Failures are surfaced
+// (ReoptimizeFailures, ReoptimizeBackoffs, a trace event) and suppress
+// further attempts for reoptimizeBackoffSteps supersteps. Returns the
+// session to continue with.
+func (st *reoptState) maybeReoptimize(spec *IncrementalSpec, cfg Config, expected, step, nextCount int,
+	exec *runtime.Executor, sess *runtime.Session, trace *metrics.Trace) *runtime.Session {
+	if !spec.Reoptimize || int64(nextCount)*16 >= st.plannedEst || step < st.backoffUntil {
+		return sess
+	}
+	newPhys, hit, rerr := st.replan(spec, cfg, expected, int64(nextCount))
 	if rerr != nil {
 		if cfg.Metrics != nil {
 			cfg.Metrics.ReoptimizeFailures.Add(1)
+			cfg.Metrics.ReoptimizeBackoffs.Add(1)
 		}
-		trace.AddEvent(step, fmt.Sprintf("reoptimize failed: %v", rerr))
-		return sess, plannedEst
+		st.backoffUntil = step + 1 + reoptimizeBackoffSteps
+		trace.AddEvent(step, fmt.Sprintf("reoptimize failed (backing off %d supersteps): %v",
+			reoptimizeBackoffSteps, rerr))
+		return sess
+	}
+	st.plannedEst = int64(nextCount)
+	if newPhys == st.cur {
+		return sess
 	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.Reoptimizations.Add(1)
 	}
-	trace.AddEvent(step, fmt.Sprintf("reoptimized for workset %d", nextCount))
+	if hit {
+		trace.AddEvent(step, fmt.Sprintf("reoptimized for workset %d (plan cache hit)", nextCount))
+	} else {
+		trace.AddEvent(step, fmt.Sprintf("reoptimized for workset %d", nextCount))
+	}
+	st.cur = newPhys
 	exec.InvalidateCaches()
 	sess.Close()
-	return exec.OpenSession(newPhys), int64(nextCount)
+	return exec.OpenSession(newPhys)
+}
+
+// replan plans Δ for a collapsed workset estimate through the plan cache,
+// counting PlanCacheHits on a hit and the usual planning metrics on a
+// miss.
+func (st *reoptState) replan(spec *IncrementalSpec, cfg Config, expected int, est int64) (*optimizer.PhysPlan, bool, error) {
+	saved := spec.Workset.EstRecords
+	if est > 0 {
+		spec.Workset.EstRecords = est
+	}
+	defer func() { spec.Workset.EstRecords = saved }()
+	opts := incrementalOptions(spec, cfg, expected, true)
+	start := time.Now()
+	phys, hit, err := st.cache.Optimize(spec.Plan, opts, est)
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		if cfg.Metrics != nil {
+			cfg.Metrics.PlanCacheHits.Add(1)
+		}
+	} else {
+		notePlanned(cfg, opts.Planner, phys, time.Since(start))
+	}
+	return phys, hit, nil
 }

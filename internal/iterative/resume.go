@@ -28,6 +28,10 @@ type Fixpoint struct {
 	exec *runtime.Executor
 	sess *runtime.Session
 	sol  *runtime.SolutionSet
+	// reopt persists across Run calls, so repeated maintenance batches
+	// that collapse the same way hit the plan cache instead of re-planning
+	// (and skip the session swap when the cached plan is already live).
+	reopt *reoptState
 }
 
 // optimizeIncrementalWithEst plans Δ with the given workset-cardinality
@@ -44,10 +48,12 @@ func optimizeIncrementalWithEst(spec *IncrementalSpec, cfg Config, expected int,
 	return optimizeIncremental(spec, cfg, expected)
 }
 
-// optimizeIncremental runs the optimizer for an incremental spec with the
-// workset feedback and sink partitioning RunIncremental uses.
-func optimizeIncremental(spec *IncrementalSpec, cfg Config, expected int) (*optimizer.PhysPlan, error) {
-	return optimizer.Optimize(spec.Plan, optimizer.Options{
+// incrementalOptions builds the optimizer options for an incremental spec
+// with the workset feedback and sink partitioning RunIncremental uses.
+// reopt selects the planner leg of PlannerAuto (greedy for mid-run
+// re-optimizations, cost-based otherwise).
+func incrementalOptions(spec *IncrementalSpec, cfg Config, expected int, reopt bool) optimizer.Options {
+	return optimizer.Options{
 		Parallelism:        cfg.Parallelism,
 		ExpectedIterations: expected,
 		PlaceholderProps: map[int]optimizer.Props{
@@ -59,7 +65,22 @@ func optimizeIncremental(spec *IncrementalSpec, cfg Config, expected int) (*opti
 		},
 		Feedback:  map[int]int{spec.Workset.ID: spec.WorksetSink.ID},
 		JoinHints: spec.JoinHints,
-	})
+		Planner:   plannerFor(cfg, reopt),
+		Fuse:      !cfg.DisableFusion,
+	}
+}
+
+// optimizeIncremental runs the optimizer for an incremental spec's initial
+// plan, recording planning metrics.
+func optimizeIncremental(spec *IncrementalSpec, cfg Config, expected int) (*optimizer.PhysPlan, error) {
+	opts := incrementalOptions(spec, cfg, expected, false)
+	start := time.Now()
+	phys, err := optimizer.Optimize(spec.Plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	notePlanned(cfg, opts.Planner, phys, time.Since(start))
+	return phys, nil
 }
 
 // OpenFixpoint optimizes spec and opens a persistent session for it,
@@ -88,7 +109,8 @@ func OpenFixpoint(spec IncrementalSpec, sol *runtime.SolutionSet, cfg Config) (*
 	if sol == nil {
 		sol = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
 	}
-	f := &Fixpoint{spec: spec, cfg: cfg, phys: phys, sol: sol}
+	f := &Fixpoint{spec: spec, cfg: cfg, phys: phys, sol: sol,
+		reopt: newReoptState(phys, spec.Workset.EstRecords)}
 	f.exec = runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
 	f.exec.Solution = sol
 	if _, err := ValidateMicrostep(spec); err == nil {
@@ -130,6 +152,8 @@ func (f *Fixpoint) Rebind(spec IncrementalSpec) error {
 	}
 	f.spec = spec
 	f.phys = phys
+	// A structurally new spec invalidates the memoized registry and plans.
+	f.reopt = newReoptState(phys, spec.Workset.EstRecords)
 	f.exec.InvalidateCaches()
 	f.exec.DirectMerge = false
 	if _, err := ValidateMicrostep(spec); err == nil {
@@ -150,6 +174,13 @@ func (f *Fixpoint) Run(workset []record.Record) (*IncrementalResult, error) {
 	maxSteps := f.spec.MaxSupersteps
 	if maxSteps <= 0 {
 		maxSteps = 10000
+	}
+	expected := f.spec.ExpectedIterations
+	if expected <= 0 {
+		expected = 10
+	}
+	if f.reopt.plannedEst == 0 {
+		f.reopt.plannedEst = int64(len(workset))
 	}
 	f.exec.SetPlaceholder(f.spec.Workset.ID, workset, f.spec.WorksetKey, f.cfg.Parallelism)
 	if f.cfg.Metrics != nil {
@@ -196,6 +227,9 @@ func (f *Fixpoint) Run(workset []record.Record) (*IncrementalResult, error) {
 		if nextCount == 0 {
 			return out, nil
 		}
+		f.sess = f.reopt.maybeReoptimize(&f.spec, f.cfg, expected, step, nextCount,
+			f.exec, f.sess, &out.Trace)
+		f.phys = f.reopt.cur
 		f.exec.SetPlaceholderParts(f.spec.Workset.ID, nextParts)
 	}
 	return out, fmt.Errorf("%w after %d supersteps", ErrNoProgress, maxSteps)

@@ -90,6 +90,22 @@ type Counters struct {
 	// continues on the stale plan, and the failure is also recorded as a
 	// trace event.
 	ReoptimizeFailures atomic.Int64
+	// ReoptimizeBackoffs counts failed re-plans that put re-optimization
+	// on hold for the next K supersteps, so a persistently failing plan
+	// does not retry at every barrier.
+	ReoptimizeBackoffs atomic.Int64
+	// GreedyPlans counts plans produced by the greedy zero-statistics
+	// fast-path planner (initial plans and mid-run re-plans alike).
+	GreedyPlans atomic.Int64
+	// PlanCacheHits counts re-optimizations served from a memoized plan,
+	// skipping planning entirely.
+	PlanCacheHits atomic.Int64
+	// FusedOperators counts Map operators folded into upstream fused
+	// chains by the operator-fusion rewrite, summed over produced plans.
+	FusedOperators atomic.Int64
+	// PlanNanos accumulates wall time spent inside the plan optimizer
+	// (initial planning and re-planning), in nanoseconds.
+	PlanNanos atomic.Int64
 }
 
 // Snapshot is an immutable copy of counter values.
@@ -121,6 +137,11 @@ type Snapshot struct {
 	EngineSwitches     int64
 	Reoptimizations    int64
 	ReoptimizeFailures int64
+	ReoptimizeBackoffs int64
+	GreedyPlans        int64
+	PlanCacheHits      int64
+	FusedOperators     int64
+	PlanNanos          int64
 }
 
 // Snapshot captures current counter values.
@@ -153,6 +174,11 @@ func (c *Counters) Snapshot() Snapshot {
 		EngineSwitches:     c.EngineSwitches.Load(),
 		Reoptimizations:    c.Reoptimizations.Load(),
 		ReoptimizeFailures: c.ReoptimizeFailures.Load(),
+		ReoptimizeBackoffs: c.ReoptimizeBackoffs.Load(),
+		GreedyPlans:        c.GreedyPlans.Load(),
+		PlanCacheHits:      c.PlanCacheHits.Load(),
+		FusedOperators:     c.FusedOperators.Load(),
+		PlanNanos:          c.PlanNanos.Load(),
 	}
 }
 
@@ -186,6 +212,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		EngineSwitches:     s.EngineSwitches - o.EngineSwitches,
 		Reoptimizations:    s.Reoptimizations - o.Reoptimizations,
 		ReoptimizeFailures: s.ReoptimizeFailures - o.ReoptimizeFailures,
+		ReoptimizeBackoffs: s.ReoptimizeBackoffs - o.ReoptimizeBackoffs,
+		GreedyPlans:        s.GreedyPlans - o.GreedyPlans,
+		PlanCacheHits:      s.PlanCacheHits - o.PlanCacheHits,
+		FusedOperators:     s.FusedOperators - o.FusedOperators,
+		PlanNanos:          s.PlanNanos - o.PlanNanos,
 	}
 }
 
@@ -215,6 +246,11 @@ func (c *Counters) Reset() {
 	c.EngineSwitches.Store(0)
 	c.Reoptimizations.Store(0)
 	c.ReoptimizeFailures.Store(0)
+	c.ReoptimizeBackoffs.Store(0)
+	c.GreedyPlans.Store(0)
+	c.PlanCacheHits.Store(0)
+	c.FusedOperators.Store(0)
+	c.PlanNanos.Store(0)
 }
 
 // IterationStat records one iteration/superstep of an iterative job — one

@@ -1,0 +1,99 @@
+package optimizer
+
+import (
+	"repro/internal/dataflow"
+)
+
+// Fuse collapses chains of adjacent Map operators (filters and projections
+// are Maps in the logical algebra) connected by exclusive forward edges
+// into single fused nodes: the surviving head keeps its own UDF and gains
+// the absorbed nodes' UDFs in FusedChain, which the runtime composes
+// record-at-a-time inside the head's emitter. Every fused edge eliminates
+// one exchange hop — a queue round-trip, a batch copy, and a pool cycle —
+// per superstep.
+//
+// An edge is fusible when it is ShipForward (no repartitioning), not a
+// loop-invariant cache (cached inputs replay through per-edge slots), and
+// the producer has no other consumer (the fused head emits the composed
+// output only). The rewrite runs after plan selection, renumbers node and
+// edge identities through finalizePlan, and credits the removed hops
+// against the plan cost so Explain/Cost reflect the executed shape.
+//
+// Returns the number of Map operators folded away.
+func Fuse(plan *PhysPlan, expectedIterations int) int {
+	// Fewer than two fusible Maps in the whole plan means no chain can
+	// exist — skip the bookkeeping entirely (the common case for join- and
+	// aggregation-shaped iteration steps).
+	fusible := 0
+	for _, n := range plan.Nodes {
+		if fusibleMap(n) {
+			fusible++
+		}
+	}
+	if fusible < 2 {
+		return 0
+	}
+	consumers := make(map[*PhysNode]int)
+	for _, n := range plan.Nodes {
+		for i := range n.Inputs {
+			consumers[n.Inputs[i].From]++
+		}
+	}
+	mergedInto := make(map[*PhysNode]*PhysNode)
+	resolve := func(p *PhysNode) *PhysNode {
+		for {
+			h, ok := mergedInto[p]
+			if !ok {
+				return p
+			}
+			p = h
+		}
+	}
+	fused := 0
+	for _, n := range plan.Nodes { // topological: producers first
+		for i := range n.Inputs {
+			n.Inputs[i].From = resolve(n.Inputs[i].From)
+		}
+		if !fusibleMap(n) {
+			continue
+		}
+		e := n.Inputs[0]
+		p := e.From
+		if e.Ship != ShipForward || e.Cache || !fusibleMap(p) || consumers[p] != 1 {
+			continue
+		}
+		// Absorb n into p: p applies n's UDF (and whatever n had already
+		// absorbed) to every record it emits, and inherits n's consumers.
+		hop := p.EstOut
+		p.FusedChain = append(p.FusedChain, n.Logical)
+		p.FusedChain = append(p.FusedChain, n.FusedChain...)
+		p.EstOut = n.EstOut
+		consumers[p] = consumers[n]
+		mergedInto[n] = p
+		fused++
+
+		// Credit the removed hop: the records that crossed the fused edge
+		// no longer pay the per-record materialization into exchange
+		// batches each (weighted) superstep.
+		factor := 1.0
+		if p.OnDynamicPath && expectedIterations > 1 {
+			factor = float64(expectedIterations)
+		}
+		plan.Cost -= wMatCst * float64(hop) * factor
+	}
+	if fused > 0 {
+		if plan.Cost < 0 {
+			plan.Cost = 0
+		}
+		finalizePlan(plan, expectedIterations)
+	}
+	return fused
+}
+
+// fusibleMap reports whether a node can sit in a fused chain: a plain
+// single-input Map operator (no enforcer/combiner role, no cached input
+// slots beyond the one edge checked by the caller).
+func fusibleMap(n *PhysNode) bool {
+	return n.Role == RoleOperator && n.Logical.Contract == dataflow.MapOp &&
+		len(n.Inputs) == 1
+}

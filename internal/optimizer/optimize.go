@@ -8,6 +8,38 @@ import (
 	"repro/internal/record"
 )
 
+// PlannerKind selects the planning algorithm.
+type PlannerKind int
+
+// The planners.
+const (
+	// PlannerAuto defers the choice to the caller's context: iteration
+	// drivers resolve it to PlannerCost for the initial plan and to
+	// PlannerGreedy for re-optimizations inside a running iteration, where
+	// planning latency is on the superstep path. A direct Optimize call
+	// has no such context and treats it as PlannerCost.
+	PlannerAuto PlannerKind = iota
+	// PlannerCost is the full §4.3 enumeration: interesting-property
+	// propagation, candidate generation and pruning, feedback-closed
+	// costing.
+	PlannerCost
+	// PlannerGreedy is the zero-statistics fast path (greedy.go): one
+	// structural rule per contract, no candidate enumeration.
+	PlannerGreedy
+)
+
+func (k PlannerKind) String() string {
+	switch k {
+	case PlannerAuto:
+		return "auto"
+	case PlannerCost:
+		return "cost"
+	case PlannerGreedy:
+		return "greedy"
+	}
+	return fmt.Sprintf("planner(%d)", int(k))
+}
+
 // Options configures one optimization run.
 type Options struct {
 	// Parallelism is the number of partitions (degree of parallelism).
@@ -34,6 +66,20 @@ type Options struct {
 	// logical node ID), used to reproduce specific plans (e.g. the two
 	// Figure-4 PageRank variants) regardless of the cost model.
 	JoinHints map[int]JoinHint
+	// Planner selects the planning algorithm. The zero value (PlannerAuto)
+	// behaves like PlannerCost here; iteration drivers resolve it to the
+	// greedy fast path when re-optimizing mid-run.
+	Planner PlannerKind
+	// Fuse runs the operator-fusion rewrite (fuse.go) on the chosen plan:
+	// chains of adjacent Map operators connected by exclusive forward
+	// edges collapse into single fused nodes, eliminating one exchange
+	// hop, one batch copy and one pool round-trip per fused edge per
+	// superstep.
+	Fuse bool
+	// Registry optionally supplies a prebuilt key-identity registry (see
+	// KeyRegistry), so repeated optimizations of the same plan — a
+	// re-planning loop inside a running iteration — skip rebuilding it.
+	Registry map[uintptr]record.KeyFunc
 }
 
 // JoinHint restricts the strategies enumerated for a Match node.
@@ -71,7 +117,10 @@ func Optimize(p *dataflow.Plan, opt Options) (*PhysPlan, error) {
 		opt.ExpectedIterations = 1
 	}
 
-	run := func(php map[int]Props) (*PhysPlan, map[int]Props, error) {
+	run := func(php map[int]Props) (*PhysPlan, []Props, error) {
+		if opt.Planner == PlannerGreedy {
+			return greedyPlan(p, opt, php)
+		}
 		o := &optz{
 			plan:      p,
 			opt:       opt,
@@ -90,55 +139,149 @@ func Optimize(p *dataflow.Plan, opt Options) (*PhysPlan, error) {
 		return o.assemble()
 	}
 
+	// Snapshot the feedback edges once into a small sorted buffer: the
+	// closure logic below walks them up to three times, and repeated map
+	// iteration (randomized order, iterator setup) is measurable at the
+	// fast path's timescale. Sorting also makes multi-edge grant order
+	// deterministic.
+	var fbBuf [4]fbEdge
+	fb := fbBuf[:0]
+	for ph, sinkID := range opt.Feedback {
+		fb = append(fb, fbEdge{ph, sinkID})
+	}
+	for i := 1; i < len(fb); i++ { // insertion sort: len is 0 or 1 in practice
+		for j := i; j > 0 && fb[j].ph < fb[j-1].ph; j-- {
+			fb[j], fb[j-1] = fb[j-1], fb[j]
+		}
+	}
+
+	// Greedy fast path for the loop closure: where the cost-based planner
+	// optimizes twice and compares costs, the greedy planner grants the
+	// feedback properties structurally — a feedback sink pinned to a
+	// partitioning key (the iteration drivers always pin the workset sink)
+	// re-enters the loop with exactly that partitioning. One pass, no
+	// comparison; if the grant turns out not to hold, fall through to the
+	// generic two-pass closure below.
+	if opt.Planner == PlannerGreedy && len(fb) > 0 {
+		needGrant := false
+		for _, e := range fb {
+			if _, ok := opt.SinkPartition[e.sink]; ok && opt.PlaceholderProps[e.ph].Part == 0 {
+				needGrant = true
+				break
+			}
+		}
+		if needGrant {
+			granted := make(map[int]Props, len(opt.PlaceholderProps)+len(fb))
+			for k, v := range opt.PlaceholderProps {
+				granted[k] = v
+			}
+			for _, e := range fb {
+				if k, ok := opt.SinkPartition[e.sink]; ok && granted[e.ph].Part == 0 {
+					g := granted[e.ph]
+					g.Part = record.KeyID(k)
+					granted[e.ph] = g
+				}
+			}
+			plan, sinkProps, err := run(granted)
+			if err == nil && feedbackConsistent(fb, granted, sinkProps) {
+				return finishPlan(p, opt, plan, granted), nil
+			}
+		}
+	}
+
 	plan, sinkProps, err := run(opt.PlaceholderProps)
 	if err != nil {
 		return nil, err
 	}
-	granted := make(map[int]Props, len(opt.PlaceholderProps))
-	for k, v := range opt.PlaceholderProps {
-		granted[k] = v
-	}
-	if len(opt.Feedback) > 0 {
-		changed := false
-		for ph, sinkID := range opt.Feedback {
-			sp := sinkProps[sinkID]
-			if sp.Part != 0 && granted[ph].Part != sp.Part {
-				g := granted[ph]
+	// The granted view starts as the caller's placeholder properties and is
+	// only copied if the feedback closure actually upgrades a grant.
+	granted := opt.PlaceholderProps
+	if len(fb) > 0 {
+		var upgraded map[int]Props
+		for _, e := range fb {
+			sp := sinkProps[e.sink]
+			if sp.Part != 0 && granted[e.ph].Part != sp.Part {
+				if upgraded == nil {
+					upgraded = make(map[int]Props, len(opt.PlaceholderProps)+len(fb))
+					for k, v := range opt.PlaceholderProps {
+						upgraded[k] = v
+					}
+				}
+				g := upgraded[e.ph]
 				g.Part = sp.Part
-				granted[ph] = g
-				changed = true
+				upgraded[e.ph] = g
 			}
 		}
-		if changed {
-			plan2, sinkProps2, err2 := run(granted)
-			if err2 == nil && plan2.Cost < plan.Cost && feedbackConsistent(opt, granted, sinkProps2) {
+		if upgraded != nil {
+			plan2, sinkProps2, err2 := run(upgraded)
+			if err2 == nil && plan2.Cost < plan.Cost && feedbackConsistent(fb, upgraded, sinkProps2) {
 				plan, sinkProps = plan2, sinkProps2
-			} else {
-				granted = opt.PlaceholderProps
+				granted = upgraded
 			}
 		}
 	}
+	return finishPlan(p, opt, plan, granted), nil
+}
 
-	// Tell the iteration driver how each placeholder's data must be
-	// partitioned when it is re-injected, so the granted assumption holds.
-	plan.PlaceholderKey = make(map[int]record.KeyFunc)
-	reg := registryOf(p, opt)
-	for phID := range plan.Placeholders {
-		if g, ok := granted[phID]; ok && g.Part != 0 {
-			if k, ok := reg[g.Part]; ok {
-				plan.PlaceholderKey[phID] = k
+// fbEdge is one feedback edge: placeholder logical ID → sink logical ID.
+type fbEdge struct{ ph, sink int }
+
+// finishPlan applies the shared planning tail: it records how each
+// placeholder's data must be partitioned when re-injected (so the granted
+// loop assumption holds) and runs the fusion rewrite when requested. The
+// key registry is only built if a placeholder actually carries a granted
+// partitioning.
+func finishPlan(p *dataflow.Plan, opt Options, plan *PhysPlan, granted map[int]Props) *PhysPlan {
+	for _, pn := range plan.Placeholders {
+		if g, ok := granted[pn.Logical.ID]; ok && g.Part != 0 {
+			pn.InjectKey = keyByID(p, opt, g.Part)
+		}
+	}
+	if opt.Fuse {
+		plan.Fused = Fuse(plan, opt.ExpectedIterations)
+	}
+	return plan
+}
+
+// keyByID resolves one key identity to its function — a linear scan over
+// the plan's key selectors, so the hot planning path does not rebuild the
+// whole registry map per call. A registry supplied through Options.Registry
+// is consulted directly.
+func keyByID(p *dataflow.Plan, opt Options, id uintptr) record.KeyFunc {
+	if opt.Registry != nil {
+		return opt.Registry[id]
+	}
+	match := func(k record.KeyFunc) bool { return k != nil && record.KeyID(k) == id }
+	for _, n := range p.Nodes() {
+		if match(n.Keys[0]) {
+			return n.Keys[0]
+		}
+		if match(n.Keys[1]) {
+			return n.Keys[1]
+		}
+		for i := range n.Preserves {
+			for _, k := range n.Preserves[i] {
+				if match(k) {
+					return k
+				}
 			}
 		}
 	}
-	return plan, nil
+	for _, k := range opt.SinkPartition {
+		if match(k) {
+			return k
+		}
+	}
+	return nil
 }
 
 // feedbackConsistent verifies the re-optimized plan actually establishes
 // the properties that were granted to the placeholders.
-func feedbackConsistent(opt Options, granted map[int]Props, sinkProps map[int]Props) bool {
-	for ph, sinkID := range opt.Feedback {
-		g := granted[ph]
-		if g.Part != 0 && sinkProps[sinkID].Part != g.Part {
+// sinkProps is indexed by the dense logical node ID.
+func feedbackConsistent(fb []fbEdge, granted map[int]Props, sinkProps []Props) bool {
+	for _, e := range fb {
+		g := granted[e.ph]
+		if g.Part != 0 && sinkProps[e.sink].Part != g.Part {
 			return false
 		}
 	}
@@ -146,8 +289,12 @@ func feedbackConsistent(opt Options, granted map[int]Props, sinkProps map[int]Pr
 }
 
 // registryOf maps key identities to key functions over all keys mentioned
-// in the plan and options.
+// in the plan and options; a registry supplied through Options.Registry is
+// used as-is.
 func registryOf(p *dataflow.Plan, opt Options) map[uintptr]record.KeyFunc {
+	if opt.Registry != nil {
+		return opt.Registry
+	}
 	reg := make(map[uintptr]record.KeyFunc)
 	add := func(k record.KeyFunc) {
 		if k != nil {
@@ -167,6 +314,15 @@ func registryOf(p *dataflow.Plan, opt Options) map[uintptr]record.KeyFunc {
 		add(k)
 	}
 	return reg
+}
+
+// KeyRegistry builds the key-identity registry Optimize uses to map granted
+// physical properties back to key functions. Callers that optimize the same
+// plan repeatedly (mid-iteration re-planning, plan caches) build it once and
+// pass it back through Options.Registry to skip the per-call rebuild.
+func KeyRegistry(p *dataflow.Plan, opt Options) map[uintptr]record.KeyFunc {
+	opt.Registry = nil
+	return registryOf(p, opt)
 }
 
 // cand is one physical alternative for a logical node's output.

@@ -1,11 +1,25 @@
 // Package optimizer compiles a logical dataflow plan into a physical
-// execution plan. It implements the paper's §4.3: Volcano-style plan
-// enumeration over shipping strategies (forward, hash-partition,
-// broadcast) and local strategies (hash vs. sort-merge join, hash vs.
-// sort aggregation), interesting-property propagation — including the
-// two-pass traversal that feeds properties across the iteration's
-// feedback edge — iteration-weighted costing of the dynamic data path,
-// and caching of the constant data path.
+// execution plan. Two planners share one physical algebra:
+//
+//   - The cost-based planner (optimize.go, strategies.go) implements the
+//     paper's §4.3: Volcano-style plan enumeration over shipping
+//     strategies (forward, hash-partition, broadcast) and local
+//     strategies (hash vs. sort-merge join, hash vs. sort aggregation),
+//     interesting-property propagation — including the two-pass
+//     traversal that feeds properties across the iteration's feedback
+//     edge — iteration-weighted costing of the dynamic data path, and
+//     caching of the constant data path.
+//   - The greedy fast path (greedy.go) skips enumeration entirely and
+//     picks strategies by structural rules — reuse partitioning the
+//     input already has, hash-ship otherwise, build the smaller (or
+//     loop-invariant) join side. It plans in microseconds, which is what
+//     mid-iteration re-optimization needs: there, planning latency sits
+//     on the superstep path. Options.Planner selects; PlanCache
+//     (cache.go) memoizes whole plans across re-optimizations.
+//
+// Both planners feed the operator-fusion rewrite (fuse.go), which
+// collapses adjacent Map/filter/project chains connected by exclusive
+// forward edges into single fused nodes executed record-at-a-time.
 package optimizer
 
 import (
@@ -148,17 +162,31 @@ type PhysNode struct {
 	EstOut int64
 	// OnDynamicPath records whether this node re-executes every iteration.
 	OnDynamicPath bool
+	// FusedChain lists the logical Map nodes the fusion rewrite collapsed
+	// onto this node's output, in application order: the runtime applies
+	// their UDFs record-at-a-time inside this node's emitter instead of
+	// crossing an exchange per operator.
+	FusedChain []*dataflow.Node
+	// InjectKey, set on IterationInput placeholders only, is the key the
+	// placeholder's data must be hash-partitioned by when re-injected, so
+	// that properties granted across the feedback edge hold (nil = any
+	// split works).
+	InjectKey record.KeyFunc
 }
 
 // Name returns a readable label.
 func (n *PhysNode) Name() string {
+	name := n.Logical.Name
+	for _, f := range n.FusedChain {
+		name += "+" + f.Name
+	}
 	switch n.Role {
 	case RoleCombiner:
-		return n.Logical.Name + "-combine"
+		return name + "-combine"
 	case RoleEnforcer:
-		return n.Logical.Name + "-enforce"
+		return name + "-enforce"
 	}
-	return n.Logical.Name
+	return name
 }
 
 // PhysPlan is an executable physical plan.
@@ -167,14 +195,9 @@ type PhysPlan struct {
 	Nodes []*PhysNode
 	// Sinks are the output-collecting nodes.
 	Sinks []*PhysNode
-	// Placeholders maps logical IterationInput node IDs to their physical
-	// nodes, for the iteration drivers.
-	Placeholders map[int]*PhysNode
-	// PlaceholderKey tells the iteration driver which key each
-	// placeholder's data must be hash-partitioned by when re-injected, so
-	// that properties granted across the feedback edge hold (nil entry =
-	// any split works).
-	PlaceholderKey map[int]record.KeyFunc
+	// Placeholders lists the physical IterationInput nodes, for the
+	// iteration drivers (a plan rarely has more than one).
+	Placeholders []*PhysNode
 	// Parallelism is the number of partitions the plan runs with.
 	Parallelism int
 	// NumEdges is the number of physical input edges; Edge.ID values are
@@ -183,6 +206,30 @@ type PhysPlan struct {
 	// Cost is the estimated total cost (dynamic path pre-weighted by the
 	// expected iteration count).
 	Cost float64
+	// Fused counts the Map operators the fusion rewrite folded into
+	// upstream nodes (0 when fusion was off or found nothing).
+	Fused int
+}
+
+// Placeholder returns the physical node for the logical IterationInput
+// with the given ID, or nil.
+func (p *PhysPlan) Placeholder(logicalID int) *PhysNode {
+	for _, pn := range p.Placeholders {
+		if pn.Logical.ID == logicalID {
+			return pn
+		}
+	}
+	return nil
+}
+
+// PlaceholderKey tells the iteration driver which key the placeholder's
+// data must be hash-partitioned by when re-injected (nil = any split
+// works).
+func (p *PhysPlan) PlaceholderKey(logicalID int) record.KeyFunc {
+	if pn := p.Placeholder(logicalID); pn != nil {
+		return pn.InjectKey
+	}
+	return nil
 }
 
 // Explain renders the plan for debugging and the Figure-4 experiment.

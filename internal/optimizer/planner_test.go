@@ -1,0 +1,270 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/record"
+)
+
+// checkDenseIdentities asserts the invariants the runtime relies on:
+// node IDs equal their topological position and edge IDs are dense.
+func checkDenseIdentities(t *testing.T, phys *PhysPlan) {
+	t.Helper()
+	edges := 0
+	pos := map[*PhysNode]int{}
+	for i, n := range phys.Nodes {
+		if n.ID != i {
+			t.Fatalf("node %s has ID %d at position %d", n.Name(), n.ID, i)
+		}
+		pos[n] = i
+		edges += len(n.Inputs)
+	}
+	if phys.NumEdges != edges {
+		t.Fatalf("NumEdges %d, plan has %d", phys.NumEdges, edges)
+	}
+	seen := make([]bool, edges)
+	for _, n := range phys.Nodes {
+		for _, e := range n.Inputs {
+			if e.ID < 0 || e.ID >= edges || seen[e.ID] {
+				t.Fatalf("edge into %s has bad or duplicate ID %d", n.Name(), e.ID)
+			}
+			seen[e.ID] = true
+			if pos[e.From] >= pos[n] {
+				t.Fatalf("node %s before its input %s", n.Name(), e.From.Name())
+			}
+		}
+	}
+}
+
+// reducePlan is a shuffle-requiring plan with a join whose sides differ
+// in estimated size — enough structure for the greedy rules to act on.
+func reducePlan() (*dataflow.Plan, *dataflow.Node) {
+	p := dataflow.NewPlan()
+	big := p.SourceOf("big", nil).WithEst(10_000)
+	small := p.SourceOf("small", nil).WithEst(100)
+	j := p.MatchNode("join", big, small, record.KeyA, record.KeyA,
+		func(l, r record.Record, out dataflow.Emitter) { out.Emit(l) })
+	red := p.ReduceNode("agg", j, record.KeyA,
+		func(k int64, g []record.Record, out dataflow.Emitter) { out.Emit(g[0]) })
+	sink := p.SinkNode("out", red)
+	return p, sink
+}
+
+func TestGreedyPlannerProducesValidPlan(t *testing.T) {
+	p, _ := reducePlan()
+	phys, err := Optimize(p, Options{Parallelism: 4, Planner: PlannerGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDenseIdentities(t, phys)
+	if len(phys.Sinks) != 1 {
+		t.Fatalf("want 1 sink, got %d", len(phys.Sinks))
+	}
+}
+
+func TestGreedyHashJoinBuildsSmallerSide(t *testing.T) {
+	p, _ := reducePlan()
+	phys, err := Optimize(p, Options{Parallelism: 4, Planner: PlannerGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := findJoin(phys)
+	if j == nil {
+		t.Fatal("no join in plan")
+	}
+	if j.Local != LocalHashJoin {
+		t.Fatalf("greedy join strategy = %v, want hash join", j.Local)
+	}
+	if j.BuildSide != 1 {
+		t.Fatalf("build side = %d, want 1 (the smaller input)", j.BuildSide)
+	}
+}
+
+func TestGreedyReusesExistingPartitioning(t *testing.T) {
+	// reduce(A) over a placeholder already partitioned on A: the greedy
+	// reduce must take the forward edge, not re-shuffle.
+	p := dataflow.NewPlan()
+	w := p.IterationPlaceholder("W", 1000)
+	red := p.ReduceNode("agg", w, record.KeyA,
+		func(k int64, g []record.Record, out dataflow.Emitter) {})
+	p.SinkNode("out", red)
+	phys, err := Optimize(p, Options{
+		Parallelism:      4,
+		Planner:          PlannerGreedy,
+		PlaceholderProps: map[int]Props{w.ID: {Part: record.KeyID(record.KeyA)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range phys.Nodes {
+		if n.Logical != nil && n.Logical.Contract == dataflow.ReduceOp && n.Role == RoleOperator {
+			if n.Inputs[0].Ship != ShipForward {
+				t.Fatalf("reduce over co-partitioned input ships %v, want forward", n.Inputs[0].Ship)
+			}
+			return
+		}
+	}
+	t.Fatal("no reduce in plan")
+}
+
+func TestPlannerKindStrings(t *testing.T) {
+	for k, want := range map[PlannerKind]string{
+		PlannerAuto: "auto", PlannerCost: "cost", PlannerGreedy: "greedy", PlannerKind(99): "planner(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("PlannerKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// mapChainPlan is source → map → filter-shaped map → map → sink: three
+// fusible Map operators on forward edges.
+func mapChainPlan() (*dataflow.Plan, *dataflow.Node) {
+	p := dataflow.NewPlan()
+	src := p.SourceOf("src", nil).WithEst(1000)
+	m1 := p.MapNode("inc", src, func(r record.Record, out dataflow.Emitter) {
+		r.X++
+		out.Emit(r)
+	})
+	f := p.FilterNode("odd", m1, func(r record.Record) bool { return r.A%2 == 1 })
+	m2 := p.MapNode("scale", f, func(r record.Record, out dataflow.Emitter) {
+		r.X *= 2
+		out.Emit(r)
+	})
+	sink := p.SinkNode("out", m2)
+	return p, sink
+}
+
+func TestFuseCollapsesMapChain(t *testing.T) {
+	p, _ := mapChainPlan()
+	phys, err := Optimize(p, Options{Parallelism: 2, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phys.Fused != 2 {
+		t.Fatalf("Fused = %d, want 2 (filter and second map fold into the first):\n%s",
+			phys.Fused, phys.Explain())
+	}
+	checkDenseIdentities(t, phys)
+	var head *PhysNode
+	for _, n := range phys.Nodes {
+		if len(n.FusedChain) > 0 {
+			head = n
+		}
+	}
+	if head == nil {
+		t.Fatal("no fused head in plan")
+	}
+	if len(head.FusedChain) != 2 {
+		t.Fatalf("fused chain has %d members, want 2", len(head.FusedChain))
+	}
+	if !strings.Contains(head.Name(), "+") {
+		t.Fatalf("fused head name %q does not show the chain", head.Name())
+	}
+}
+
+func TestFuseSkipsShuffledAndSharedEdges(t *testing.T) {
+	// map → reduce → map: the map-to-reduce edge re-partitions and the
+	// reduce is not a Map, so nothing can fuse.
+	p := dataflow.NewPlan()
+	src := p.SourceOf("src", nil).WithEst(1000)
+	m := p.MapNode("m", src, func(r record.Record, out dataflow.Emitter) { out.Emit(r) })
+	red := p.ReduceNode("agg", m, record.KeyA,
+		func(k int64, g []record.Record, out dataflow.Emitter) { out.Emit(g[0]) })
+	m2 := p.MapNode("m2", red, func(r record.Record, out dataflow.Emitter) { out.Emit(r) })
+	p.SinkNode("out", m2)
+	phys, err := Optimize(p, Options{Parallelism: 2, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phys.Fused != 0 {
+		t.Fatalf("Fused = %d, want 0:\n%s", phys.Fused, phys.Explain())
+	}
+
+	// Diamond: one map feeding two consumers must not fuse into either.
+	p2 := dataflow.NewPlan()
+	src2 := p2.SourceOf("src", nil).WithEst(1000)
+	shared := p2.MapNode("shared", src2, func(r record.Record, out dataflow.Emitter) { out.Emit(r) })
+	a := p2.MapNode("a", shared, func(r record.Record, out dataflow.Emitter) { out.Emit(r) })
+	b := p2.MapNode("b", shared, func(r record.Record, out dataflow.Emitter) { out.Emit(r) })
+	u := p2.UnionNode("u", a, b)
+	p2.SinkNode("out", u)
+	phys2, err := Optimize(p2, Options{Parallelism: 2, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range phys2.Nodes {
+		for _, f := range n.FusedChain {
+			if f.Name == "a" || f.Name == "b" {
+				t.Fatalf("consumer of shared producer fused: %s absorbed %s", n.Name(), f.Name)
+			}
+		}
+		if n.Logical != nil && n.Logical.Name == "shared" && len(n.FusedChain) > 0 {
+			t.Fatalf("shared producer absorbed a consumer: %s", n.Name())
+		}
+	}
+}
+
+func TestGreedyWithFusionMatchesShape(t *testing.T) {
+	p, _ := mapChainPlan()
+	phys, err := Optimize(p, Options{Parallelism: 2, Planner: PlannerGreedy, Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phys.Fused != 2 {
+		t.Fatalf("greedy+fuse Fused = %d, want 2", phys.Fused)
+	}
+	checkDenseIdentities(t, phys)
+}
+
+func TestPlanCacheHitsAndInvalidation(t *testing.T) {
+	p, _ := reducePlan()
+	c := NewPlanCache()
+	opt := Options{Parallelism: 4, Planner: PlannerGreedy}
+	pl1, hit, err := c.Optimize(p, opt, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first lookup reported a hit")
+	}
+	// Same order of magnitude: hit, and the identical plan object.
+	pl2, hit, err := c.Optimize(p, opt, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || pl2 != pl1 {
+		t.Fatalf("same-bucket lookup: hit=%v same=%v", hit, pl2 == pl1)
+	}
+	// A collapsed estimate is a different bucket: miss.
+	if _, hit, err = c.Optimize(p, opt, 10); err != nil || hit {
+		t.Fatalf("cross-bucket lookup: hit=%v err=%v", hit, err)
+	}
+	// A different planner fingerprint is a different entry.
+	opt.Planner = PlannerCost
+	if _, hit, err = c.Optimize(p, opt, 900); err != nil || hit {
+		t.Fatalf("cross-planner lookup: hit=%v err=%v", hit, err)
+	}
+	if c.Hits != 1 || c.Misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 1/3", c.Hits, c.Misses)
+	}
+}
+
+func TestKeyRegistryMemoization(t *testing.T) {
+	p, _ := reducePlan()
+	reg := KeyRegistry(p, Options{})
+	if len(reg) == 0 {
+		t.Fatal("empty registry for a keyed plan")
+	}
+	if _, ok := reg[record.KeyID(record.KeyA)]; !ok {
+		t.Fatal("registry is missing the join/reduce key")
+	}
+	// Optimize with an injected registry must still plan correctly.
+	phys, err := Optimize(p, Options{Parallelism: 2, Registry: reg, Planner: PlannerGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDenseIdentities(t, phys)
+}

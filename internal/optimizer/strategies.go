@@ -152,6 +152,12 @@ func (o *optz) joinEdge(c cand, k record.KeyFunc, kid uintptr, dyn bool) (Edge, 
 // joinOutProps derives output properties of a partitioned join: a key the
 // UDF preserves keeps its input's partitioning.
 func (o *optz) joinOutProps(n *dataflow.Node, lc, rc cand, lkid, rkid uintptr, le, re Edge) Props {
+	return matchOutProps(n, lkid, rkid)
+}
+
+// matchOutProps is the planner-independent core of joinOutProps, shared
+// with the greedy fast path.
+func matchOutProps(n *dataflow.Node, lkid, rkid uintptr) Props {
 	if n.PreservesKey(0, lkid) {
 		return Props{Part: lkid}
 	}
@@ -303,17 +309,11 @@ func (o *optz) solutionCandidates(n *dataflow.Node, dyn bool, f float64, est int
 }
 
 // assemble picks the cheapest candidate per sink and materializes the
-// final PhysPlan: shared nodes deduplicated, topological order, dynamic
-// path marked, and constant->dynamic edges flagged for caching. It also
-// returns the chosen physical properties per sink (used to close the
-// feedback loop).
-func (o *optz) assemble() (*PhysPlan, map[int]Props, error) {
-	plan := &PhysPlan{
-		Parallelism:  o.opt.Parallelism,
-		Placeholders: make(map[int]*PhysNode),
-	}
-	sinkProps := make(map[int]Props)
-	var roots []*PhysNode
+// final PhysPlan via finalizePlan. It also returns the chosen physical
+// properties per sink (used to close the feedback loop).
+func (o *optz) assemble() (*PhysPlan, []Props, error) {
+	plan := &PhysPlan{Parallelism: o.opt.Parallelism}
+	sinkProps := make([]Props, len(o.plan.Nodes()))
 	for _, sink := range o.plan.Sinks() {
 		cs := o.enumerate(sink)
 		if o.err != nil {
@@ -321,11 +321,19 @@ func (o *optz) assemble() (*PhysPlan, map[int]Props, error) {
 		}
 		c := best(cs)
 		plan.Cost += c.cost
-		roots = append(roots, c.node)
 		plan.Sinks = append(plan.Sinks, c.node)
 		sinkProps[sink.ID] = c.props
 	}
+	finalizePlan(plan, o.opt.ExpectedIterations)
+	return plan, sinkProps, nil
+}
 
+// finalizePlan materializes the executable form of a plan whose Sinks (and
+// the DAG reachable from them) have been chosen: topological node order,
+// dense node and edge identities, the placeholder index, dynamic-path
+// marking, and cache flags on constant→dynamic edges. It is shared by both
+// planners and re-run by the fusion rewrite after it drops nodes.
+func finalizePlan(plan *PhysPlan, expectedIterations int) {
 	// Topological order via DFS post-order from the sinks.
 	seen := make(map[*PhysNode]bool)
 	var order []*PhysNode
@@ -340,13 +348,22 @@ func (o *optz) assemble() (*PhysPlan, map[int]Props, error) {
 		}
 		order = append(order, n)
 	}
-	for _, r := range roots {
+	for _, r := range plan.Sinks {
 		visit(r)
 	}
+	finalizeOrdered(plan, order, expectedIterations)
+}
+
+// finalizeOrdered is finalizePlan for a caller that already has the
+// physical nodes in topological order (the greedy planner emits them that
+// way), skipping the DFS.
+func finalizeOrdered(plan *PhysPlan, order []*PhysNode, expectedIterations int) {
+	plan.Placeholders = plan.Placeholders[:0]
+	plan.NumEdges = 0
 	for i, n := range order {
 		n.ID = i
 		if n.Logical.Contract == dataflow.IterationInput {
-			plan.Placeholders[n.Logical.ID] = n
+			plan.Placeholders = append(plan.Placeholders, n)
 		}
 	}
 	plan.Nodes = order
@@ -375,7 +392,7 @@ func (o *optz) assemble() (*PhysPlan, map[int]Props, error) {
 	// Cache constant inputs feeding the dynamic path (§4.3: "caches the
 	// intermediate result at the operator where the constant path meets
 	// the dynamic path").
-	if o.opt.ExpectedIterations > 1 {
+	if expectedIterations > 1 {
 		for _, n := range plan.Nodes {
 			if !n.OnDynamicPath {
 				continue
@@ -387,5 +404,4 @@ func (o *optz) assemble() (*PhysPlan, map[int]Props, error) {
 			}
 		}
 	}
-	return plan, sinkProps, nil
 }

@@ -1,0 +1,113 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+)
+
+// buildChainPlan assembles source → (map|filter|project)^n → sink, the
+// shape the fusion rewrite collapses. Every stage is deterministic and
+// derived from the fuzz input.
+func buildChainPlan(seed uint64, stages []byte) (*dataflow.Plan, *dataflow.Node) {
+	rng := &fuzzRNG{s: seed | 1}
+	data := make([]record.Record, 50+rng.intn(100))
+	for i := range data {
+		v := rng.next()
+		data[i] = record.Record{A: int64(v % 37), B: int64(v >> 17 % 50), X: float64(v % 1000)}
+	}
+	p := dataflow.NewPlan()
+	cur := p.SourceOf("src", data)
+	for i, s := range stages {
+		mod := int64(2 + int(s)>>4) // derived per-stage constants
+		add := float64(int(s) & 7)
+		switch int(s) % 3 {
+		case 0:
+			cur = p.MapNode(name("map", i), cur, func(r record.Record, out dataflow.Emitter) {
+				r.X += add
+				out.Emit(r)
+			})
+		case 1:
+			cur = p.FilterNode(name("filter", i), cur, func(r record.Record) bool {
+				return r.A%mod != 0
+			})
+		case 2:
+			// Projection: strip a field, possibly expanding to two records
+			// (fused UDFs must compose through multi-emit too).
+			cur = p.MapNode(name("project", i), cur, func(r record.Record, out dataflow.Emitter) {
+				out.Emit(record.Record{A: r.A, X: r.X})
+				if r.B%mod == 0 {
+					out.Emit(record.Record{A: -r.A, X: -r.X})
+				}
+			})
+		}
+	}
+	sink := p.SinkNode("out", cur)
+	return p, sink
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('0'+i%10))
+}
+
+// runChain executes the chain with or without fusion and returns the
+// per-partition record sequences exactly as emitted.
+func runChain(t *testing.T, seed uint64, stages []byte, par int, fuse bool) ([][]record.Record, int) {
+	t.Helper()
+	p, sink := buildChainPlan(seed, stages)
+	phys, err := optimizer.Optimize(p, optimizer.Options{Parallelism: par, Fuse: fuse})
+	if err != nil {
+		t.Fatalf("seed %d par %d fuse %v: optimize: %v", seed, par, fuse, err)
+	}
+	e := NewExecutor(Config{})
+	defer e.Close()
+	res, err := e.Run(phys)
+	if err != nil {
+		t.Fatalf("seed %d par %d fuse %v: run: %v", seed, par, fuse, err)
+	}
+	return res[sink.ID], phys.Fused
+}
+
+// FuzzFusedChain is the fusion correctness fuzzer: for arbitrary chains
+// of map/filter/project stages, the fused plan must emit exactly the
+// record sequence of the unfused plan — same records, same order, per
+// partition.
+func FuzzFusedChain(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2})
+	f.Add(uint64(42), []byte{2, 2, 0, 1})
+	f.Add(uint64(7), []byte{1})
+	f.Add(uint64(99), []byte{0, 0, 0, 0, 0, 2, 1, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, stages []byte) {
+		if len(stages) > 12 {
+			stages = stages[:12]
+		}
+		for _, par := range []int{1, 3} {
+			plain, fused0 := runChain(t, seed, stages, par, false)
+			if fused0 != 0 {
+				t.Fatalf("unfused plan reports %d fused operators", fused0)
+			}
+			withFuse, fused := runChain(t, seed, stages, par, true)
+			if len(stages) >= 2 && fused == 0 {
+				t.Fatalf("seed %d: %d-stage chain fused nothing", seed, len(stages))
+			}
+			if len(withFuse) != len(plain) {
+				t.Fatalf("seed %d par %d: partition counts differ: %d vs %d",
+					seed, par, len(withFuse), len(plain))
+			}
+			for pi := range plain {
+				if len(withFuse[pi]) != len(plain[pi]) {
+					t.Fatalf("seed %d par %d partition %d: %d records fused, %d unfused",
+						seed, par, pi, len(withFuse[pi]), len(plain[pi]))
+				}
+				for i := range plain[pi] {
+					if !withFuse[pi][i].Equal(plain[pi][i]) {
+						t.Fatalf("seed %d par %d partition %d record %d: fused %v, unfused %v",
+							seed, par, pi, i, withFuse[pi][i], plain[pi][i])
+					}
+				}
+			}
+		}
+	})
+}

@@ -72,6 +72,32 @@ func (em taskEmitter) Emit(r record.Record) {
 	}
 }
 
+// fusedEmitter applies one fused Map UDF and hands the results to the next
+// stage of the chain — the record-at-a-time execution of a FusedChain. No
+// exchange, batch, or pool is involved between fused stages.
+type fusedEmitter struct {
+	t    *task
+	fn   func(record.Record, dataflow.Emitter)
+	next dataflow.Emitter
+}
+
+func (em fusedEmitter) Emit(r record.Record) {
+	em.t.udf()
+	em.fn(r, em.next)
+}
+
+// emitter returns the task's output emitter: the plain writer fan-out,
+// wrapped right-to-left in the node's fused UDF chain (if any) so fused
+// Maps execute inline on every emitted record.
+func (t *task) emitter() dataflow.Emitter {
+	var em dataflow.Emitter = taskEmitter{t: t}
+	chain := t.n.FusedChain
+	for i := len(chain) - 1; i >= 0; i-- {
+		em = fusedEmitter{t: t, fn: chain[i].Map, next: em}
+	}
+	return em
+}
+
 // emitCollector gathers UDF output into a caller-owned buffer.
 type emitCollector struct{ buf *[]record.Record }
 
@@ -98,7 +124,7 @@ func (t *task) udf() {
 
 // run dispatches on role, contract, and local strategy.
 func (t *task) run() error {
-	out := taskEmitter{t: t}
+	out := t.emitter()
 	n := t.n
 	l := n.Logical
 

@@ -16,6 +16,12 @@
 // spawning and nearly all heap allocation. Executor.Run is the one-shot
 // convenience wrapper for non-iterative plans.
 //
+// Fused operator chains (optimizer.PhysNode.FusedChain) execute inside
+// the head operator's emitter: each emitted record flows through the
+// absorbed Map/filter/project UDFs record-at-a-time before it is
+// batched, so a fused edge costs a function call instead of an exchange
+// hop (queue round-trip, batch copy, pool cycle) per superstep.
+//
 // The solution set stores its records through a pluggable SolutionBackend:
 // a compact open-addressing index over flat record slabs by default, the
 // original boxed-map implementation as a differential baseline, and a
