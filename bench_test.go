@@ -689,6 +689,32 @@ func BenchmarkAdaptiveAuto(b *testing.B) {
 	}
 }
 
+// BenchmarkDistributed runs the harness distributed scenario at bench
+// scale — the 2-process differential matrix plus the 1-proc vs 2-proc
+// superstep-throughput pair — and emits the table as
+// BENCH_distributed.json, the artifact CI uploads next to
+// BENCH_adaptive.json. The custom metric is the 2-process superstep rate.
+func BenchmarkDistributed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Distributed(harness.Options{
+			Scale: graphgen.ScaleBench, Parallelism: benchParallelism,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_distributed.json", buf, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Bench {
+			b.ReportMetric(row.StepsPerSec, fmt.Sprintf("steps/s-%dproc", row.Hosts))
+		}
+	}
+}
+
 // liveBenchBatch mirrors the harness scenario's mutation mix: half the
 // inserts connect existing vertices, half attach new ones.
 func liveBenchBatch(g *graphgen.Graph, n int) []live.Mutation {

@@ -5,9 +5,18 @@
 //
 //	spinflow [-scale f] [-par n] [-iters n] <experiment>...
 //	spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir]
+//	spinflow worker [-listen 127.0.0.1:0]
 //
 // Experiments: table1 table2 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12
-// outofcore live durable auto planner explain all
+// outofcore live durable auto planner distributed explain all
+//
+// `spinflow worker` hosts partition ranges for distributed sessions: a
+// coordinator (e.g. `spinflow distributed`, or the distrib package's Run)
+// connects, assigns a job spec and a host ID, and drives supersteps over
+// the control connection while exchange batches flow over the binary
+// framed data plane. `spinflow distributed` runs the 2-process
+// differential and throughput scenario against workers spawned from this
+// same binary.
 //
 // `spinflow serve` starts the long-running maintenance service: named
 // live views over resident solution sets, maintained under streaming
@@ -23,11 +32,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/algorithms"
+	"repro/internal/distrib"
 	"repro/internal/graphgen"
 	"repro/internal/harness"
 	"repro/internal/iterative"
@@ -35,6 +48,46 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/record"
 )
+
+// worker hosts partition ranges for distributed sessions: it listens for
+// coordinator control connections and serves jobs until killed. The bound
+// control address is printed as the first stdout line so a parent process
+// (harness, CI) can scrape it when listening on an ephemeral port.
+func worker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:0", "control listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ln.Addr().String())
+	fmt.Fprintf(os.Stderr, "spinflow worker: listening on %s\n", ln.Addr())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		ln.Close()
+	}()
+	return distrib.ServeWorker(ln, log.New(os.Stderr, "", log.LstdFlags))
+}
+
+// distributed runs the 2-process differential + throughput scenario.
+// With -workers it meshes with already-running worker processes;
+// otherwise it spawns a worker from this binary.
+func distributed(opts harness.Options) error {
+	if len(opts.WorkerAddrs) == 0 {
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("locating own binary for worker processes: %w", err)
+		}
+		opts.WorkerBinary = self
+	}
+	_, err := harness.Distributed(opts)
+	return err
+}
 
 // serve runs the live maintenance service until SIGINT/SIGTERM.
 func serve(args []string) error {
@@ -127,10 +180,18 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		if err := worker(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "spinflow: worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default laptop scale)")
 	par := flag.Int("par", 4, "parallelism (number of partitions/workers)")
 	iters := flag.Int("iters", 20, "PageRank iteration count")
+	workers := flag.String("workers", "", "comma-separated control addresses of running `spinflow worker` processes for the distributed experiment (default: spawn one)")
 	flag.Parse()
 
 	opts := harness.Options{
@@ -139,11 +200,15 @@ func main() {
 		PageRankIterations: *iters,
 		Out:                os.Stdout,
 	}
+	if *workers != "" {
+		opts.WorkerAddrs = strings.Split(*workers, ",")
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|durable|auto|planner|explain|all>...")
+		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|durable|auto|planner|distributed|explain|all>...")
 		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir]")
+		fmt.Fprintln(os.Stderr, "       spinflow worker [-listen 127.0.0.1:0]")
 		os.Exit(2)
 	}
 	for _, name := range args {
@@ -179,6 +244,8 @@ func main() {
 			_, err = harness.Auto(opts)
 		case "planner":
 			_, err = harness.Planner(opts)
+		case "distributed":
+			err = distributed(opts)
 		case "all":
 			err = harness.All(opts)
 		case "explain":

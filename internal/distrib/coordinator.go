@@ -1,0 +1,209 @@
+package distrib
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/record"
+)
+
+// Result is the outcome of a distributed run, as seen by the coordinator.
+type Result struct {
+	// Solution is the converged solution set assembled from every
+	// process's hosted partitions, in canonical (record.Less) order —
+	// the byte-comparable form the differential harness checks.
+	Solution []record.Record
+	// Supersteps is the number of barrier rounds to the fixpoint.
+	Supersteps int
+	// Work is the coordinator process's counter snapshot (remote batches
+	// and bytes measure only host 0's share of the shuffle).
+	Work metrics.Snapshot
+}
+
+// workerConn is the coordinator's control connection to one worker
+// process.
+type workerConn struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// expect reads the next control message and requires one of the given
+// kinds; a kindError reply is surfaced as the worker's job error.
+func (w *workerConn) expect(kinds ...string) (ctlMsg, error) {
+	var msg ctlMsg
+	if err := w.dec.Decode(&msg); err != nil {
+		return msg, fmt.Errorf("distrib: worker connection: %w", err)
+	}
+	if msg.Kind == kindError {
+		return msg, fmt.Errorf("distrib: worker failed: %s", msg.Err)
+	}
+	for _, k := range kinds {
+		if msg.Kind == k {
+			return msg, nil
+		}
+	}
+	return msg, fmt.Errorf("distrib: expected %v from worker, got %q", kinds, msg.Kind)
+}
+
+// Run executes js as a distributed session: this process is host 0 (the
+// coordinator, hosting the first partition range) and each workerAddrs
+// entry is the control address of one already-listening worker process
+// (hosts 1..N). js.Hosts is overridden to 1+len(workerAddrs).
+//
+// The coordinator builds the same deterministic job state as every
+// worker, verifies the workers' plan digests against its own, meshes the
+// data plane, and then drives the superstep barrier: each round it
+// releases every process (itself included), gathers the local
+// next-workset counts, and stops at the first globally empty workset —
+// local emptiness means nothing, a process's workset can refill entirely
+// from its peers' shipped records.
+func Run(js JobSpec, workerAddrs []string) (*Result, error) {
+	js = js.normalized()
+	js.Hosts = 1 + len(workerAddrs)
+
+	j, dataAddr, err := newJob(js, 0, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer j.close()
+
+	// Control plane: dial every worker, assign the job, gather readiness.
+	workers := make([]*workerConn, len(workerAddrs))
+	defer func() {
+		for _, w := range workers {
+			if w != nil {
+				w.enc.Encode(ctlMsg{Kind: kindStop})
+				w.conn.Close()
+			}
+		}
+	}()
+	dataAddrs := make([]string, js.Hosts)
+	dataAddrs[0] = dataAddr
+	for i, addr := range workerAddrs {
+		conn, err := net.DialTimeout("tcp", addr, meshTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: dial worker %s: %w", addr, err)
+		}
+		w := &workerConn{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}
+		workers[i] = w
+		if err := w.enc.Encode(ctlMsg{Kind: kindJob, Job: &js, HostID: i + 1}); err != nil {
+			return nil, fmt.Errorf("distrib: assign job to %s: %w", addr, err)
+		}
+		ready, err := w.expect(kindReady)
+		if err != nil {
+			return nil, err
+		}
+		if ready.Digest != j.digest {
+			return nil, fmt.Errorf("distrib: worker %s planned a different dataflow (digest %.12s, coordinator %.12s) — mixed binaries?",
+				addr, ready.Digest, j.digest)
+		}
+		dataAddrs[i+1] = ready.DataAddr
+	}
+
+	// Mesh the data plane everywhere before any superstep runs.
+	for _, w := range workers {
+		if err := w.enc.Encode(ctlMsg{Kind: kindStart, DataAddrs: dataAddrs}); err != nil {
+			return nil, err
+		}
+	}
+	if err := j.open(dataAddrs); err != nil {
+		return nil, err
+	}
+	for _, w := range workers {
+		if _, err := w.expect(kindMeshed); err != nil {
+			return nil, err
+		}
+	}
+
+	// The superstep barrier. Releasing the workers before running our own
+	// share lets all processes execute the round concurrently — the
+	// exchanges require it, since every process's consumers wait for
+	// every process's producers.
+	res := &Result{}
+	converged := false
+	for step := 0; step < js.MaxSupersteps; step++ {
+		for _, w := range workers {
+			if err := w.enc.Encode(ctlMsg{Kind: kindStep}); err != nil {
+				return nil, err
+			}
+		}
+		total, err := j.step()
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range workers {
+			done, err := w.expect(kindStepDone)
+			if err != nil {
+				return nil, err
+			}
+			total += done.Count
+		}
+		res.Supersteps = step + 1
+		if total == 0 {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return nil, fmt.Errorf("distrib: no fixpoint after %d supersteps", js.MaxSupersteps)
+	}
+
+	// Assemble the solution: every process contributes its hosted
+	// partitions; the canonical sort makes the result byte-comparable
+	// regardless of partition or backend iteration order.
+	sol := append([]record.Record(nil), decodeOwn(j)...)
+	for _, w := range workers {
+		if err := w.enc.Encode(ctlMsg{Kind: kindCollect}); err != nil {
+			return nil, err
+		}
+		msg, err := w.expect(kindSolution)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := decodeFrames(msg.Frames)
+		if err != nil {
+			return nil, err
+		}
+		sol = append(sol, recs...)
+	}
+	sort.Slice(sol, func(x, y int) bool { return record.Less(sol[x], sol[y]) })
+	res.Solution = sol
+	res.Work = j.m.Snapshot()
+	return res, nil
+}
+
+// decodeOwn reads the coordinator's hosted partitions back out of the
+// same framed form the workers ship, so both sides of the assembly go
+// through one code path.
+func decodeOwn(j *job) []record.Record {
+	recs, err := decodeFrames(j.collect(0))
+	if err != nil {
+		// collect produced the frames locally; a decode failure here is a
+		// codec bug, not an I/O condition.
+		panic(err)
+	}
+	return recs
+}
+
+// decodeFrames decodes concatenated record frames into a flat slice.
+func decodeFrames(frames []byte) ([]record.Record, error) {
+	fr := record.NewFrameReader(bytes.NewReader(frames))
+	var out []record.Record
+	for {
+		b, err := fr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("distrib: solution payload: %w", err)
+		}
+		out = append(out, b...)
+	}
+}

@@ -1,0 +1,151 @@
+package distrib
+
+import (
+	"bytes"
+	"net"
+	"sort"
+	"testing"
+
+	"repro/internal/iterative"
+	"repro/internal/record"
+	"repro/internal/runtime"
+)
+
+// startWorkers launches n in-process worker control listeners and returns
+// their addresses. In production the workers are separate processes
+// (spinflow worker); in-process workers exercise the identical code paths
+// — real TCP for both control and data planes — inside one test binary.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go ServeWorker(ln, nil)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// runSingle computes the oracle: the same job on the plain single-process
+// incremental driver.
+func runSingle(t *testing.T, js JobSpec) []record.Record {
+	t.Helper()
+	js = js.normalized()
+	spec, s0, w0, err := buildSpec(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := iterative.Config{Parallelism: js.Parallelism, BatchSize: js.BatchSize}
+	if js.Backend != "" {
+		cfg.SolutionBackend = runtime.SolutionBackendKind(js.Backend)
+	}
+	res, err := iterative.RunIncremental(spec, s0, w0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := res.Solution
+	sort.Slice(sol, func(x, y int) bool { return record.Less(sol[x], sol[y]) })
+	return sol
+}
+
+func encodeAll(recs []record.Record) []byte {
+	var out []byte
+	for _, r := range recs {
+		out = r.Encode(out)
+	}
+	return out
+}
+
+func TestDistributedMatchesSingleProcess(t *testing.T) {
+	jobs := []JobSpec{
+		{Algorithm: "cc", GraphKind: "uniform", GraphN: 80, GraphM: 160, Seed: 0xD157, Parallelism: 4},
+		{Algorithm: "cc-cogroup", GraphKind: "uniform", GraphN: 60, GraphM: 100, Seed: 0xD158, Parallelism: 2},
+		{Algorithm: "sssp", GraphKind: "uniform", GraphN: 70, GraphM: 180, Seed: 0xD159, Parallelism: 4, Source: 3},
+		{Algorithm: "cc", GraphKind: "pa", GraphN: 90, GraphM: 270, Seed: 0xD15A, Parallelism: 4, Backend: "map"},
+	}
+	for _, js := range jobs {
+		js := js
+		t.Run(js.Algorithm+"-"+js.GraphKind, func(t *testing.T) {
+			want := runSingle(t, js)
+			got, err := Run(js, startWorkers(t, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encodeAll(got.Solution), encodeAll(want)) {
+				t.Fatalf("distributed fixpoint diverged: %d records vs %d single-process",
+					len(got.Solution), len(want))
+			}
+			if got.Supersteps < 2 {
+				t.Fatalf("suspiciously trivial run: %d supersteps", got.Supersteps)
+			}
+		})
+	}
+}
+
+func TestDistributedThreeProcesses(t *testing.T) {
+	js := JobSpec{Algorithm: "cc", GraphKind: "uniform", GraphN: 96, GraphM: 200, Seed: 0xD15B, Parallelism: 6}
+	want := runSingle(t, js)
+	got, err := Run(js, startWorkers(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeAll(got.Solution), encodeAll(want)) {
+		t.Fatalf("3-process fixpoint diverged: %d records vs %d", len(got.Solution), len(want))
+	}
+}
+
+// TestDistributedSingleHost runs the coordinator with no workers: the
+// degenerate 1-host placement must behave exactly like the plain driver
+// (all partitions hosted, the transport never used).
+func TestDistributedSingleHost(t *testing.T) {
+	js := JobSpec{Algorithm: "sssp", GraphKind: "uniform", GraphN: 50, GraphM: 120, Seed: 0xD15C, Parallelism: 2, Source: 1}
+	want := runSingle(t, js)
+	got, err := Run(js, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeAll(got.Solution), encodeAll(want)) {
+		t.Fatal("single-host distributed run diverged from the plain driver")
+	}
+	if got.Work.RemoteBatches != 0 {
+		t.Fatalf("single-host run shipped %d remote batches", got.Work.RemoteBatches)
+	}
+}
+
+// TestDistributedRemoteTrafficCounted checks the new transport metrics
+// actually observe the shuffle: a 2-process CC run must ship batches.
+func TestDistributedRemoteTrafficCounted(t *testing.T) {
+	js := JobSpec{Algorithm: "cc", GraphKind: "uniform", GraphN: 80, GraphM: 200, Seed: 0xD15D, Parallelism: 4}
+	got, err := Run(js, startWorkers(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Work.RemoteBatches == 0 || got.Work.RemoteBytes == 0 {
+		t.Fatalf("2-process run reported no remote traffic: %+v", got.Work)
+	}
+	if got.Work.TransportErrors != 0 {
+		t.Fatalf("clean run counted %d transport errors", got.Work.TransportErrors)
+	}
+}
+
+// TestWorkerSurvivesSequentialJobs reuses one worker (one control
+// connection dialed per Run) for several jobs, as the CI smoke does.
+func TestWorkerSurvivesSequentialJobs(t *testing.T) {
+	addrs := startWorkers(t, 1)
+	for i := 0; i < 3; i++ {
+		js := JobSpec{Algorithm: "cc", GraphKind: "uniform", GraphN: 40, GraphM: 80,
+			Seed: 0xD15E + uint64(i), Parallelism: 2}
+		want := runSingle(t, js)
+		got, err := Run(js, addrs)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if !bytes.Equal(encodeAll(got.Solution), encodeAll(want)) {
+			t.Fatalf("job %d diverged", i)
+		}
+	}
+}

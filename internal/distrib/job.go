@@ -1,0 +1,194 @@
+package distrib
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/algorithms"
+	"repro/internal/graphgen"
+	"repro/internal/iterative"
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/runtime"
+)
+
+// buildGraph derives the job's graph. The generators are fully seeded, so
+// every process reconstructs the identical edge list.
+func buildGraph(js JobSpec) (*graphgen.Graph, error) {
+	switch js.GraphKind {
+	case "", "uniform":
+		return graphgen.Uniform("distrib-uniform", js.GraphN, js.GraphM, js.Seed), nil
+	case "pa":
+		m := int(js.GraphM / max64(1, js.GraphN))
+		if m < 1 {
+			m = 1
+		}
+		return graphgen.PreferentialAttachment("distrib-pa", js.GraphN, m, js.Seed), nil
+	}
+	return nil, fmt.Errorf("distrib: unknown graph kind %q", js.GraphKind)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// distWeight is the deterministic SSSP edge weight: a small integer
+// derived from the endpoints, exact in float64, so path sums — and
+// therefore the converged solution bytes — are identical on every process
+// and every run.
+func distWeight(src, dst int64) float64 {
+	return float64(1 + (src*7+dst*13)%4)
+}
+
+// buildSpec derives the job's incremental spec, initial solution, and
+// initial workset from the JobSpec.
+func buildSpec(js JobSpec) (iterative.IncrementalSpec, []record.Record, []record.Record, error) {
+	g, err := buildGraph(js)
+	if err != nil {
+		return iterative.IncrementalSpec{}, nil, nil, err
+	}
+	switch js.Algorithm {
+	case "cc":
+		spec, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCMatch)
+		return spec, s0, w0, nil
+	case "cc-cogroup":
+		spec, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
+		return spec, s0, w0, nil
+	case "sssp":
+		und := g.Undirected()
+		edges := make([]algorithms.WeightedEdge, len(und.Edges))
+		for i, e := range und.Edges {
+			edges[i] = algorithms.WeightedEdge{Src: e.Src, Dst: e.Dst, Weight: distWeight(e.Src, e.Dst)}
+		}
+		spec, s0, w0 := algorithms.SSSPSpec(edges, js.Source)
+		return spec, s0, w0, nil
+	}
+	return iterative.IncrementalSpec{}, nil, nil, fmt.Errorf("distrib: unknown algorithm %q", js.Algorithm)
+}
+
+// job is one process's share of a distributed run: the locally derived
+// plan, the transport meshed with the peers, and the session hosting this
+// process's partition range.
+type job struct {
+	js     JobSpec
+	spec   iterative.IncrementalSpec
+	phys   *optimizer.PhysPlan
+	place  runtime.Placement
+	m      *metrics.Counters
+	exec   *runtime.Executor
+	tr     *runtime.TCPTransport
+	sess   *runtime.Session
+	digest string
+}
+
+// newJob builds everything up to — but not including — the peer mesh: the
+// deterministic spec and plan, the executor with the solution set
+// initialized, and the transport listening on addr. Mid-run re-planning
+// is deliberately off in distributed runs: a re-optimized plan has new
+// edge IDs, and swapping it in safely would need a coordinated epoch
+// across all processes.
+func newJob(js JobSpec, hostID int, listenAddr string) (*job, string, error) {
+	js = js.normalized()
+	spec, s0, w0, err := buildSpec(js)
+	if err != nil {
+		return nil, "", err
+	}
+	m := &metrics.Counters{}
+	cfg := iterative.Config{
+		Parallelism: js.Parallelism,
+		BatchSize:   js.BatchSize,
+		Hosts:       js.Hosts,
+		Metrics:     m,
+	}
+	if js.Backend != "" {
+		cfg.SolutionBackend = runtime.SolutionBackendKind(js.Backend)
+	}
+	phys, err := iterative.PlanIncremental(spec, cfg, spec.ExpectedIterations)
+	if err != nil {
+		return nil, "", err
+	}
+
+	exec := runtime.NewExecutor(runtime.Config{BatchSize: js.BatchSize, Metrics: m})
+	sol := runtime.NewSolutionSetWith(js.Parallelism, spec.SolutionKey, spec.Comparator, m,
+		runtime.SolutionOptions{Backend: cfg.SolutionBackend})
+	sol.Init(s0)
+	exec.Solution = sol
+	if _, err := iterative.ValidateMicrostep(spec); err == nil {
+		exec.DirectMerge = true
+	}
+	exec.SetPlaceholder(spec.Workset.ID, w0, spec.WorksetKey, js.Parallelism)
+
+	j := &job{
+		js: js, spec: spec, phys: phys, m: m, exec: exec,
+		place:  runtime.ContiguousPlacement(js.Parallelism, js.Hosts),
+		digest: PlanDigest(phys),
+	}
+	j.tr = runtime.NewTCPTransport(hostID, j.place, phys.NumEdges, m)
+	addr, err := j.tr.Listen(listenAddr)
+	if err != nil {
+		exec.Close()
+		return nil, "", err
+	}
+	return j, addr, nil
+}
+
+// open meshes the transport with the peers and opens the hosted session.
+func (j *job) open(dataAddrs []string) error {
+	if err := j.tr.ConnectPeers(dataAddrs, meshTimeout); err != nil {
+		j.tr.Close()
+		j.exec.Close()
+		return err
+	}
+	j.sess = j.exec.OpenSessionOn(j.phys, j.tr)
+	return nil
+}
+
+// step runs one superstep of this process's partitions and returns the
+// local next-workset count. The global convergence decision belongs to
+// the coordinator — an empty local workset does not mean the peers are
+// done.
+func (j *job) step() (int, error) {
+	res, err := j.sess.Run()
+	if err != nil {
+		return 0, err
+	}
+	j.exec.Solution.MergeDelta(res.Records(j.spec.DeltaSink.ID))
+	nextParts := res[j.spec.WorksetSink.ID]
+	count := 0
+	for _, p := range nextParts {
+		count += len(p)
+	}
+	j.exec.SetPlaceholderParts(j.spec.Workset.ID, nextParts)
+	return count, nil
+}
+
+// collect serializes the hosted partitions of the solution set, one frame
+// per partition in ascending partition order.
+func (j *job) collect(hostID int) []byte {
+	var out []byte
+	for _, p := range j.place.HostedBy(hostID) {
+		var b record.Batch
+		j.exec.Solution.EachPartition(p, func(r record.Record) {
+			b = append(b, r)
+		})
+		// Within a partition the backend's iteration order is not
+		// canonical; sort so repeated runs produce identical bytes.
+		sort.Slice(b, func(x, y int) bool { return record.Less(b[x], b[y]) })
+		out = record.AppendFrame(out, b)
+	}
+	return out
+}
+
+// close releases the session, transport, and executor. The solution set
+// stays readable (collect may have already run).
+func (j *job) close() {
+	if j.sess != nil {
+		j.sess.Close()
+	}
+	j.tr.Close()
+	j.exec.Close()
+}

@@ -1,0 +1,134 @@
+// Package distrib runs one incremental iteration as a distributed
+// session: N processes each host a contiguous partition range of the same
+// physical plan, exchange traffic crosses process boundaries through the
+// runtime's TCP transport, and a coordinator (always host 0) drives the
+// superstep barrier. The control plane is a line of JSON messages per
+// worker; the data plane is the transport's binary CRC32 frames — control
+// traffic is rare and tiny, so readability wins there, while every
+// superstep's records stay on the compact framed codec.
+//
+// Determinism is the load-bearing wall: every process builds the job's
+// spec, graph, and physical plan locally from the same JobSpec (all
+// generators are seeded, the optimizer is deterministic), and the
+// coordinator verifies a digest of each worker's plan before any data
+// flows. Identical plans mean identical dense node/edge IDs and identical
+// superstep schedules, which is what lets the exchange layer route by
+// (edge ID, partition) alone.
+package distrib
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/optimizer"
+)
+
+// JobSpec is the complete, self-contained description of a distributed
+// run. Everything a process needs — graph, algorithm, plan options — is
+// derived deterministically from these values, so shipping the spec is
+// equivalent to shipping the plan.
+type JobSpec struct {
+	// Algorithm: "cc" (CC via Match), "cc-cogroup" (CC via CoGroup), or
+	// "sssp".
+	Algorithm string `json:"algorithm"`
+	// GraphKind: "uniform" or "pa" (preferential attachment).
+	GraphKind string `json:"graph_kind"`
+	// GraphN and GraphM are the vertex and edge counts; Seed feeds the
+	// deterministic generator.
+	GraphN int64  `json:"graph_n"`
+	GraphM int64  `json:"graph_m"`
+	Seed   uint64 `json:"seed"`
+	// Source is the SSSP source vertex.
+	Source int64 `json:"source,omitempty"`
+	// Parallelism is the plan's partition count; Hosts the process count.
+	// Partitions map to hosts with runtime.ContiguousPlacement.
+	Parallelism int `json:"parallelism"`
+	Hosts       int `json:"hosts"`
+	// BatchSize is the exchange batch size (0 = runtime default).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Backend selects the solution-set index: "map", "compact", or ""
+	// (compact).
+	Backend string `json:"backend,omitempty"`
+	// MaxSupersteps bounds the run (0 = 10000).
+	MaxSupersteps int `json:"max_supersteps,omitempty"`
+}
+
+func (js JobSpec) normalized() JobSpec {
+	if js.Parallelism <= 0 {
+		js.Parallelism = 2
+	}
+	if js.Hosts <= 0 {
+		js.Hosts = 1
+	}
+	if js.MaxSupersteps <= 0 {
+		js.MaxSupersteps = 10000
+	}
+	return js
+}
+
+// Control-plane message kinds, in protocol order.
+const (
+	// kindJob (coordinator → worker) assigns the job and the worker's
+	// host ID.
+	kindJob = "job"
+	// kindReady (worker → coordinator) carries the worker's data-plane
+	// address and its plan digest.
+	kindReady = "ready"
+	// kindStart (coordinator → worker) distributes every host's data
+	// address; the worker meshes its transport and replies kindMeshed.
+	kindStart  = "start"
+	kindMeshed = "meshed"
+	// kindStep (coordinator → worker) releases one superstep; the worker
+	// replies kindStepDone with its local next-workset count.
+	kindStep     = "step"
+	kindStepDone = "step_done"
+	// kindCollect (coordinator → worker) requests the worker's hosted
+	// solution partitions; the reply kindSolution carries them as
+	// concatenated record frames.
+	kindCollect  = "collect"
+	kindSolution = "solution"
+	// kindStop (coordinator → worker) ends the job; the worker tears the
+	// session down and waits for the next kindJob on the same connection.
+	kindStop = "stop"
+	// kindError (worker → coordinator) aborts the run.
+	kindError = "error"
+)
+
+// ctlMsg is the single wire shape of every control message; Kind selects
+// which fields are meaningful. JSON []byte fields travel base64-encoded,
+// which keeps the framed solution payload lossless inside the text
+// protocol.
+type ctlMsg struct {
+	Kind      string   `json:"kind"`
+	Job       *JobSpec `json:"job,omitempty"`
+	HostID    int      `json:"host_id,omitempty"`
+	DataAddr  string   `json:"data_addr,omitempty"`
+	DataAddrs []string `json:"data_addrs,omitempty"`
+	Digest    string   `json:"digest,omitempty"`
+	Count     int      `json:"count,omitempty"`
+	Frames    []byte   `json:"frames,omitempty"`
+	Err       string   `json:"err,omitempty"`
+}
+
+// PlanDigest fingerprints the structure the exchange layer routes by:
+// dense node and edge identities, roles, strategies, shipping and cache
+// flags. Two processes whose digests agree will compute identical
+// superstep schedules and route every frame to the partition the sender
+// meant.
+func PlanDigest(p *optimizer.PhysPlan) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "par=%d hosts=%d nodes=%d edges=%d\n",
+		p.Parallelism, p.Hosts, len(p.Nodes), p.NumEdges)
+	for _, n := range p.Nodes {
+		logID := -1
+		if n.Logical != nil {
+			logID = n.Logical.ID
+		}
+		fmt.Fprintf(h, "n%d role=%d local=%d logical=%d\n", n.ID, n.Role, n.Local, logID)
+		for _, e := range n.Inputs {
+			fmt.Fprintf(h, " e%d from=%d ship=%d cache=%t\n", e.ID, e.From.ID, e.Ship, e.Cache)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,120 @@
+package distrib
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"time"
+)
+
+// meshTimeout bounds how long a process waits for the full peer mesh.
+const meshTimeout = 30 * time.Second
+
+// ServeWorker accepts coordinator control connections on ln and hosts the
+// partition ranges they assign. One control connection carries any number
+// of sequential jobs; Serve returns when the listener closes. The logger
+// receives connection-level failures (a lost coordinator is normal at
+// shutdown, so they are logged, not fatal).
+func ServeWorker(ln net.Listener, lg *log.Logger) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			if err := serveControl(conn); err != nil && !errors.Is(err, io.EOF) && lg != nil {
+				lg.Printf("distrib: worker control connection: %v", err)
+			}
+		}()
+	}
+}
+
+// serveControl runs one coordinator's control connection to completion.
+func serveControl(conn net.Conn) error {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var msg ctlMsg
+		if err := dec.Decode(&msg); err != nil {
+			return err
+		}
+		switch msg.Kind {
+		case kindJob:
+			if msg.Job == nil {
+				return errors.New("distrib: job message without a spec")
+			}
+			if err := runWorkerJob(*msg.Job, msg.HostID, dec, enc); err != nil {
+				return err
+			}
+		case kindStop:
+			return nil
+		default:
+			return fmt.Errorf("distrib: unexpected control message %q outside a job", msg.Kind)
+		}
+	}
+}
+
+// runWorkerJob executes one job under the coordinator's direction: build
+// the deterministic local state, report readiness, mesh, then alternate
+// superstep barriers until told to collect and stop. Protocol errors are
+// returned (the connection is broken); job execution errors are reported
+// to the coordinator with kindError, after which the worker stays usable.
+func runWorkerJob(js JobSpec, hostID int, dec *json.Decoder, enc *json.Encoder) error {
+	j, dataAddr, err := newJob(js, hostID, "127.0.0.1:0")
+	if err != nil {
+		return enc.Encode(ctlMsg{Kind: kindError, Err: err.Error()})
+	}
+	defer j.close()
+	if err := enc.Encode(ctlMsg{Kind: kindReady, DataAddr: dataAddr, Digest: j.digest}); err != nil {
+		return err
+	}
+
+	var start ctlMsg
+	if err := dec.Decode(&start); err != nil {
+		return err
+	}
+	if start.Kind != kindStart {
+		return fmt.Errorf("distrib: expected %q, got %q", kindStart, start.Kind)
+	}
+	if err := j.open(start.DataAddrs); err != nil {
+		return enc.Encode(ctlMsg{Kind: kindError, Err: err.Error()})
+	}
+	if err := enc.Encode(ctlMsg{Kind: kindMeshed}); err != nil {
+		return err
+	}
+
+	for {
+		var msg ctlMsg
+		if err := dec.Decode(&msg); err != nil {
+			return err
+		}
+		switch msg.Kind {
+		case kindStep:
+			count, err := j.step()
+			if err != nil {
+				if err := enc.Encode(ctlMsg{Kind: kindError, Err: err.Error()}); err != nil {
+					return err
+				}
+				continue // wait for the coordinator's stop
+			}
+			if err := enc.Encode(ctlMsg{Kind: kindStepDone, Count: count}); err != nil {
+				return err
+			}
+		case kindCollect:
+			if err := enc.Encode(ctlMsg{Kind: kindSolution, Frames: j.collect(hostID)}); err != nil {
+				return err
+			}
+		case kindStop:
+			return nil
+		default:
+			return fmt.Errorf("distrib: unexpected control message %q inside a job", msg.Kind)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"os/exec"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/graphgen"
+)
+
+// DistributedCheck is one differential cell: the same job run distributed
+// across processes and single-process, compared byte-for-byte.
+type DistributedCheck struct {
+	Algorithm   string
+	Backend     string
+	Parallelism int
+	Hosts       int
+	Supersteps  int
+	Records     int
+	Identical   bool
+}
+
+// DistributedBenchRow is one row of the superstep-throughput comparison.
+type DistributedBenchRow struct {
+	Hosts         int
+	Supersteps    int
+	Duration      time.Duration
+	StepsPerSec   float64
+	RemoteBatches int64
+	RemoteBytes   int64
+}
+
+// DistributedResult is the outcome of the Distributed scenario.
+type DistributedResult struct {
+	Checks []DistributedCheck
+	Bench  []DistributedBenchRow
+	// AllIdentical is the acceptance bit: every differential cell agreed.
+	AllIdentical bool
+}
+
+// workerHandle is one running worker process (or in-process listener).
+type workerHandle struct {
+	addr string
+	stop func()
+}
+
+// startWorker provides the scenario's worker. With WorkerAddrs it is an
+// already-running external worker (left running afterwards); with a
+// WorkerBinary it is a freshly spawned OS process (`spinflow worker
+// -listen 127.0.0.1:0`, address read from its stdout); otherwise an
+// in-process control listener serving the identical code over real TCP.
+func startWorker(o Options) (*workerHandle, error) {
+	if len(o.WorkerAddrs) > 0 {
+		return &workerHandle{addr: o.WorkerAddrs[0], stop: func() {}}, nil
+	}
+	if o.WorkerBinary == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go distrib.ServeWorker(ln, nil)
+		return &workerHandle{addr: ln.Addr().String(), stop: func() { ln.Close() }}, nil
+	}
+	cmd := exec.Command(o.WorkerBinary, "worker", "-listen", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("harness: start worker %s: %w", o.WorkerBinary, err)
+	}
+	// The worker prints its bound control address as the first line.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("harness: worker %s exited before printing its address", o.WorkerBinary)
+	}
+	addr := sc.Text()
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return &workerHandle{addr: addr, stop: func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}}, nil
+}
+
+// scaled applies the harness scale factor with a floor that keeps even
+// tiny-scale graphs non-trivial across 4 partitions.
+func scaled(s graphgen.Scale, n int64) int64 {
+	v := int64(float64(s) * float64(n))
+	if v < 60 {
+		v = 60
+	}
+	return v
+}
+
+// distributedJobs is the differential matrix the tentpole's acceptance
+// criteria name: CC and SSSP fixpoints across solution backends
+// {map, compact} × parallelism {2, 4}, each 2-process vs single-process.
+func distributedJobs(scale graphgen.Scale) []distrib.JobSpec {
+	n := scaled(scale, 240)
+	var jobs []distrib.JobSpec
+	for _, alg := range []string{"cc", "sssp"} {
+		for _, backend := range []string{"map", "compact"} {
+			for _, par := range []int{2, 4} {
+				jobs = append(jobs, distrib.JobSpec{
+					Algorithm:   alg,
+					GraphKind:   "uniform",
+					GraphN:      n,
+					GraphM:      2 * n,
+					Seed:        0xD157 + uint64(par),
+					Source:      1,
+					Parallelism: par,
+					Backend:     backend,
+				})
+			}
+		}
+	}
+	return jobs
+}
+
+// Distributed proves the distributed exchange transport: every job in the
+// differential matrix runs once across two processes and once
+// single-process, and the converged solutions must be byte-identical.
+// The scenario then measures superstep throughput 1-process vs 2-process
+// on a larger CC job (the table the README's "Distributed mode" section
+// reports).
+func Distributed(o Options) (*DistributedResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.normalized()
+	res := &DistributedResult{AllIdentical: true}
+
+	w, err := startWorker(o)
+	if err != nil {
+		return nil, err
+	}
+	defer w.stop()
+
+	o.printf("Distributed mode — 2-process differential (vs single-process bytes)\n")
+	o.printf("  %-11s %-8s %-4s %-6s %-7s %s\n", "algorithm", "backend", "par", "steps", "records", "identical")
+	for _, js := range distributedJobs(o.Scale) {
+		single, err := distrib.RunSingle(js)
+		if err != nil {
+			return nil, fmt.Errorf("harness: single-process %s/%s: %w", js.Algorithm, js.Backend, err)
+		}
+		dist, err := distrib.Run(js, []string{w.addr})
+		if err != nil {
+			return nil, fmt.Errorf("harness: distributed %s/%s: %w", js.Algorithm, js.Backend, err)
+		}
+		identical := bytes.Equal(distrib.EncodeSolution(dist.Solution), distrib.EncodeSolution(single.Solution))
+		res.AllIdentical = res.AllIdentical && identical
+		res.Checks = append(res.Checks, DistributedCheck{
+			Algorithm: js.Algorithm, Backend: js.Backend, Parallelism: js.Parallelism,
+			Hosts: 2, Supersteps: dist.Supersteps, Records: len(dist.Solution), Identical: identical,
+		})
+		o.printf("  %-11s %-8s %-4d %-6d %-7d %t\n",
+			js.Algorithm, js.Backend, js.Parallelism, dist.Supersteps, len(dist.Solution), identical)
+	}
+	if !res.AllIdentical {
+		return res, fmt.Errorf("harness: distributed fixpoints diverged from single-process")
+	}
+
+	// Throughput: the same CC job, 1 process vs 2. The absolute numbers
+	// are hardware-bound; the row pair shows what localhost TCP shipping
+	// costs per superstep relative to in-memory queues.
+	benchJob := distrib.JobSpec{
+		Algorithm: "cc", GraphKind: "uniform",
+		GraphN: scaled(o.Scale, 4000), GraphM: scaled(o.Scale, 12000),
+		Seed: 0xBE9C, Parallelism: o.Parallelism,
+	}
+	o.printf("\n  superstep throughput (cc, %d vertices, par %d):\n", benchJob.GraphN, benchJob.Parallelism)
+	o.printf("  %-6s %-6s %-10s %-10s %-13s %s\n", "hosts", "steps", "duration", "steps/s", "remoteBatch", "remoteBytes")
+	for hosts := 1; hosts <= 2; hosts++ {
+		start := time.Now()
+		var r *distrib.Result
+		if hosts == 1 {
+			r, err = distrib.RunSingle(benchJob)
+		} else {
+			r, err = distrib.Run(benchJob, []string{w.addr})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("harness: bench %d-process: %w", hosts, err)
+		}
+		d := time.Since(start)
+		row := DistributedBenchRow{
+			Hosts: hosts, Supersteps: r.Supersteps, Duration: d,
+			StepsPerSec:   float64(r.Supersteps) / d.Seconds(),
+			RemoteBatches: r.Work.RemoteBatches, RemoteBytes: r.Work.RemoteBytes,
+		}
+		res.Bench = append(res.Bench, row)
+		o.printf("  %-6d %-6d %-10s %-10.1f %-13d %d\n",
+			row.Hosts, row.Supersteps, row.Duration.Round(time.Millisecond),
+			row.StepsPerSec, row.RemoteBatches, row.RemoteBytes)
+	}
+	o.printf("\n")
+	return res, nil
+}

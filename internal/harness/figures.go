@@ -538,5 +538,8 @@ func All(o Options) error {
 	if _, err := Planner(o); err != nil {
 		return err
 	}
+	if _, err := Distributed(o); err != nil {
+		return err
+	}
 	return nil
 }

@@ -28,6 +28,15 @@ type Options struct {
 	PageRankIterations int
 	// Out receives the rendered tables (nil = silent).
 	Out io.Writer
+	// WorkerBinary is the spinflow binary to spawn worker processes from
+	// in the Distributed scenario. Empty runs the workers in-process
+	// (same code paths, real TCP, one OS process) — the form `go test`
+	// uses, since the test binary has no worker mode.
+	WorkerBinary string
+	// WorkerAddrs are control addresses of already-running workers for
+	// the Distributed scenario to mesh with instead of starting its own
+	// (it will not stop them). Takes precedence over WorkerBinary.
+	WorkerAddrs []string
 }
 
 func (o Options) normalized() Options {

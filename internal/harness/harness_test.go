@@ -311,3 +311,40 @@ func TestAutoScenario(t *testing.T) {
 		t.Error("missing output")
 	}
 }
+
+func TestDistributedScenario(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Distributed(tinyOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllIdentical {
+		t.Fatal("a distributed fixpoint diverged from the single-process bytes")
+	}
+	if len(res.Checks) != 8 {
+		t.Fatalf("checks = %d, want 8 (2 algorithms × 2 backends × 2 parallelisms)", len(res.Checks))
+	}
+	for _, c := range res.Checks {
+		if !c.Identical {
+			t.Errorf("%s/%s par=%d diverged", c.Algorithm, c.Backend, c.Parallelism)
+		}
+		if c.Supersteps < 2 {
+			t.Errorf("%s/%s par=%d converged in %d supersteps — graph too trivial to exercise the transport", c.Algorithm, c.Backend, c.Parallelism, c.Supersteps)
+		}
+		if c.Records == 0 {
+			t.Errorf("%s/%s par=%d produced an empty solution", c.Algorithm, c.Backend, c.Parallelism)
+		}
+	}
+	if len(res.Bench) != 2 {
+		t.Fatalf("bench rows = %d, want 2 (1-process and 2-process)", len(res.Bench))
+	}
+	if res.Bench[0].RemoteBatches != 0 {
+		t.Errorf("single-process row shipped %d remote batches", res.Bench[0].RemoteBatches)
+	}
+	if res.Bench[1].RemoteBatches == 0 {
+		t.Error("2-process row shipped no remote batches")
+	}
+	if !strings.Contains(buf.String(), "Distributed mode") {
+		t.Error("missing output")
+	}
+}

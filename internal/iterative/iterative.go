@@ -78,6 +78,11 @@ type Config struct {
 	// chains of adjacent Map operators on forward edges collapse into
 	// single fused nodes executed record-at-a-time.
 	DisableFusion bool
+	// Hosts is the number of processes the plan's partitions will be
+	// spread over (distributed sessions). 0 or 1 plans for the default
+	// single-process topology. Every process of a distributed session
+	// must plan with the same Hosts value to produce identical plans.
+	Hosts int
 }
 
 func (c Config) normalized() Config {

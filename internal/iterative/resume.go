@@ -55,6 +55,7 @@ func optimizeIncrementalWithEst(spec *IncrementalSpec, cfg Config, expected int,
 func incrementalOptions(spec *IncrementalSpec, cfg Config, expected int, reopt bool) optimizer.Options {
 	return optimizer.Options{
 		Parallelism:        cfg.Parallelism,
+		Hosts:              cfg.Hosts,
 		ExpectedIterations: expected,
 		PlaceholderProps: map[int]optimizer.Props{
 			spec.Workset.ID: {Part: record.KeyID(spec.WorksetKey)},
@@ -81,6 +82,22 @@ func optimizeIncremental(spec *IncrementalSpec, cfg Config, expected int) (*opti
 	}
 	notePlanned(cfg, opts.Planner, phys, time.Since(start))
 	return phys, nil
+}
+
+// PlanIncremental runs the optimizer for an incremental spec exactly as
+// RunIncremental would, without executing anything. The distributed
+// driver uses it so every process of a session derives the same physical
+// plan from the same spec and config; expected ≤ 0 applies the default
+// iteration weight.
+func PlanIncremental(spec IncrementalSpec, cfg Config, expected int) (*optimizer.PhysPlan, error) {
+	cfg = cfg.normalized()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if expected <= 0 {
+		expected = 10
+	}
+	return optimizeIncremental(&spec, cfg, expected)
 }
 
 // OpenFixpoint optimizes spec and opens a persistent session for it,

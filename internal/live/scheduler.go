@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/iterative"
@@ -40,6 +42,10 @@ type SchedulerConfig struct {
 	// how to rebuild its maintainer. Recover() restores the registered
 	// views on startup. Empty means in-memory views.
 	DataDir string
+	// Log receives operational messages the API cannot report to the
+	// client (e.g. a response-body write failing after the status line
+	// went out). Nil uses the process-default logger.
+	Log *log.Logger
 }
 
 // SchedulerStats aggregates the scheduler's state.
@@ -47,6 +53,9 @@ type SchedulerStats struct {
 	Views        int
 	MemoryBudget int64
 	MemoryUsed   int64
+	// EncodeErrors counts API responses whose JSON body failed to write
+	// after the status line was sent (client gone mid-response).
+	EncodeErrors int64
 	PerView      map[string]ViewStats
 }
 
@@ -57,6 +66,9 @@ type SchedulerStats struct {
 type Scheduler struct {
 	cfg SchedulerConfig
 
+	// encodeErrors counts response bodies the API failed to deliver.
+	encodeErrors atomic.Int64
+
 	mu    sync.RWMutex
 	views map[string]*LiveView
 }
@@ -64,6 +76,14 @@ type Scheduler struct {
 // NewScheduler creates an empty scheduler.
 func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	return &Scheduler{cfg: cfg, views: make(map[string]*LiveView)}
+}
+
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }
 
 // Usage returns the summed resident solution bytes across views.
@@ -354,7 +374,11 @@ func (s *Scheduler) Drop(name string) error {
 
 // Stats aggregates scheduler-wide and per-view counters.
 func (s *Scheduler) Stats() SchedulerStats {
-	st := SchedulerStats{MemoryBudget: s.cfg.MemoryBudget, PerView: make(map[string]ViewStats)}
+	st := SchedulerStats{
+		MemoryBudget: s.cfg.MemoryBudget,
+		EncodeErrors: s.encodeErrors.Load(),
+		PerView:      make(map[string]ViewStats),
+	}
 	for _, name := range s.Names() {
 		if v, ok := s.Get(name); ok {
 			vs := v.Stats()

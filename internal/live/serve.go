@@ -83,14 +83,22 @@ type QueryResponse struct {
 	X     float64 `json:"x"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON writes a response body. An Encode error here means the
+// client got a truncated or empty body after a success status line — a
+// dropped connection, usually — which the handler cannot repair, but
+// must not silently swallow either: it is logged and counted so a spike
+// of half-delivered responses shows up in the stats.
+func (s *Scheduler) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeErrors.Add(1)
+		s.logf("live: writing %d response: %v", code, err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+func (s *Scheduler) writeErr(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
 // decodeBody decodes a JSON request body under the scheduler's size
@@ -106,11 +114,11 @@ func (s *Scheduler) decodeBody(w http.ResponseWriter, r *http.Request, v any) bo
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge,
+			s.writeErr(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("live: request body exceeds %d bytes", limit))
 			return false
 		}
-		writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return false
 	}
 	return true
@@ -136,7 +144,7 @@ func (s *Scheduler) Handler() http.Handler {
 		case "sssp":
 			m = SSSP(req.Source)
 		default:
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("live: unknown algorithm %q", req.Algorithm))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("live: unknown algorithm %q", req.Algorithm))
 			return
 		}
 		initial := make([]Mutation, len(req.Edges))
@@ -165,27 +173,27 @@ func (s *Scheduler) Handler() http.Handler {
 			if errors.Is(err, ErrMemoryBudget) {
 				code = http.StatusInsufficientStorage
 			}
-			writeErr(w, code, err)
+			s.writeErr(w, code, err)
 			return
 		}
-		writeJSON(w, http.StatusCreated, v.Stats())
+		s.writeJSON(w, http.StatusCreated, v.Stats())
 	})
 
 	mux.HandleFunc("GET /views", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Names())
+		s.writeJSON(w, http.StatusOK, s.Names())
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		st := s.Stats()
 		st.MemoryUsed = s.Usage()
-		writeJSON(w, http.StatusOK, st)
+		s.writeJSON(w, http.StatusOK, st)
 	})
 
 	view := func(w http.ResponseWriter, r *http.Request) (*LiveView, bool) {
 		name := r.PathValue("name")
 		v, ok := s.Get(name)
 		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Errorf("live: no view %q", name))
+			s.writeErr(w, http.StatusNotFound, fmt.Errorf("live: no view %q", name))
 			return nil, false
 		}
 		return v, true
@@ -204,16 +212,16 @@ func (s *Scheduler) Handler() http.Handler {
 		for i, mj := range wire {
 			mut, err := mj.decode()
 			if err != nil {
-				writeErr(w, http.StatusBadRequest, err)
+				s.writeErr(w, http.StatusBadRequest, err)
 				return
 			}
 			muts[i] = mut
 		}
 		if err := v.Mutate(muts...); err != nil {
-			writeErr(w, http.StatusConflict, err)
+			s.writeErr(w, http.StatusConflict, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, map[string]int{"queued": len(muts)})
+		s.writeJSON(w, http.StatusAccepted, map[string]int{"queued": len(muts)})
 	})
 
 	mux.HandleFunc("POST /views/{name}/flush", func(w http.ResponseWriter, r *http.Request) {
@@ -222,10 +230,10 @@ func (s *Scheduler) Handler() http.Handler {
 			return
 		}
 		if err := v.Flush(); err != nil {
-			writeErr(w, http.StatusInternalServerError, err)
+			s.writeErr(w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, v.Stats())
+		s.writeJSON(w, http.StatusOK, v.Stats())
 	})
 
 	mux.HandleFunc("POST /views/{name}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
@@ -234,10 +242,10 @@ func (s *Scheduler) Handler() http.Handler {
 			return
 		}
 		if err := v.Checkpoint(); err != nil {
-			writeErr(w, http.StatusConflict, err)
+			s.writeErr(w, http.StatusConflict, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, v.Stats())
+		s.writeJSON(w, http.StatusOK, v.Stats())
 	})
 
 	mux.HandleFunc("GET /views/{name}/query", func(w http.ResponseWriter, r *http.Request) {
@@ -247,7 +255,7 @@ func (s *Scheduler) Handler() http.Handler {
 		}
 		key, err := strconv.ParseInt(r.URL.Query().Get("key"), 10, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("live: bad key: %w", err))
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("live: bad key: %w", err))
 			return
 		}
 		rec, found := v.Query(key)
@@ -255,7 +263,7 @@ func (s *Scheduler) Handler() http.Handler {
 		if found {
 			resp.A, resp.B, resp.X = rec.A, rec.B, rec.X
 		}
-		writeJSON(w, http.StatusOK, resp)
+		s.writeJSON(w, http.StatusOK, resp)
 	})
 
 	mux.HandleFunc("GET /views/{name}/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -263,16 +271,16 @@ func (s *Scheduler) Handler() http.Handler {
 		if !ok {
 			return
 		}
-		writeJSON(w, http.StatusOK, v.Stats())
+		s.writeJSON(w, http.StatusOK, v.Stats())
 	})
 
 	mux.HandleFunc("DELETE /views/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
 		if err := s.Drop(name); err != nil {
-			writeErr(w, http.StatusNotFound, err)
+			s.writeErr(w, http.StatusNotFound, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+		s.writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
 	})
 
 	return mux

@@ -3,11 +3,14 @@ package live
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"log"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/iterative"
@@ -317,5 +320,55 @@ func TestServeShutdownClean(t *testing.T) {
 	// And the scheduler is empty.
 	if s.NumViews() != 0 {
 		t.Errorf("%d views survived shutdown", s.NumViews())
+	}
+}
+
+// failingWriter is a ResponseWriter whose body writes fail — the shape of
+// a client dropping the connection after the status line went out.
+type failingWriter struct {
+	hdr  http.Header
+	code int
+}
+
+func (f *failingWriter) Header() http.Header {
+	if f.hdr == nil {
+		f.hdr = make(http.Header)
+	}
+	return f.hdr
+}
+func (f *failingWriter) WriteHeader(code int)      { f.code = code }
+func (f *failingWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+// A response-encode failure must not vanish: it is logged and counted in
+// the scheduler stats (the bug was writeJSON discarding Encode's error).
+func TestServeEncodeErrorSurfaced(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := NewScheduler(SchedulerConfig{Log: log.New(&logBuf, "", 0)})
+	defer s.Close()
+
+	fw := &failingWriter{}
+	s.writeJSON(fw, http.StatusOK, map[string]string{"hello": "world"})
+
+	if fw.code != http.StatusOK {
+		t.Errorf("status = %d, want 200 (header must still go out)", fw.code)
+	}
+	if got := s.Stats().EncodeErrors; got != 1 {
+		t.Errorf("EncodeErrors = %d, want 1", got)
+	}
+	if !strings.Contains(logBuf.String(), "client gone") {
+		t.Errorf("encode error not logged: %q", logBuf.String())
+	}
+
+	// The counter accumulates across requests — writeErr shares the path.
+	s.writeErr(fw, http.StatusBadRequest, errors.New("boom"))
+	if got := s.Stats().EncodeErrors; got != 2 {
+		t.Errorf("EncodeErrors after second failure = %d, want 2", got)
+	}
+
+	// A healthy writer leaves the counter alone.
+	rec := httptest.NewRecorder()
+	s.writeJSON(rec, http.StatusOK, map[string]string{"ok": "yes"})
+	if got := s.Stats().EncodeErrors; got != 2 {
+		t.Errorf("EncodeErrors after healthy write = %d, want 2", got)
 	}
 }

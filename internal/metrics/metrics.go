@@ -17,8 +17,28 @@ import (
 // superstep if snapshotted per iteration).
 type Counters struct {
 	// RecordsShipped counts records crossing a partition/broadcast
-	// exchange — the proxy for network traffic.
+	// exchange into a partition other than the one that produced them —
+	// the proxy for network traffic. Records a partitioner routes back
+	// into the producing partition never leave the worker and are not
+	// counted.
 	RecordsShipped atomic.Int64
+	// RecordsShippedRemote counts the subset of shipped records whose
+	// destination partition is hosted by another process, i.e. records
+	// that actually crossed the transport.
+	RecordsShippedRemote atomic.Int64
+	// RemoteBatches counts record batches shipped to peer processes by a
+	// distributed transport.
+	RemoteBatches atomic.Int64
+	// RemoteBytes counts wire bytes (headers + frames) shipped to peer
+	// processes by a distributed transport.
+	RemoteBytes atomic.Int64
+	// TransportErrors counts transport-level failures: connection drops,
+	// send failures, and corrupt inbound frames.
+	TransportErrors atomic.Int64
+	// DroppedBatches counts batches pushed into an already-closed
+	// exchange queue (a straggler producer racing session teardown); the
+	// batch is recycled and dropped instead of leaking out of the pool.
+	DroppedBatches atomic.Int64
 	// WorksetElements counts records added to the working set (the
 	// paper's "messages sent").
 	WorksetElements atomic.Int64
@@ -110,7 +130,13 @@ type Counters struct {
 
 // Snapshot is an immutable copy of counter values.
 type Snapshot struct {
-	RecordsShipped   int64
+	RecordsShipped       int64
+	RecordsShippedRemote int64
+	RemoteBatches        int64
+	RemoteBytes          int64
+	TransportErrors      int64
+	DroppedBatches       int64
+
 	WorksetElements  int64
 	SolutionAccesses int64
 	SolutionUpdates  int64
@@ -147,7 +173,13 @@ type Snapshot struct {
 // Snapshot captures current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		RecordsShipped:   c.RecordsShipped.Load(),
+		RecordsShipped:       c.RecordsShipped.Load(),
+		RecordsShippedRemote: c.RecordsShippedRemote.Load(),
+		RemoteBatches:        c.RemoteBatches.Load(),
+		RemoteBytes:          c.RemoteBytes.Load(),
+		TransportErrors:      c.TransportErrors.Load(),
+		DroppedBatches:       c.DroppedBatches.Load(),
+
 		WorksetElements:  c.WorksetElements.Load(),
 		SolutionAccesses: c.SolutionAccesses.Load(),
 		SolutionUpdates:  c.SolutionUpdates.Load(),
@@ -185,7 +217,13 @@ func (c *Counters) Snapshot() Snapshot {
 // Sub returns the delta s - o, the work done between two snapshots.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
 	return Snapshot{
-		RecordsShipped:   s.RecordsShipped - o.RecordsShipped,
+		RecordsShipped:       s.RecordsShipped - o.RecordsShipped,
+		RecordsShippedRemote: s.RecordsShippedRemote - o.RecordsShippedRemote,
+		RemoteBatches:        s.RemoteBatches - o.RemoteBatches,
+		RemoteBytes:          s.RemoteBytes - o.RemoteBytes,
+		TransportErrors:      s.TransportErrors - o.TransportErrors,
+		DroppedBatches:       s.DroppedBatches - o.DroppedBatches,
+
 		WorksetElements:  s.WorksetElements - o.WorksetElements,
 		SolutionAccesses: s.SolutionAccesses - o.SolutionAccesses,
 		SolutionUpdates:  s.SolutionUpdates - o.SolutionUpdates,
@@ -223,6 +261,11 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 // Reset zeroes all counters.
 func (c *Counters) Reset() {
 	c.RecordsShipped.Store(0)
+	c.RecordsShippedRemote.Store(0)
+	c.RemoteBatches.Store(0)
+	c.RemoteBytes.Store(0)
+	c.TransportErrors.Store(0)
+	c.DroppedBatches.Store(0)
 	c.WorksetElements.Store(0)
 	c.SolutionAccesses.Store(0)
 	c.SolutionUpdates.Store(0)

@@ -34,16 +34,29 @@ const (
 	wStepOvh  = 8.0
 )
 
+// wNetLocal is the fraction of wNet charged for a partition crossing that
+// stays inside one process: an in-memory queue hop instead of a TCP frame.
+const wNetLocal = 0.25
+
 // shipCost returns the cost of moving n records with the given strategy to
-// p consumer partitions.
-func shipCost(s ShipStrategy, n int64, p int) float64 {
+// p consumer partitions, with the plan's partitions spread over hosts
+// processes. Single-process plans (hosts ≤ 1) use the classic formulas
+// unchanged; for multi-process plans, crossings that leave the process are
+// charged the full network weight and in-process crossings the in-memory
+// discount — under contiguous placement a hash-shipped record lands in a
+// remote process with probability (hosts-1)/hosts.
+func shipCost(s ShipStrategy, n int64, p, hosts int) float64 {
+	f := 1.0
+	if hosts > 1 {
+		f = (float64(hosts-1) + wNetLocal) / float64(hosts)
+	}
 	switch s {
 	case ShipForward:
 		return 0
 	case ShipPartition:
-		return wNet * float64(n)
+		return wNet * f * float64(n)
 	case ShipBroadcast:
-		return wNet * float64(n) * float64(p)
+		return wNet * f * float64(n) * float64(p)
 	}
 	return 0
 }

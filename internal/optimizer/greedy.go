@@ -94,6 +94,7 @@ func greedyPlan(p *dataflow.Plan, opt Options, php map[int]Props) (*PhysPlan, []
 		}
 	}
 	plan.Parallelism = opt.Parallelism
+	plan.Hosts = opt.Hosts
 	plan.Cost = g.cost
 	for _, sink := range sinks {
 		plan.Sinks = append(plan.Sinks, g.state[sink.ID].node)
@@ -172,7 +173,7 @@ func (g *greedy) factor(id int) float64 {
 // edge builds the input edge from logical producer pre, charging its
 // shipping cost at the producer's iteration weight.
 func (g *greedy) edge(pre *dataflow.Node, ship ShipStrategy, key record.KeyFunc) Edge {
-	g.cost += shipCost(ship, g.state[pre.ID].est, g.opt.Parallelism) * g.factor(pre.ID)
+	g.cost += shipCost(ship, g.state[pre.ID].est, g.opt.Parallelism, g.opt.Hosts) * g.factor(pre.ID)
 	return Edge{From: g.state[pre.ID].node, Ship: ship, Key: key}
 }
 
@@ -324,7 +325,7 @@ func (g *greedy) buildReduce(n *dataflow.Node, f float64, est int64) error {
 		g.cost += wGroup * float64(srcEst) * preF
 		src, srcEst = comb, combOut
 	}
-	g.cost += shipCost(ShipPartition, srcEst, g.opt.Parallelism) * preF
+	g.cost += shipCost(ShipPartition, srcEst, g.opt.Parallelism, g.opt.Hosts) * preF
 	e := Edge{From: src, Ship: ShipPartition, Key: n.Keys[0]}
 	g.cost += (wGroup*float64(srcEst) + wBuild*float64(est)) * f
 	g.commit(n, g.newNode(PhysNode{Role: RoleOperator, Logical: n, Local: LocalHashAgg,

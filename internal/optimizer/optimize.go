@@ -44,6 +44,12 @@ func (k PlannerKind) String() string {
 type Options struct {
 	// Parallelism is the number of partitions (degree of parallelism).
 	Parallelism int
+	// Hosts is the number of processes the partitions will be spread over
+	// under contiguous placement. 0 or 1 (single-process) leaves the cost
+	// model exactly as before; larger values make shipCost distinguish
+	// in-process partition crossings from cross-process ones, so plans for
+	// a distributed session prefer strategies that keep records local.
+	Hosts int
 	// ExpectedIterations weights the dynamic data path's cost (§4.3: "we
 	// weigh the cost of the dynamic data path by a factor proportional to
 	// the expected number of iterations"). 0 or 1 means non-iterative.
@@ -485,7 +491,7 @@ func (o *optz) newNode(role Role, logical *dataflow.Node, local LocalStrategy, i
 // edge builds a physical edge from candidate c with the given strategy and
 // returns it with its cost. producerDynamic controls iteration weighting.
 func (o *optz) edge(c cand, ship ShipStrategy, key record.KeyFunc, producerDynamic bool) (Edge, float64) {
-	cost := shipCost(ship, c.est(o), o.opt.Parallelism) * o.iterFactor(producerDynamic)
+	cost := shipCost(ship, c.est(o), o.opt.Parallelism, o.opt.Hosts) * o.iterFactor(producerDynamic)
 	return Edge{From: c.node, Ship: ship, Key: key}, cost
 }
 

@@ -200,6 +200,10 @@ type PhysPlan struct {
 	Placeholders []*PhysNode
 	// Parallelism is the number of partitions the plan runs with.
 	Parallelism int
+	// Hosts is the number of processes the partitions are spread over
+	// (0 or 1: single-process, the default). Recorded so a distributed
+	// session can sanity-check that its plan was costed for its topology.
+	Hosts int
 	// NumEdges is the number of physical input edges; Edge.ID values are
 	// dense in [0, NumEdges), so exchange tables can be flat arrays.
 	NumEdges int

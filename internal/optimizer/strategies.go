@@ -312,7 +312,7 @@ func (o *optz) solutionCandidates(n *dataflow.Node, dyn bool, f float64, est int
 // final PhysPlan via finalizePlan. It also returns the chosen physical
 // properties per sink (used to close the feedback loop).
 func (o *optz) assemble() (*PhysPlan, []Props, error) {
-	plan := &PhysPlan{Parallelism: o.opt.Parallelism}
+	plan := &PhysPlan{Parallelism: o.opt.Parallelism, Hosts: o.opt.Hosts}
 	sinkProps := make([]Props, len(o.plan.Nodes()))
 	for _, sink := range o.plan.Sinks() {
 		cs := o.enumerate(sink)

@@ -60,8 +60,14 @@ type FrameReader struct {
 // streamed through (the same bound the spill replay path uses).
 const frameReadBufSize = 64 << 10
 
-// NewFrameReader wraps r for frame decoding.
+// NewFrameReader wraps r for frame decoding. If r is already a
+// *bufio.Reader it is used directly rather than double-buffered — the TCP
+// transport interleaves its own message headers with frames on one
+// connection, and both must consume from the same buffer to stay aligned.
 func NewFrameReader(r io.Reader) *FrameReader {
+	if br, ok := r.(*bufio.Reader); ok {
+		return &FrameReader{br: br}
+	}
 	return &FrameReader{br: bufio.NewReaderSize(r, frameReadBufSize)}
 }
 

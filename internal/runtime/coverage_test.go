@@ -275,7 +275,7 @@ func TestSpilledSortedCacheReplaysInOrder(t *testing.T) {
 }
 
 func TestReadAllBatches(t *testing.T) {
-	q := newQueue()
+	q := newQueue(newBatchPool(4, nil))
 	q.push(record.Batch{{A: 1}})
 	q.push(record.Batch{{A: 2}, {A: 3}})
 	q.close()
@@ -299,5 +299,42 @@ func TestSolutionSetAccessors(t *testing.T) {
 	s0 := NewSolutionSet(0, record.KeyA, nil, nil)
 	if s0.Parallelism() != 1 {
 		t.Error("degenerate parallelism should clamp to 1")
+	}
+}
+
+// A push racing close (straggler producer at session teardown, or a remote
+// batch landing after a failed run) must recycle the batch back into the
+// pool and count the drop — appending to a closed queue would leak the
+// batch, since closed queues are never drained again.
+func TestQueuePushAfterCloseRecycles(t *testing.T) {
+	var m metrics.Counters
+	pool := newBatchPool(4, &m)
+	q := newQueue(pool)
+	q.close()
+
+	b := pool.get()
+	b = append(b, record.Record{A: 1})
+	q.push(b)
+
+	if n := len(q.items); n != 0 {
+		t.Fatalf("closed queue buffered %d batches", n)
+	}
+	if got := m.DroppedBatches.Load(); got != 1 {
+		t.Errorf("DroppedBatches = %d, want 1", got)
+	}
+	if got := m.BatchesRecycled.Load(); got != 1 {
+		t.Errorf("BatchesRecycled = %d, want 1 (batch leaked out of the pool)", got)
+	}
+	// The recycled batch must actually come back from the pool.
+	allocBefore := m.BatchesAllocated.Load()
+	_ = pool.get()
+	if got := m.BatchesAllocated.Load(); got != allocBefore {
+		t.Errorf("pool allocated a fresh batch after the drop recycled one")
+	}
+	// Reset must reopen the queue for the next superstep.
+	q.reset(pool)
+	q.push(pool.get())
+	if n := len(q.items); n != 1 {
+		t.Fatalf("reset queue buffered %d batches, want 1", n)
 	}
 }

@@ -18,17 +18,29 @@ type queue struct {
 	cond   *sync.Cond
 	items  []record.Batch
 	closed bool
+	pool   *batchPool
 }
 
-func newQueue() *queue {
-	q := &queue{}
+func newQueue(pool *batchPool) *queue {
+	q := &queue{pool: pool}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// push enqueues one batch.
+// push enqueues one batch. A push after close — a straggler producer
+// racing session teardown, or a remote batch arriving after a failed run
+// ended — recycles the batch and drops it: appending it would leak it out
+// of the batchPool, since nobody will ever drain a closed queue again.
 func (q *queue) push(b record.Batch) {
 	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.pool.put(b)
+		if q.pool.m != nil {
+			q.pool.m.DroppedBatches.Add(1)
+		}
+		return
+	}
 	q.items = append(q.items, b)
 	q.mu.Unlock()
 	q.cond.Signal()
@@ -68,11 +80,15 @@ func (q *queue) pop() (record.Batch, bool) {
 	return b, true
 }
 
-// exchange connects the P tasks of a producer node to the P tasks of one
-// consumer input: one queue per consumer partition, closed when every
-// producer task has finished. Within a session, the exchange for a given
-// physical edge is allocated once and reset between supersteps.
+// exchange connects the producer tasks of a plan edge to the consumer
+// tasks of its destination: one queue per consumer partition, closed when
+// every producer — in-process tasks and remote peers alike — has
+// finished. Within a session, the exchange for a given physical edge is
+// allocated once and reset between supersteps.
 type exchange struct {
+	// id is the plan's stable Edge.ID; the transport routes remote
+	// batches by it.
+	id        int
 	queues    []*queue
 	producers atomic.Int32
 	// used marks that the exchange has carried at least one superstep;
@@ -80,10 +96,10 @@ type exchange struct {
 	used bool
 }
 
-func newExchange(parallelism, producers int) *exchange {
-	ex := &exchange{queues: make([]*queue, parallelism)}
+func newExchange(id, parallelism, producers int, pool *batchPool) *exchange {
+	ex := &exchange{id: id, queues: make([]*queue, parallelism)}
 	for i := range ex.queues {
-		ex.queues[i] = newQueue()
+		ex.queues[i] = newQueue(pool)
 	}
 	ex.producers.Store(int32(producers))
 	return ex
@@ -98,7 +114,8 @@ func (ex *exchange) reset(producers int, pool *batchPool) {
 	ex.producers.Store(int32(producers))
 }
 
-// producerDone signals one producer task finished; the last one closes all
+// producerDone signals one producer (a local task, or one remote
+// producer's end-of-stream frame) finished; the last one closes all
 // queues.
 func (ex *exchange) producerDone() {
 	if ex.producers.Add(-1) == 0 {
@@ -108,8 +125,19 @@ func (ex *exchange) producerDone() {
 	}
 }
 
+// closeAll force-closes every queue so blocked consumers unblock; used by
+// the transport's failure path when the peer carrying the missing
+// producers is gone.
+func (ex *exchange) closeAll() {
+	for _, q := range ex.queues {
+		q.close()
+	}
+}
+
 // writer routes one producer task's output records into an exchange
 // according to the edge's shipping strategy, buffering into batches.
+// Partitions the session does not host are shipped through the transport
+// instead of the in-memory queues.
 type writer struct {
 	ex        *exchange
 	ship      optimizer.ShipStrategy
@@ -119,13 +147,18 @@ type writer struct {
 	bufs      []record.Batch
 	pool      *batchPool
 	m         *metrics.Counters
+	// hosted marks in-process partitions; nil means all partitions are
+	// local (the in-memory transport), which keeps the hot path a single
+	// nil check.
+	hosted []bool
+	tr     Transport
 }
 
-func newWriter(ex *exchange, ship optimizer.ShipStrategy, key record.KeyFunc, ownPart, batchSize int, pool *batchPool, m *metrics.Counters) *writer {
+func newWriter(ex *exchange, ship optimizer.ShipStrategy, key record.KeyFunc, ownPart, batchSize int, pool *batchPool, m *metrics.Counters, hosted []bool, tr Transport) *writer {
 	return &writer{
 		ex: ex, ship: ship, key: key, ownPart: ownPart,
 		batchSize: batchSize, bufs: make([]record.Batch, len(ex.queues)),
-		pool: pool, m: m,
+		pool: pool, m: m, hosted: hosted, tr: tr,
 	}
 }
 
@@ -134,13 +167,29 @@ func (w *writer) write(r record.Record) {
 	case optimizer.ShipForward:
 		w.append(w.ownPart, r)
 	case optimizer.ShipPartition:
-		if w.m != nil {
+		p := record.PartitionOf(w.key(r), len(w.bufs))
+		if w.m != nil && p != w.ownPart {
+			// Only records leaving their producing partition count as
+			// shuffle traffic; a self-routed record never crosses a
+			// worker boundary.
 			w.m.RecordsShipped.Add(1)
+			if w.hosted != nil && !w.hosted[p] {
+				w.m.RecordsShippedRemote.Add(1)
+			}
 		}
-		w.append(record.PartitionOf(w.key(r), len(w.bufs)), r)
+		w.append(p, r)
 	case optimizer.ShipBroadcast:
 		if w.m != nil {
-			w.m.RecordsShipped.Add(int64(len(w.bufs)))
+			w.m.RecordsShipped.Add(int64(len(w.bufs) - 1))
+			if w.hosted != nil {
+				remote := int64(0)
+				for p := range w.bufs {
+					if !w.hosted[p] {
+						remote++
+					}
+				}
+				w.m.RecordsShippedRemote.Add(remote)
+			}
 		}
 		for p := range w.bufs {
 			w.append(p, r)
@@ -154,18 +203,35 @@ func (w *writer) append(p int, r record.Record) {
 	}
 	w.bufs[p] = append(w.bufs[p], r)
 	if len(w.bufs[p]) >= w.batchSize {
-		w.ex.queues[p].push(w.bufs[p])
-		w.bufs[p] = nil
+		w.flush(p)
 	}
 }
 
-// done flushes remaining buffers and releases the producer slot.
+// flush hands partition p's buffered batch to its destination: the local
+// queue when the partition is hosted in-process, the transport otherwise
+// (the transport serializes synchronously, so the batch is recycled
+// immediately after the send).
+func (w *writer) flush(p int) {
+	b := w.bufs[p]
+	w.bufs[p] = nil
+	if w.hosted == nil || w.hosted[p] {
+		w.ex.queues[p].push(b)
+		return
+	}
+	w.tr.Send(w.ex.id, p, b)
+	w.pool.put(b)
+}
+
+// done flushes remaining buffers and releases the producer slot, both
+// locally and — through the transport — on every peer process.
 func (w *writer) done() {
 	for p, b := range w.bufs {
 		if len(b) > 0 {
-			w.ex.queues[p].push(b)
-			w.bufs[p] = nil
+			w.flush(p)
 		}
+	}
+	if w.tr != nil {
+		w.tr.FinishProducer(w.ex.id)
 	}
 	w.ex.producerDone()
 }

@@ -199,6 +199,19 @@ func (e *Executor) slotsFilled(n *optimizer.PhysNode, input, parallelism int) bo
 	return true
 }
 
+// slotsFilledAmong is slotsFilled restricted to the given partitions — a
+// distributed session only ever fills (and therefore only checks) the
+// slots of the partitions it hosts.
+func (e *Executor) slotsFilledAmong(n *optimizer.PhysNode, input int, parts []int) bool {
+	for _, p := range parts {
+		s, ok := e.slots[slotKey{n.ID, input, p}]
+		if !ok || !s.filled {
+			return false
+		}
+	}
+	return true
+}
+
 // InvalidateCaches drops all materialized loop-invariant inputs (used when
 // the same executor runs a different plan).
 func (e *Executor) InvalidateCaches() {

@@ -26,6 +26,14 @@ type Session struct {
 	par  int
 	pool *batchPool
 
+	// tr ships batches for partitions this process does not host; nil for
+	// the default in-memory transport (every partition hosted). hosted and
+	// hostedParts are nil when tr is nil, which keeps the single-process
+	// paths branch-free.
+	tr          Transport
+	hosted      []bool
+	hostedParts []int
+
 	workers []*worker // one per (node, partition), parked between supersteps
 	tasks   []*task   // parallel to workers; wiring mutated on recompile
 
@@ -78,12 +86,23 @@ func (st *superstep) addErr(err error) {
 // drivers keep one session for the whole iteration and run every
 // superstep through it.
 func (e *Executor) OpenSession(p *optimizer.PhysPlan) *Session {
+	return e.OpenSessionOn(p, nil)
+}
+
+// OpenSessionOn opens a session that hosts only the partitions the
+// transport places in this process; batches for the others are shipped
+// through tr. A nil transport hosts everything in-process (the default).
+// The plan's logical parallelism is unchanged — only the (node, partition)
+// workers of hosted partitions are spawned here, so N processes opened on
+// the same plan with complementary placements together form one logical
+// session.
+func (e *Executor) OpenSessionOn(p *optimizer.PhysPlan, tr Transport) *Session {
 	par := p.Parallelism
 	if par < 1 {
 		par = 1
 	}
 	s := &Session{
-		e: e, plan: p, par: par,
+		e: e, plan: p, par: par, tr: tr,
 		pool:      newBatchPool(e.cfg.BatchSize, e.cfg.Metrics),
 		exchanges: make([]*exchange, p.NumEdges),
 		liveNow:   make([]bool, len(p.Nodes)),
@@ -91,8 +110,20 @@ func (e *Executor) OpenSession(p *optimizer.PhysPlan) *Session {
 		edgeNow:   make([]bool, p.NumEdges),
 		edgePrev:  make([]bool, p.NumEdges),
 	}
+	if tr != nil {
+		s.hosted = make([]bool, par)
+		for part := 0; part < par; part++ {
+			if tr.Hosted(part) {
+				s.hosted[part] = true
+				s.hostedParts = append(s.hostedParts, part)
+			}
+		}
+	}
 	for _, n := range p.Nodes {
 		for part := 0; part < par; part++ {
+			if s.hosted != nil && !s.hosted[part] {
+				continue
+			}
 			t := &task{e: e, sess: s, n: n, part: part, par: par, m: e.cfg.Metrics}
 			w := &worker{t: t, fire: make(chan *superstep, 1)}
 			s.tasks = append(s.tasks, t)
@@ -105,6 +136,10 @@ func (e *Executor) OpenSession(p *optimizer.PhysPlan) *Session {
 	}
 	return s
 }
+
+// HostedParts returns the partitions this session executes, ascending;
+// nil means all of them (no transport).
+func (s *Session) HostedParts() []int { return s.hostedParts }
 
 func (w *worker) loop() {
 	for step := range w.fire {
@@ -157,6 +192,17 @@ func (s *Session) Run() (Result, error) {
 	}
 	step.wg.Wait()
 	s.cur = nil
+	if s.tr != nil {
+		// Detach the exchanges before returning: a peer racing into the
+		// next superstep must park its traffic in the transport, not push
+		// into queues about to be reset. Transport failures surface here —
+		// the failure path force-closed the queues, so the wait above
+		// cannot hang on a dead peer's missing producers.
+		s.tr.disarmAll()
+		if err := s.tr.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if len(step.errs) > 0 {
 		return nil, step.errs[0] // first error wins; all tasks already finished
 	}
@@ -200,7 +246,7 @@ func (s *Session) compile() {
 		}
 		s.liveNow[n.ID] = true
 		for i, edge := range n.Inputs {
-			if edge.Cache && e.slotsFilled(n, i, par) {
+			if edge.Cache && s.cacheFilled(n, i) {
 				continue
 			}
 			mark(edge.From)
@@ -223,7 +269,7 @@ func (s *Session) compile() {
 		}
 		for i := range n.Inputs {
 			edge := &n.Inputs[i]
-			if edge.Cache && e.slotsFilled(n, i, par) {
+			if edge.Cache && s.cacheFilled(n, i) {
 				continue
 			}
 			s.edgeNow[edge.ID] = true
@@ -255,7 +301,7 @@ func (s *Session) compile() {
 			}
 			ex := s.exchanges[edge.ID]
 			if ex == nil {
-				ex = newExchange(par, par)
+				ex = newExchange(edge.ID, par, par, s.pool)
 				s.exchanges[edge.ID] = ex
 			}
 			s.active = append(s.active, ex)
@@ -287,7 +333,7 @@ func (s *Session) compile() {
 		}
 		t.outs = t.outs[:0]
 		for _, o := range outs[n.ID] {
-			t.outs = append(t.outs, newWriter(o.ex, o.ship, o.key, t.part, e.cfg.BatchSize, s.pool, e.cfg.Metrics))
+			t.outs = append(t.outs, newWriter(o.ex, o.ship, o.key, t.part, e.cfg.BatchSize, s.pool, e.cfg.Metrics, s.hosted, s.tr))
 		}
 	}
 	s.resetActive()
@@ -303,11 +349,17 @@ func boolsEqual(a, b []bool) bool {
 }
 
 // resetActive rearms the schedule's exchanges for the next superstep and
-// accounts reuse.
+// accounts reuse. With a transport, each exchange is armed only after its
+// reset, so remote traffic that raced ahead of the barrier flushes into
+// fresh queues instead of being swept away as a previous superstep's
+// leftovers.
 func (s *Session) resetActive() {
 	reused := int64(0)
 	for _, ex := range s.active {
 		ex.reset(s.par, s.pool)
+		if s.tr != nil {
+			s.tr.arm(ex)
+		}
 		if ex.used {
 			reused++
 		} else {
@@ -317,4 +369,16 @@ func (s *Session) resetActive() {
 	if m := s.e.cfg.Metrics; m != nil && reused > 0 {
 		m.ExchangesReused.Add(reused)
 	}
+}
+
+// cacheFilled reports whether the cached input's slots are filled for
+// every partition this session hosts. Hosted-only is what keeps the
+// superstep schedule identical across the processes of a distributed
+// session: each process fills its own partitions' slots on the same
+// superstep, so "cache satisfied" flips everywhere at once.
+func (s *Session) cacheFilled(n *optimizer.PhysNode, input int) bool {
+	if s.hostedParts == nil {
+		return s.e.slotsFilled(n, input, s.par)
+	}
+	return s.e.slotsFilledAmong(n, input, s.hostedParts)
 }
