@@ -21,6 +21,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/iterative"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/pregel"
 	"repro/internal/record"
@@ -253,7 +254,7 @@ func BenchmarkFig12Variants(b *testing.B) {
 // (this runtime) versus a cold one-shot Run per superstep, which re-does
 // the pre-refactor per-pass setup — fresh goroutines for every
 // node×partition, fresh exchange queues, and freshly allocated batches.
-func benchPageRankSuperstep(b *testing.B, cold bool) {
+func benchPageRankSuperstep(b *testing.B, cold, traced bool) {
 	g := graphgen.Wikipedia(graphgen.ScaleTiny)
 	spec, initial := algorithms.PageRankSpec(g, 50, algorithms.DefaultDamping, 0)
 	spec.Input.EstRecords = int64(len(initial))
@@ -265,7 +266,7 @@ func benchPageRankSuperstep(b *testing.B, cold bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	exec := runtime.NewExecutor(runtime.Config{})
+	exec := runtime.NewExecutor(benchRuntimeConfig(traced, "pagerank"))
 	defer exec.Close()
 	phKey := phys.PlaceholderKey(spec.Input.ID)
 	exec.SetPlaceholder(spec.Input.ID, initial, phKey, benchParallelism)
@@ -304,20 +305,39 @@ func benchPageRankSuperstep(b *testing.B, cold bool) {
 	}
 }
 
+// benchRuntimeConfig is the executor config the superstep benchmarks
+// run under: untraced (the default nil sink — its cost is one branch
+// per instrumentation site, and "session" must stay within noise of the
+// pre-telemetry baseline) or traced (ring + histograms live, the
+// "traced" sub-benchmarks bound the full recording overhead).
+func benchRuntimeConfig(traced bool, label string) runtime.Config {
+	if !traced {
+		return runtime.Config{}
+	}
+	reg := obs.NewRegistry()
+	return runtime.Config{
+		Trace:      reg.Trace(),
+		TraceID:    obs.NewTraceID(),
+		TraceLabel: label,
+	}
+}
+
 // BenchmarkSuperstepPageRankBulk compares allocations and time per
 // steady-state bulk-PageRank superstep with the persistent session
 // against the pre-refactor cold-setup execution (compare the two
-// sub-benchmarks' allocs/op).
+// sub-benchmarks' allocs/op). The traced variant runs the same session
+// with span recording live.
 func BenchmarkSuperstepPageRankBulk(b *testing.B) {
-	b.Run("session", func(b *testing.B) { benchPageRankSuperstep(b, false) })
-	b.Run("cold", func(b *testing.B) { benchPageRankSuperstep(b, true) })
+	b.Run("session", func(b *testing.B) { benchPageRankSuperstep(b, false, false) })
+	b.Run("traced", func(b *testing.B) { benchPageRankSuperstep(b, false, true) })
+	b.Run("cold", func(b *testing.B) { benchPageRankSuperstep(b, true, false) })
 }
 
 // benchCCSuperstep measures one incremental Connected Components
 // superstep: the Δ flow over a fixed working set against the live
 // solution set, with the delta merge applied — the per-superstep work of
 // RunIncremental, isolated from convergence.
-func benchCCSuperstep(b *testing.B, cold bool) {
+func benchCCSuperstep(b *testing.B, cold, traced bool) {
 	g := graphgen.FOAF(graphgen.ScaleTiny)
 	spec, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
 	spec.Workset.EstRecords = int64(len(w0))
@@ -336,7 +356,7 @@ func benchCCSuperstep(b *testing.B, cold bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	exec := runtime.NewExecutor(runtime.Config{})
+	exec := runtime.NewExecutor(benchRuntimeConfig(traced, "cc"))
 	defer exec.Close()
 	exec.Solution = runtime.NewSolutionSet(benchParallelism, spec.SolutionKey, spec.Comparator, nil)
 	exec.Solution.Init(s0)
@@ -372,8 +392,9 @@ func benchCCSuperstep(b *testing.B, cold bool) {
 // BenchmarkSuperstepCCIncremental is the incremental counterpart of
 // BenchmarkSuperstepPageRankBulk.
 func BenchmarkSuperstepCCIncremental(b *testing.B) {
-	b.Run("session", func(b *testing.B) { benchCCSuperstep(b, false) })
-	b.Run("cold", func(b *testing.B) { benchCCSuperstep(b, true) })
+	b.Run("session", func(b *testing.B) { benchCCSuperstep(b, false, false) })
+	b.Run("traced", func(b *testing.B) { benchCCSuperstep(b, false, true) })
+	b.Run("cold", func(b *testing.B) { benchCCSuperstep(b, true, false) })
 }
 
 // --- Ablations -----------------------------------------------------------

@@ -4,8 +4,16 @@
 // Usage:
 //
 //	spinflow [-scale f] [-par n] [-iters n] <experiment>...
-//	spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir]
-//	spinflow worker [-listen 127.0.0.1:0]
+//	spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir] [-telemetry-addr :9090]
+//	spinflow worker [-listen 127.0.0.1:0] [-telemetry-addr :9091]
+//	spinflow trace [-scale f] [-par n] <cc|live|distributed>
+//
+// `spinflow trace` runs one instrumented scenario, prints the
+// per-superstep timeline (compute vs barrier vs ship vs merge), and
+// writes the raw spans to TRACE_<scenario>.json. The -telemetry-addr
+// flag on serve and worker exposes the process's obs.Registry —
+// Prometheus text on /metrics, JSON on /debug/vars, and net/http/pprof
+// under /debug/pprof/.
 //
 // Experiments: table1 table2 fig2 fig4 fig7 fig8 fig9 fig10 fig11 fig12
 // outofcore live durable auto planner distributed explain all
@@ -30,6 +38,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -45,6 +54,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/iterative"
 	"repro/internal/live"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/record"
 )
@@ -56,12 +66,25 @@ import (
 func worker(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:0", "control listen address")
+	telemetry := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and pprof on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
+	}
+	// The registry always exists: traced jobs record spans (and ship them
+	// back to their coordinator) whether or not anyone scrapes this
+	// process. -telemetry-addr just exposes it.
+	reg := obs.NewRegistry()
+	if *telemetry != "" {
+		taddr, closer, err := reg.Serve(*telemetry)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "spinflow worker: telemetry on http://%s/metrics\n", taddr)
 	}
 	fmt.Println(ln.Addr().String())
 	fmt.Fprintf(os.Stderr, "spinflow worker: listening on %s\n", ln.Addr())
@@ -71,7 +94,7 @@ func worker(args []string) error {
 		<-sigc
 		ln.Close()
 	}()
-	return distrib.ServeWorker(ln, log.New(os.Stderr, "", log.LstdFlags))
+	return distrib.ServeWorker(ln, log.New(os.Stderr, "", log.LstdFlags), reg)
 }
 
 // distributed runs the 2-process differential + throughput scenario.
@@ -97,13 +120,24 @@ func serve(args []string) error {
 	budget := fs.Int64("budget", 0, "total resident solution-memory budget in bytes (0 = unlimited)")
 	viewBudget := fs.Int64("view-budget", 0, "per-view solution spill budget in bytes (0 = in-memory)")
 	dataDir := fs.String("data-dir", "", "directory for durable view state (WAL + snapshots); views are recovered from it on startup")
+	telemetry := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and pprof on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	reg := obs.NewRegistry()
+	if *telemetry != "" {
+		taddr, closer, err := reg.Serve(*telemetry)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer closer.Close()
+		fmt.Fprintf(os.Stderr, "spinflow serve: telemetry on http://%s/metrics\n", taddr)
+	}
 	sched := live.NewScheduler(live.SchedulerConfig{
 		MemoryBudget: *budget,
 		DataDir:      *dataDir,
+		Obs:          reg,
 		DefaultView: live.ViewConfig{
 			Config: iterative.Config{Parallelism: *par, SolutionMemoryBudget: *viewBudget},
 		},
@@ -125,6 +159,50 @@ func serve(args []string) error {
 	}()
 	fmt.Fprintf(os.Stderr, "spinflow serve: listening on %s\n", *addr)
 	return live.Serve(*addr, sched, stop, nil)
+}
+
+// traceCmd runs one instrumented scenario, renders the per-superstep
+// timeline table, and writes the spans to TRACE_<scenario>.json.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "dataset scale factor")
+	par := fs.Int("par", 4, "parallelism (number of partitions)")
+	out := fs.String("o", "", "output JSON path (default TRACE_<scenario>.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: spinflow trace [-scale f] [-par n] [-o file] <cc|live|distributed>")
+	}
+	scenario := fs.Arg(0)
+	opts := harness.Options{Scale: graphgen.Scale(*scale), Parallelism: *par, Out: os.Stdout}
+	if scenario == "distributed" {
+		// The 2-process scenario spawns its worker from this binary so the
+		// trace crosses real process boundaries.
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("locating own binary for worker process: %w", err)
+		}
+		opts.WorkerBinary = self
+	}
+	doc, err := harness.Trace(opts, scenario)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = "TRACE_" + scenario + ".json"
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "spinflow trace: wrote %s (%d spans, %d supersteps)\n",
+		path, len(doc.Spans), len(doc.Rows))
+	return nil
 }
 
 // explain prints the optimized physical plans (text and Graphviz DOT) for
@@ -187,6 +265,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := traceCmd(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "spinflow: trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default laptop scale)")
 	par := flag.Int("par", 4, "parallelism (number of partitions/workers)")
@@ -207,8 +292,9 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|durable|auto|planner|distributed|explain|all>...")
-		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir]")
-		fmt.Fprintln(os.Stderr, "       spinflow worker [-listen 127.0.0.1:0]")
+		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir] [-telemetry-addr :9090]")
+		fmt.Fprintln(os.Stderr, "       spinflow worker [-listen 127.0.0.1:0] [-telemetry-addr :9091]")
+		fmt.Fprintln(os.Stderr, "       spinflow trace [-scale f] [-par n] [-o file] <cc|live|distributed>")
 		os.Exit(2)
 	}
 	for _, name := range args {

@@ -8,8 +8,10 @@ import (
 	"io"
 	"net"
 	"sort"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -24,6 +26,10 @@ type Result struct {
 	// Work is the coordinator process's counter snapshot (remote batches
 	// and bytes measure only host 0's share of the shuffle).
 	Work metrics.Snapshot
+	// Spans is the run's reassembled cross-process trace (RunObs with a
+	// registry only): the coordinator's own spans plus every worker's,
+	// all under one trace ID, distinguishable by Span.Host.
+	Spans []obs.Span
 }
 
 // workerConn is the coordinator's control connection to one worker
@@ -65,10 +71,23 @@ func (w *workerConn) expect(kinds ...string) (ctlMsg, error) {
 // local emptiness means nothing, a process's workset can refill entirely
 // from its peers' shipped records.
 func Run(js JobSpec, workerAddrs []string) (*Result, error) {
+	return RunObs(js, workerAddrs, nil)
+}
+
+// RunObs is Run with telemetry: when reg is non-nil the coordinator mints
+// a trace ID (unless the spec carries one), ships it to every worker with
+// the job, records its own superstep/operator/ship spans and a
+// distrib_step_rtt histogram sample per barrier round, and merges the
+// spans each worker returns at collect time — so reg's ring ends up
+// holding the whole run's timeline, and Result.Spans returns it.
+func RunObs(js JobSpec, workerAddrs []string, reg *obs.Registry) (*Result, error) {
 	js = js.normalized()
 	js.Hosts = 1 + len(workerAddrs)
+	if reg != nil && js.TraceID == 0 {
+		js.TraceID = uint64(obs.NewTraceID())
+	}
 
-	j, dataAddr, err := newJob(js, 0, "127.0.0.1:0")
+	j, dataAddr, err := newJob(js, 0, "127.0.0.1:0", reg)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +148,7 @@ func Run(js JobSpec, workerAddrs []string) (*Result, error) {
 	res := &Result{}
 	converged := false
 	for step := 0; step < js.MaxSupersteps; step++ {
+		stepStart := time.Now()
 		for _, w := range workers {
 			if err := w.enc.Encode(ctlMsg{Kind: kindStep}); err != nil {
 				return nil, err
@@ -144,6 +164,11 @@ func Run(js JobSpec, workerAddrs []string) (*Result, error) {
 				return nil, err
 			}
 			total += done.Count
+		}
+		if reg != nil {
+			// Release-to-all-done round trip: the barrier as the
+			// coordinator experiences it, including every peer's compute.
+			reg.Histogram("distrib_step_rtt").ObserveSince(stepStart)
 		}
 		res.Supersteps = step + 1
 		if total == 0 {
@@ -172,10 +197,20 @@ func Run(js JobSpec, workerAddrs []string) (*Result, error) {
 			return nil, err
 		}
 		sol = append(sol, recs...)
+		if reg != nil {
+			// Fold the worker's spans into our ring: after the last
+			// worker, the ring holds the whole run under one trace ID.
+			for _, sp := range msg.Spans {
+				reg.Trace().RecordSpan(sp)
+			}
+		}
 	}
 	sort.Slice(sol, func(x, y int) bool { return record.Less(sol[x], sol[y]) })
 	res.Solution = sol
 	res.Work = j.m.Snapshot()
+	if reg != nil {
+		res.Spans = reg.Trace().SpansFor(obs.TraceID(js.TraceID))
+	}
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/iterative"
+	"repro/internal/obs"
 	"repro/internal/record"
 	"repro/internal/runtime"
 )
@@ -15,7 +16,9 @@ import (
 // their addresses. In production the workers are separate processes
 // (spinflow worker); in-process workers exercise the identical code paths
 // — real TCP for both control and data planes — inside one test binary.
-func startWorkers(t *testing.T, n int) []string {
+// Each worker gets its own telemetry registry (regs[i]), as each would in
+// its own process.
+func startWorkers(t *testing.T, n int, regs ...*obs.Registry) []string {
 	t.Helper()
 	addrs := make([]string, n)
 	for i := range addrs {
@@ -24,7 +27,11 @@ func startWorkers(t *testing.T, n int) []string {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { ln.Close() })
-		go ServeWorker(ln, nil)
+		var reg *obs.Registry
+		if i < len(regs) {
+			reg = regs[i]
+		}
+		go ServeWorker(ln, nil, reg)
 		addrs[i] = ln.Addr().String()
 	}
 	return addrs
@@ -147,5 +154,80 @@ func TestWorkerSurvivesSequentialJobs(t *testing.T) {
 		if !bytes.Equal(encodeAll(got.Solution), encodeAll(want)) {
 			t.Fatalf("job %d diverged", i)
 		}
+	}
+}
+
+// TestDistributedTracePropagation is the telemetry acceptance check: a
+// 2-process traced run must produce superstep spans on BOTH hosts, all
+// under the single trace ID the coordinator minted, reassembled into the
+// coordinator's ring — and the differential result must be unaffected.
+func TestDistributedTracePropagation(t *testing.T) {
+	js := JobSpec{Algorithm: "cc", GraphKind: "uniform", GraphN: 80, GraphM: 160, Seed: 0xD15F, Parallelism: 4}
+	want := runSingle(t, js)
+
+	coord := obs.NewRegistry()
+	workerReg := obs.NewRegistry()
+	got, err := RunObs(js, startWorkers(t, 1, workerReg), coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeAll(got.Solution), encodeAll(want)) {
+		t.Fatal("traced run diverged from single-process")
+	}
+
+	if len(got.Spans) == 0 {
+		t.Fatal("traced run returned no spans")
+	}
+	var id obs.TraceID
+	hostSteps := map[int32]int{}
+	for _, sp := range got.Spans {
+		if sp.Trace == 0 {
+			t.Fatalf("span with zero trace ID: %+v", sp)
+		}
+		if id == 0 {
+			id = sp.Trace
+		}
+		if sp.Trace != id {
+			t.Fatalf("spans carry mixed trace IDs: %016x and %016x", id, sp.Trace)
+		}
+		if sp.Phase == obs.PhaseSuperstep {
+			hostSteps[sp.Host]++
+		}
+	}
+	if hostSteps[0] == 0 || hostSteps[1] == 0 {
+		t.Fatalf("superstep spans per host = %v, want both hosts represented", hostSteps)
+	}
+	// Both hosts ran the same barrier schedule.
+	if hostSteps[0] != hostSteps[1] {
+		t.Errorf("host superstep counts differ: %v", hostSteps)
+	}
+	if hostSteps[0] != got.Supersteps {
+		t.Errorf("host 0 recorded %d superstep spans, run took %d", hostSteps[0], got.Supersteps)
+	}
+	// The coordinator's ring holds the merged trace too (what `spinflow
+	// trace distributed` renders).
+	if n := len(coord.Trace().SpansFor(id)); n != len(got.Spans) {
+		t.Errorf("ring holds %d spans for the trace, Result.Spans has %d", n, len(got.Spans))
+	}
+	// The barrier RTT histogram saw every superstep.
+	if c := coord.Histogram("distrib_step_rtt").Count(); c != int64(got.Supersteps) {
+		t.Errorf("distrib_step_rtt count = %d, want %d", c, got.Supersteps)
+	}
+	// Cross-process shuffle was timed on the coordinator's transport.
+	if coord.Histogram("transport_send_duration").Count() == 0 {
+		t.Error("transport_send_duration recorded nothing")
+	}
+}
+
+// TestUntracedDistributedUnaffected pins the zero-cost default: a plain
+// Run (nil registry) must keep TraceID zero end to end.
+func TestUntracedDistributedUnaffected(t *testing.T) {
+	js := JobSpec{Algorithm: "cc", GraphKind: "uniform", GraphN: 40, GraphM: 80, Seed: 0xD160, Parallelism: 2}
+	got, err := Run(js, startWorkers(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spans != nil {
+		t.Fatalf("untraced run returned %d spans", len(got.Spans))
 	}
 }

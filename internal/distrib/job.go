@@ -3,11 +3,13 @@ package distrib
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/graphgen"
 	"repro/internal/iterative"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/record"
 	"repro/internal/runtime"
@@ -79,10 +81,15 @@ type job struct {
 	phys   *optimizer.PhysPlan
 	place  runtime.Placement
 	m      *metrics.Counters
+	reg    *obs.Registry
 	exec   *runtime.Executor
 	tr     *runtime.TCPTransport
 	sess   *runtime.Session
 	digest string
+	// host is this process's host ID; stepN counts its supersteps. Both
+	// stamp the merge spans recorded in step().
+	host  int
+	stepN int
 }
 
 // newJob builds everything up to — but not including — the peer mesh: the
@@ -91,7 +98,11 @@ type job struct {
 // is deliberately off in distributed runs: a re-optimized plan has new
 // edge IDs, and swapping it in safely would need a coordinated epoch
 // across all processes.
-func newJob(js JobSpec, hostID int, listenAddr string) (*job, string, error) {
+//
+// A non-nil registry turns telemetry on: supersteps and operators record
+// spans under the job's trace ID with this process's host ID, and the
+// transport stamps the trace ID into frame headers and times its sends.
+func newJob(js JobSpec, hostID int, listenAddr string, reg *obs.Registry) (*job, string, error) {
 	js = js.normalized()
 	spec, s0, w0, err := buildSpec(js)
 	if err != nil {
@@ -104,6 +115,13 @@ func newJob(js JobSpec, hostID int, listenAddr string) (*job, string, error) {
 		Hosts:       js.Hosts,
 		Metrics:     m,
 	}
+	if reg != nil {
+		cfg.Obs = reg
+		cfg.TraceID = obs.TraceID(js.TraceID)
+		cfg.TraceLabel = js.Algorithm
+		cfg.Host = hostID
+		reg.SetCounters(m)
+	}
 	if js.Backend != "" {
 		cfg.SolutionBackend = runtime.SolutionBackendKind(js.Backend)
 	}
@@ -112,7 +130,14 @@ func newJob(js JobSpec, hostID int, listenAddr string) (*job, string, error) {
 		return nil, "", err
 	}
 
-	exec := runtime.NewExecutor(runtime.Config{BatchSize: js.BatchSize, Metrics: m})
+	rc := runtime.Config{BatchSize: js.BatchSize, Metrics: m}
+	if reg != nil {
+		rc.Trace = reg.Trace()
+		rc.TraceID = obs.TraceID(js.TraceID)
+		rc.TraceLabel = js.Algorithm
+		rc.Host = hostID
+	}
+	exec := runtime.NewExecutor(rc)
 	sol := runtime.NewSolutionSetWith(js.Parallelism, spec.SolutionKey, spec.Comparator, m,
 		runtime.SolutionOptions{Backend: cfg.SolutionBackend})
 	sol.Init(s0)
@@ -123,11 +148,15 @@ func newJob(js JobSpec, hostID int, listenAddr string) (*job, string, error) {
 	exec.SetPlaceholder(spec.Workset.ID, w0, spec.WorksetKey, js.Parallelism)
 
 	j := &job{
-		js: js, spec: spec, phys: phys, m: m, exec: exec,
+		js: js, spec: spec, phys: phys, m: m, reg: reg, exec: exec,
 		place:  runtime.ContiguousPlacement(js.Parallelism, js.Hosts),
 		digest: PlanDigest(phys),
+		host:   hostID,
 	}
 	j.tr = runtime.NewTCPTransport(hostID, j.place, phys.NumEdges, m)
+	if reg != nil {
+		j.tr.SetObs(obs.TraceID(js.TraceID), reg.Histogram("transport_send_duration"))
+	}
 	addr, err := j.tr.Listen(listenAddr)
 	if err != nil {
 		exec.Close()
@@ -156,7 +185,18 @@ func (j *job) step() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	mergeStart := time.Now()
 	j.exec.Solution.MergeDelta(res.Records(j.spec.DeltaSink.ID))
+	if j.reg != nil {
+		d := time.Since(mergeStart)
+		j.reg.Histogram("merge_duration").Observe(d)
+		j.reg.Trace().RecordSpan(obs.Span{
+			Trace: obs.TraceID(j.js.TraceID), Host: int32(j.host), Part: -1,
+			Step: int32(j.stepN), Phase: obs.PhaseMerge,
+			Start: mergeStart.UnixNano(), Dur: int64(d), Label: j.js.Algorithm,
+		})
+	}
+	j.stepN++
 	nextParts := res[j.spec.WorksetSink.ID]
 	count := 0
 	for _, p := range nextParts {

@@ -21,6 +21,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 )
 
@@ -52,6 +53,12 @@ type JobSpec struct {
 	Backend string `json:"backend,omitempty"`
 	// MaxSupersteps bounds the run (0 = 10000).
 	MaxSupersteps int `json:"max_supersteps,omitempty"`
+	// TraceID groups the run's telemetry spans across every process: the
+	// coordinator mints it (obs.NewTraceID) when it runs with a registry,
+	// ships it here with the job assignment, and each process stamps it on
+	// its spans and on every data-plane frame header (the transport
+	// doubles it as a stale-peer check). Zero means untraced.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 func (js JobSpec) normalized() JobSpec {
@@ -108,7 +115,11 @@ type ctlMsg struct {
 	Digest    string   `json:"digest,omitempty"`
 	Count     int      `json:"count,omitempty"`
 	Frames    []byte   `json:"frames,omitempty"`
-	Err       string   `json:"err,omitempty"`
+	// Spans rides the kindSolution reply: the worker's telemetry spans for
+	// the job's trace ID, so the coordinator reassembles one cross-process
+	// timeline (host IDs keep the origins apart).
+	Spans []obs.Span `json:"spans,omitempty"`
+	Err   string     `json:"err,omitempty"`
 }
 
 // PlanDigest fingerprints the structure the exchange layer routes by:

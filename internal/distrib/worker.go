@@ -8,6 +8,8 @@ import (
 	"log"
 	"net"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // meshTimeout bounds how long a process waits for the full peer mesh.
@@ -18,7 +20,13 @@ const meshTimeout = 30 * time.Second
 // of sequential jobs; Serve returns when the listener closes. The logger
 // receives connection-level failures (a lost coordinator is normal at
 // shutdown, so they are logged, not fatal).
-func ServeWorker(ln net.Listener, lg *log.Logger) error {
+//
+// A non-nil registry is this worker's telemetry plane: jobs that arrive
+// with a trace ID record their spans into its ring (and ship them back to
+// the coordinator at collect time), its histograms accumulate superstep
+// and transport latencies, and `spinflow worker -telemetry-addr` serves
+// it over /metrics. Nil disables all of it.
+func ServeWorker(ln net.Listener, lg *log.Logger, reg *obs.Registry) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -28,7 +36,7 @@ func ServeWorker(ln net.Listener, lg *log.Logger) error {
 			return err
 		}
 		go func() {
-			if err := serveControl(conn); err != nil && !errors.Is(err, io.EOF) && lg != nil {
+			if err := serveControl(conn, reg); err != nil && !errors.Is(err, io.EOF) && lg != nil {
 				lg.Printf("distrib: worker control connection: %v", err)
 			}
 		}()
@@ -36,7 +44,7 @@ func ServeWorker(ln net.Listener, lg *log.Logger) error {
 }
 
 // serveControl runs one coordinator's control connection to completion.
-func serveControl(conn net.Conn) error {
+func serveControl(conn net.Conn, reg *obs.Registry) error {
 	defer conn.Close()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
@@ -50,7 +58,7 @@ func serveControl(conn net.Conn) error {
 			if msg.Job == nil {
 				return errors.New("distrib: job message without a spec")
 			}
-			if err := runWorkerJob(*msg.Job, msg.HostID, dec, enc); err != nil {
+			if err := runWorkerJob(*msg.Job, msg.HostID, dec, enc, reg); err != nil {
 				return err
 			}
 		case kindStop:
@@ -66,8 +74,8 @@ func serveControl(conn net.Conn) error {
 // superstep barriers until told to collect and stop. Protocol errors are
 // returned (the connection is broken); job execution errors are reported
 // to the coordinator with kindError, after which the worker stays usable.
-func runWorkerJob(js JobSpec, hostID int, dec *json.Decoder, enc *json.Encoder) error {
-	j, dataAddr, err := newJob(js, hostID, "127.0.0.1:0")
+func runWorkerJob(js JobSpec, hostID int, dec *json.Decoder, enc *json.Encoder, reg *obs.Registry) error {
+	j, dataAddr, err := newJob(js, hostID, "127.0.0.1:0", reg)
 	if err != nil {
 		return enc.Encode(ctlMsg{Kind: kindError, Err: err.Error()})
 	}
@@ -108,7 +116,13 @@ func runWorkerJob(js JobSpec, hostID int, dec *json.Decoder, enc *json.Encoder) 
 				return err
 			}
 		case kindCollect:
-			if err := enc.Encode(ctlMsg{Kind: kindSolution, Frames: j.collect(hostID)}); err != nil {
+			// A traced job returns its spans with the solution so the
+			// coordinator can reassemble the cross-process timeline.
+			var spans []obs.Span
+			if reg != nil && js.TraceID != 0 {
+				spans = reg.Trace().SpansFor(obs.TraceID(js.TraceID))
+			}
+			if err := enc.Encode(ctlMsg{Kind: kindSolution, Frames: j.collect(hostID), Spans: spans}); err != nil {
 				return err
 			}
 		case kindStop:

@@ -62,7 +62,7 @@ func startWorker(o Options) (*workerHandle, error) {
 		if err != nil {
 			return nil, err
 		}
-		go distrib.ServeWorker(ln, nil)
+		go distrib.ServeWorker(ln, nil, o.WorkerObs)
 		return &workerHandle{addr: ln.Addr().String(), stop: func() { ln.Close() }}, nil
 	}
 	cmd := exec.Command(o.WorkerBinary, "worker", "-listen", "127.0.0.1:0")

@@ -15,6 +15,7 @@ import (
 	"repro/internal/graphgen"
 	"repro/internal/iterative"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 )
 
@@ -37,6 +38,13 @@ type Options struct {
 	// the Distributed scenario to mesh with instead of starting its own
 	// (it will not stop them). Takes precedence over WorkerBinary.
 	WorkerAddrs []string
+	// Obs, if set, is the telemetry registry scenarios report into
+	// (histograms, spans). The Trace scenario requires it.
+	Obs *obs.Registry
+	// WorkerObs is the registry handed to in-process distributed workers
+	// (each OS-process worker owns its own). Only used when the
+	// Distributed/Trace scenarios start an in-process worker.
+	WorkerObs *obs.Registry
 }
 
 func (o Options) normalized() Options {

@@ -347,7 +347,7 @@ func runAutoIncremental(auto AutoSpec, initialSolution, initialWorkset []record.
 	out.Plan = phys
 	reopt := newReoptState(phys, plannedEst)
 
-	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	exec := runtime.NewExecutor(cfg.runtimeConfig())
 	defer exec.Close()
 	exec.Solution = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
 	exec.Solution.Init(initialSolution)
@@ -372,12 +372,16 @@ func runAutoIncremental(auto AutoSpec, initialSolution, initialWorkset []record.
 			before = cfg.Metrics.Snapshot()
 		}
 
+		sess.SetTraceStep(step)
 		res, err := sess.Run()
 		if err != nil {
 			return nil, err
 		}
 		out.Supersteps = step + 1
+		cfg.observeSuperstep(time.Since(start))
+		mergeStart := time.Now()
 		exec.Solution.MergeDelta(res.Records(spec.DeltaSink.ID))
+		cfg.noteMerge(step, mergeStart)
 
 		nextParts := res[spec.WorksetSink.ID]
 		nextCount := 0

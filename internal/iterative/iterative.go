@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/record"
 	"repro/internal/runtime"
@@ -83,6 +84,18 @@ type Config struct {
 	// single-process topology. Every process of a distributed session
 	// must plan with the same Hosts value to produce identical plans.
 	Hosts int
+	// Obs, if set, is the telemetry registry this run reports into:
+	// superstep/merge/plan latency histograms, and phase spans recorded
+	// into its ring (see internal/obs). Nil disables all of it — the
+	// instrumented paths cost one branch each.
+	Obs *obs.Registry
+	// TraceID groups this run's spans across processes; mint one with
+	// obs.NewTraceID, or adopt a coordinator's. Only meaningful with Obs.
+	TraceID obs.TraceID
+	// TraceLabel names the run on its spans (a job or view name).
+	TraceLabel string
+	// Host is this process's host ID stamped on spans (0 single-process).
+	Host int
 }
 
 func (c Config) normalized() Config {
@@ -90,6 +103,42 @@ func (c Config) normalized() Config {
 		c.Parallelism = 1
 	}
 	return c
+}
+
+// runtimeConfig builds the executor config, threading telemetry through
+// when an Obs registry is attached.
+func (c Config) runtimeConfig() runtime.Config {
+	rc := runtime.Config{BatchSize: c.BatchSize, Metrics: c.Metrics}
+	if c.Obs != nil {
+		rc.Trace = c.Obs.Trace()
+		rc.TraceID = c.TraceID
+		rc.TraceLabel = c.TraceLabel
+		rc.Host = c.Host
+	}
+	return rc
+}
+
+// observeSuperstep records one superstep's wall time in the registry's
+// superstep-duration histogram.
+func (c Config) observeSuperstep(d time.Duration) {
+	if c.Obs != nil {
+		c.Obs.Histogram("superstep_duration").Observe(d)
+	}
+}
+
+// noteMerge records the S ∪̇ D merge that followed the given superstep: a
+// merge-phase span plus a merge-duration histogram sample.
+func (c Config) noteMerge(step int, start time.Time) {
+	if c.Obs == nil {
+		return
+	}
+	d := time.Since(start)
+	c.Obs.Histogram("merge_duration").Observe(d)
+	c.Obs.Trace().RecordSpan(obs.Span{
+		Trace: c.TraceID, Host: int32(c.Host), Part: -1, Step: int32(step),
+		Phase: obs.PhaseMerge, Start: start.UnixNano(), Dur: int64(d),
+		Label: c.TraceLabel,
+	})
 }
 
 // newSolutionSet builds the solution set the Config asks for.
@@ -204,7 +253,7 @@ func RunBulk(spec BulkSpec, initial []record.Record, cfg Config) (*BulkResult, e
 	}
 	notePlanned(cfg, opts.Planner, phys, time.Since(planStart))
 
-	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	exec := runtime.NewExecutor(cfg.runtimeConfig())
 	defer exec.Close()
 	phKey := phys.PlaceholderKey(spec.Input.ID)
 	exec.SetPlaceholder(spec.Input.ID, initial, phKey, cfg.Parallelism)
@@ -238,6 +287,7 @@ func RunBulk(spec BulkSpec, initial []record.Record, cfg Config) (*BulkResult, e
 		nextParts := res[spec.Output.ID]
 		next := res.Records(spec.Output.ID)
 		out.Iterations = i + 1
+		cfg.observeSuperstep(time.Since(start))
 		if cfg.CollectTrace {
 			st := metrics.IterationStat{Iteration: i, Duration: time.Since(start)}
 			if cfg.Metrics != nil {
@@ -386,7 +436,7 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 		return nil, err
 	}
 
-	exec := runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	exec := runtime.NewExecutor(cfg.runtimeConfig())
 	defer exec.Close()
 	exec.Solution = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
 	exec.Solution.Init(initialSolution)
@@ -417,16 +467,20 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 			before = cfg.Metrics.Snapshot()
 		}
 
+		sess.SetTraceStep(step) // keeps span numbering continuous across re-plan session swaps
 		res, err := sess.Run()
 		if err != nil {
 			return nil, err
 		}
 		out.Supersteps = step + 1
+		cfg.observeSuperstep(time.Since(start))
 
 		// S ∪̇ D — applied after the superstep so that every access inside
 		// the superstep observed S_i (§5.3: "we cache the records in the
 		// delta set D until the end of the superstep").
+		mergeStart := time.Now()
 		exec.Solution.MergeDelta(res.Records(spec.DeltaSink.ID))
+		cfg.noteMerge(step, mergeStart)
 
 		nextParts := res[spec.WorksetSink.ID]
 		nextCount := 0
@@ -497,6 +551,14 @@ func plannerFor(cfg Config, reopt bool) optimizer.PlannerKind {
 
 // notePlanned records the planning metrics of one optimizer call.
 func notePlanned(cfg Config, planner optimizer.PlannerKind, phys *optimizer.PhysPlan, elapsed time.Duration) {
+	if cfg.Obs != nil {
+		cfg.Obs.Histogram("plan_duration").Observe(elapsed)
+		cfg.Obs.Trace().RecordSpan(obs.Span{
+			Trace: cfg.TraceID, Host: int32(cfg.Host), Part: -1, Step: -1,
+			Phase: obs.PhasePlan, Start: time.Now().Add(-elapsed).UnixNano(),
+			Dur: int64(elapsed), Label: cfg.TraceLabel,
+		})
+	}
 	if cfg.Metrics == nil {
 		return
 	}

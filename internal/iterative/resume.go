@@ -32,6 +32,9 @@ type Fixpoint struct {
 	// that collapse the same way hit the plan cache instead of re-planning
 	// (and skip the session swap when the cached plan is already live).
 	reopt *reoptState
+	// traceStep numbers supersteps continuously across Run calls, so a
+	// live view's maintenance flushes produce distinct steps in its trace.
+	traceStep int
 }
 
 // optimizeIncrementalWithEst plans Δ with the given workset-cardinality
@@ -128,7 +131,7 @@ func OpenFixpoint(spec IncrementalSpec, sol *runtime.SolutionSet, cfg Config) (*
 	}
 	f := &Fixpoint{spec: spec, cfg: cfg, phys: phys, sol: sol,
 		reopt: newReoptState(phys, spec.Workset.EstRecords)}
-	f.exec = runtime.NewExecutor(runtime.Config{BatchSize: cfg.BatchSize, Metrics: cfg.Metrics})
+	f.exec = runtime.NewExecutor(cfg.runtimeConfig())
 	f.exec.Solution = sol
 	if _, err := ValidateMicrostep(spec); err == nil {
 		f.exec.DirectMerge = true
@@ -210,12 +213,17 @@ func (f *Fixpoint) Run(workset []record.Record) (*IncrementalResult, error) {
 		if f.cfg.Metrics != nil {
 			before = f.cfg.Metrics.Snapshot()
 		}
+		f.sess.SetTraceStep(f.traceStep)
 		res, err := f.sess.Run()
 		if err != nil {
 			return nil, err
 		}
 		out.Supersteps = step + 1
+		f.traceStep++
+		f.cfg.observeSuperstep(time.Since(start))
+		mergeStart := time.Now()
 		f.sol.MergeDelta(res.Records(f.spec.DeltaSink.ID))
+		f.cfg.noteMerge(f.traceStep-1, mergeStart)
 
 		nextParts := res[f.spec.WorksetSink.ID]
 		nextCount := 0

@@ -50,6 +50,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/iterative"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/record"
 )
@@ -241,6 +242,17 @@ type LiveView struct {
 	m    Maintainer
 	cfg  ViewConfig
 
+	// Telemetry, bound once at construction when cfg.Obs is set (see
+	// bindObs): the registry's span ring plus the serving-layer latency
+	// histograms. All nil without a registry — the instrumented paths
+	// (Query, Mutate, Flush, snapshot) each pay one nil check.
+	ring      *obs.Ring
+	qHist     *obs.Histogram
+	mutHist   *obs.Histogram
+	flushHist *obs.Histogram
+	walHist   *obs.Histogram
+	snapHist  *obs.Histogram
+
 	// mu guards the graph, the fixpoint and the solution set: exclusive
 	// for maintenance, shared for reads.
 	mu        sync.RWMutex
@@ -313,6 +325,7 @@ func newViewCore(name string, m Maintainer, initial []Mutation, cfg ViewConfig) 
 	for _, mut := range initial {
 		v.gs.Apply(mut)
 	}
+	v.bindObs()
 	spec, s0, w0 := m.Spec(v.gs)
 	fx, err := iterative.OpenFixpoint(spec, nil, cfg.Config)
 	if err != nil {
@@ -328,6 +341,47 @@ func newViewCore(name string, m Maintainer, initial []Mutation, cfg ViewConfig) 
 		return nil, err
 	}
 	return v, nil
+}
+
+// withObsDefaults mints the view's trace identity when a telemetry
+// registry is attached: a fresh trace ID groups every span this view
+// instance records (flushes, supersteps, snapshots) and the view's name
+// labels them. An explicitly-set TraceID/TraceLabel is kept.
+func (c ViewConfig) withObsDefaults(name string) ViewConfig {
+	if c.Obs != nil {
+		if c.TraceID == 0 {
+			c.TraceID = obs.NewTraceID()
+		}
+		if c.TraceLabel == "" {
+			c.TraceLabel = name
+		}
+	}
+	return c
+}
+
+// bindObs caches the registry's ring and the serving-layer histograms on
+// the view, so the hot paths don't take the registry lock per call.
+func (v *LiveView) bindObs() {
+	r := v.cfg.Obs
+	if r == nil {
+		return
+	}
+	v.ring = r.Trace()
+	v.qHist = r.Histogram("live_query_duration")
+	v.mutHist = r.Histogram("live_mutate_duration")
+	v.flushHist = r.Histogram("live_flush_duration")
+	v.walHist = r.Histogram("wal_append_duration")
+	v.snapHist = r.Histogram("snapshot_duration")
+}
+
+// span records one serving-layer phase span (flush, wal-append,
+// snapshot). Caller has checked v.ring != nil.
+func (v *LiveView) span(ph obs.Phase, start time.Time) {
+	v.ring.RecordSpan(obs.Span{
+		Trace: v.cfg.TraceID, Host: int32(v.cfg.Host), Part: -1, Step: -1,
+		Phase: ph, Start: start.UnixNano(), Dur: int64(time.Since(start)),
+		Label: v.name,
+	})
 }
 
 // withAutoDefaults gives AutoEngine views a private calibrator: every
@@ -353,6 +407,7 @@ func (c ViewConfig) withAutoDefaults() ViewConfig {
 // is replaced by a snapshot load plus WAL replay.
 func assembleView(name string, m Maintainer, cfg ViewConfig, gs *GraphState, fx *iterative.Fixpoint, spec iterative.IncrementalSpec) *LiveView {
 	v := &LiveView{name: name, m: m, cfg: cfg, gs: gs, fx: fx, spec: spec}
+	v.bindObs()
 	v.rebindSources(spec)
 	v.planEdges = gs.NumEdges()
 	return v
@@ -371,6 +426,10 @@ func (v *LiveView) rebindSources(spec iterative.IncrementalSpec) {
 
 // Name returns the view's name.
 func (v *LiveView) Name() string { return v.name }
+
+// TraceID returns the trace ID this view's spans record under (zero when
+// the view was built without a telemetry registry).
+func (v *LiveView) TraceID() obs.TraceID { return v.cfg.TraceID }
 
 // look reads the resident solution set by key.
 func (v *LiveView) look(k int64) (record.Record, bool) {
@@ -397,6 +456,9 @@ func (r solReader) Each(f func(record.Record)) {
 // id or distance). It sees converged state only: flushes in progress
 // block it, queued-but-unflushed mutations do not affect it.
 func (v *LiveView) Query(k int64) (record.Record, bool) {
+	if h := v.qHist; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	return v.look(k)
@@ -455,12 +517,16 @@ func (v *LiveView) Mutate(muts ...Mutation) error {
 	if len(muts) == 0 {
 		return nil
 	}
+	if h := v.mutHist; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
 	v.pmu.Lock()
 	if v.closed.Load() {
 		v.pmu.Unlock()
 		return fmt.Errorf("live: view %q is closed", v.name)
 	}
 	if v.dur != nil {
+		walStart := time.Now()
 		_, n, err := v.dur.wal.Append(mutationsToRecords(muts))
 		if err != nil {
 			v.pmu.Unlock()
@@ -469,6 +535,10 @@ func (v *LiveView) Mutate(muts ...Mutation) error {
 		if m := v.cfg.Metrics; m != nil {
 			m.WALAppends.Add(1)
 			m.WALBytes.Add(int64(n))
+		}
+		if v.ring != nil {
+			v.walHist.ObserveSince(walStart)
+			v.span(obs.PhaseWALAppend, walStart)
 		}
 	}
 	wasEmpty := len(v.pending) == 0
@@ -525,8 +595,13 @@ func (v *LiveView) Flush() error {
 	if len(batch) == 0 {
 		return nil
 	}
+	flushStart := time.Now()
 	if err := v.applyLocked(batch); err != nil {
 		return err
+	}
+	if v.ring != nil {
+		v.flushHist.ObserveSince(flushStart)
+		v.span(obs.PhaseFlush, flushStart)
 	}
 	v.afterFlushLocked(seq)
 	return nil

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/iterative"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -46,6 +47,13 @@ type SchedulerConfig struct {
 	// client (e.g. a response-body write failing after the status line
 	// went out). Nil uses the process-default logger.
 	Log *log.Logger
+	// Obs, if set, is the telemetry registry the scheduler exports
+	// through: a collector emitting scheduler-wide and per-view gauges
+	// (view="<name>" labels) is registered on it, and every view created
+	// or recovered without its own registry inherits this one — so view
+	// latency histograms, spans, and work counters all land in the same
+	// /metrics plane.
+	Obs *obs.Registry
 }
 
 // SchedulerStats aggregates the scheduler's state.
@@ -73,9 +81,65 @@ type Scheduler struct {
 	views map[string]*LiveView
 }
 
-// NewScheduler creates an empty scheduler.
+// NewScheduler creates an empty scheduler. With SchedulerConfig.Obs set,
+// it registers the stats collector and threads the registry (plus its
+// shared work counters) into the default view config.
 func NewScheduler(cfg SchedulerConfig) *Scheduler {
-	return &Scheduler{cfg: cfg, views: make(map[string]*LiveView)}
+	if cfg.Obs != nil {
+		if cfg.DefaultView.Obs == nil {
+			cfg.DefaultView.Obs = cfg.Obs
+		}
+		if cfg.DefaultView.Metrics == nil {
+			cfg.DefaultView.Metrics = cfg.Obs.Counters()
+		}
+	}
+	s := &Scheduler{cfg: cfg, views: make(map[string]*LiveView)}
+	if cfg.Obs != nil {
+		cfg.Obs.RegisterCollector(s.collect)
+	}
+	return s
+}
+
+// collect emits the scheduler's stats as exporter gauges: the aggregate
+// numbers unlabeled, the per-view ViewStats with a view="<name>" label.
+// LastError, being a string, is exported as view_error 0/1 — the text
+// itself is in the HTTP API's stats endpoint.
+func (s *Scheduler) collect(emit func(name, labels string, value float64)) {
+	st := s.Stats()
+	emit("scheduler_views", "", float64(st.Views))
+	emit("scheduler_memory_used_bytes", "", float64(st.MemoryUsed))
+	emit("scheduler_memory_budget_bytes", "", float64(st.MemoryBudget))
+	emit("scheduler_encode_errors", "", float64(st.EncodeErrors))
+	names := make([]string, 0, len(st.PerView))
+	for name := range st.PerView {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vs := st.PerView[name]
+		l := fmt.Sprintf("view=%q", name)
+		emit("view_vertices", l, float64(vs.Vertices))
+		emit("view_edges", l, float64(vs.Edges))
+		emit("view_solution_records", l, float64(vs.SolutionRecords))
+		emit("view_solution_bytes", l, float64(vs.SolutionBytes))
+		emit("view_mutations_pending", l, float64(vs.MutationsPending))
+		emit("view_deltas_applied", l, float64(vs.DeltasApplied))
+		emit("view_flushes", l, float64(vs.Flushes))
+		emit("view_warm_restarts", l, float64(vs.WarmRestarts))
+		emit("view_partial_recomputes", l, float64(vs.PartialRecomputes))
+		emit("view_full_recomputes", l, float64(vs.FullRecomputes))
+		emit("view_supersteps", l, float64(vs.Supersteps))
+		emit("view_rebinds", l, float64(vs.Rebinds))
+		emit("view_engine_switches", l, float64(vs.EngineSwitches))
+		emit("view_wal_bytes", l, float64(vs.WALBytes))
+		emit("view_snapshots_written", l, float64(vs.SnapshotsWritten))
+		emit("view_recovered_frames", l, float64(vs.RecoveredFrames))
+		errSet := 0.0
+		if vs.LastError != "" {
+			errSet = 1
+		}
+		emit("view_error", l, errSet)
+	}
 }
 
 func (s *Scheduler) logf(format string, args ...any) {
@@ -114,6 +178,12 @@ func (s *Scheduler) Create(name string, m Maintainer, initial []Mutation, cfg *V
 	vcfg := s.cfg.DefaultView
 	if cfg != nil {
 		vcfg = *cfg
+	}
+	if s.cfg.Obs != nil && vcfg.Obs == nil {
+		vcfg.Obs = s.cfg.Obs
+		if vcfg.Metrics == nil {
+			vcfg.Metrics = s.cfg.Obs.Counters()
+		}
 	}
 	if err := vcfg.Validate(); err != nil {
 		return nil, err

@@ -1,12 +1,15 @@
 package live
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/iterative"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -141,5 +144,62 @@ func TestSchedulerCloseFlushesViews(t *testing.T) {
 	}
 	if s.NumViews() != 0 {
 		t.Errorf("views survived Close: %d", s.NumViews())
+	}
+}
+
+// TestSchedulerObsExport wires a telemetry registry into the scheduler
+// and checks the whole plane: views inherit the registry (latency
+// histograms + spans record), and the collector exports scheduler-wide
+// and per-view gauges into the Prometheus text.
+func TestSchedulerObsExport(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewScheduler(SchedulerConfig{
+		Obs:         reg,
+		DefaultView: ViewConfig{Config: iterative.Config{Parallelism: 2}}})
+	defer s.Close()
+
+	v, err := s.Create("pr", CC(), ringEdges(16), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Mutate(InsertEdge(100, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v.Query(100)
+
+	for _, h := range []string{"live_query_duration", "live_mutate_duration", "live_flush_duration"} {
+		if reg.Histogram(h).Count() == 0 {
+			t.Errorf("histogram %s recorded nothing", h)
+		}
+	}
+	// The cold fixpoint and the flush both ran supersteps under the
+	// view's trace ID; the flush recorded a flush-phase span.
+	if v.cfg.TraceID == 0 {
+		t.Fatal("view did not mint a trace ID")
+	}
+	spans := reg.Trace().SpansFor(v.cfg.TraceID)
+	var phases = map[obs.Phase]int{}
+	for _, sp := range spans {
+		phases[sp.Phase]++
+	}
+	if phases[obs.PhaseSuperstep] == 0 || phases[obs.PhaseFlush] == 0 {
+		t.Errorf("span phases = %v, want superstep and flush spans", phases)
+	}
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	text := buf.String()
+	for _, want := range []string{
+		"spinflow_scheduler_views 1",
+		`spinflow_view_flushes{view="pr"}`,
+		`spinflow_view_solution_records{view="pr"} 17`,
+		"spinflow_live_query_duration_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -11,8 +11,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/iterative"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
@@ -388,6 +390,7 @@ func (v *LiveView) writeSnapshotTo(w io.Writer, seq uint64) error {
 // prunes obsolete snapshots, and rotates the log when possible. Caller
 // holds the maintenance lock, so the solution set is converged.
 func (v *LiveView) snapshotLocked() error {
+	snapStart := time.Now()
 	d := v.dur
 	seq := d.flushedSeq
 	path := filepath.Join(d.dir, snapshotName(seq))
@@ -408,6 +411,10 @@ func (v *LiveView) snapshotLocked() error {
 		return err
 	}
 	d.walBytesAtSnap = d.wal.SizeBytes()
+	if v.ring != nil {
+		v.snapHist.ObserveSince(snapStart)
+		v.span(obs.PhaseSnapshot, snapStart)
+	}
 	return nil
 }
 
@@ -502,7 +509,7 @@ func OpenView(name string, m Maintainer, initial []Mutation, cfg ViewConfig) (*L
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	cfg = cfg.normalized()
+	cfg = cfg.normalized().withObsDefaults(name)
 	if !cfg.Durable {
 		return newViewCore(name, m, initial, cfg)
 	}

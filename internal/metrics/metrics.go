@@ -9,6 +9,8 @@
 package metrics
 
 import (
+	"fmt"
+	"reflect"
 	"sync/atomic"
 	"time"
 )
@@ -170,130 +172,90 @@ type Snapshot struct {
 	PlanNanos          int64
 }
 
+// fieldPair links one Counters field to its same-named Snapshot field.
+// The mapping is computed once at package init by reflection, so adding a
+// counter automatically extends Snapshot/Sub/Reset/Fields — and a counter
+// without a matching Snapshot field (or vice versa) fails loudly at init
+// instead of being silently dropped from reports.
+type fieldPair struct {
+	name string
+	c, s int // field index in Counters / Snapshot
+}
+
+var fieldPairs = buildFieldPairs()
+
+func buildFieldPairs() []fieldPair {
+	ct := reflect.TypeOf(Counters{})
+	st := reflect.TypeOf(Snapshot{})
+	atomicT := reflect.TypeOf(atomic.Int64{})
+	if ct.NumField() != st.NumField() {
+		panic(fmt.Sprintf("metrics: Counters has %d fields, Snapshot has %d — every counter needs a same-named snapshot field", ct.NumField(), st.NumField()))
+	}
+	pairs := make([]fieldPair, 0, ct.NumField())
+	for i := 0; i < ct.NumField(); i++ {
+		cf := ct.Field(i)
+		if cf.Type != atomicT {
+			panic(fmt.Sprintf("metrics: Counters.%s is %s, want atomic.Int64", cf.Name, cf.Type))
+		}
+		sf, ok := st.FieldByName(cf.Name)
+		if !ok {
+			panic(fmt.Sprintf("metrics: Counters.%s has no matching Snapshot field", cf.Name))
+		}
+		if sf.Type.Kind() != reflect.Int64 {
+			panic(fmt.Sprintf("metrics: Snapshot.%s is %s, want int64", sf.Name, sf.Type))
+		}
+		pairs = append(pairs, fieldPair{name: cf.Name, c: i, s: sf.Index[0]})
+	}
+	return pairs
+}
+
 // Snapshot captures current counter values.
 func (c *Counters) Snapshot() Snapshot {
-	return Snapshot{
-		RecordsShipped:       c.RecordsShipped.Load(),
-		RecordsShippedRemote: c.RecordsShippedRemote.Load(),
-		RemoteBatches:        c.RemoteBatches.Load(),
-		RemoteBytes:          c.RemoteBytes.Load(),
-		TransportErrors:      c.TransportErrors.Load(),
-		DroppedBatches:       c.DroppedBatches.Load(),
-
-		WorksetElements:  c.WorksetElements.Load(),
-		SolutionAccesses: c.SolutionAccesses.Load(),
-		SolutionUpdates:  c.SolutionUpdates.Load(),
-		UDFInvocations:   c.UDFInvocations.Load(),
-		WorkersSpawned:   c.WorkersSpawned.Load(),
-		ExchangesReused:  c.ExchangesReused.Load(),
-		BatchesAllocated: c.BatchesAllocated.Load(),
-		BatchesRecycled:  c.BatchesRecycled.Load(),
-		SolutionBytes:    c.SolutionBytes.Load(),
-		SolutionSpills:   c.SolutionSpills.Load(),
-		SolutionReloads:  c.SolutionReloads.Load(),
-
-		DeltasApplied:         c.DeltasApplied.Load(),
-		WarmRestarts:          c.WarmRestarts.Load(),
-		PartialRecomputes:     c.PartialRecomputes.Load(),
-		FullRecomputes:        c.FullRecomputes.Load(),
-		MaintenanceSupersteps: c.MaintenanceSupersteps.Load(),
-
-		WALAppends:       c.WALAppends.Load(),
-		WALBytes:         c.WALBytes.Load(),
-		SnapshotsWritten: c.SnapshotsWritten.Load(),
-		RecoveryReplays:  c.RecoveryReplays.Load(),
-
-		EngineSwitches:     c.EngineSwitches.Load(),
-		Reoptimizations:    c.Reoptimizations.Load(),
-		ReoptimizeFailures: c.ReoptimizeFailures.Load(),
-		ReoptimizeBackoffs: c.ReoptimizeBackoffs.Load(),
-		GreedyPlans:        c.GreedyPlans.Load(),
-		PlanCacheHits:      c.PlanCacheHits.Load(),
-		FusedOperators:     c.FusedOperators.Load(),
-		PlanNanos:          c.PlanNanos.Load(),
+	var s Snapshot
+	cv := reflect.ValueOf(c).Elem()
+	sv := reflect.ValueOf(&s).Elem()
+	for _, f := range fieldPairs {
+		sv.Field(f.s).SetInt(cv.Field(f.c).Addr().Interface().(*atomic.Int64).Load())
 	}
+	return s
 }
 
 // Sub returns the delta s - o, the work done between two snapshots.
 func (s Snapshot) Sub(o Snapshot) Snapshot {
-	return Snapshot{
-		RecordsShipped:       s.RecordsShipped - o.RecordsShipped,
-		RecordsShippedRemote: s.RecordsShippedRemote - o.RecordsShippedRemote,
-		RemoteBatches:        s.RemoteBatches - o.RemoteBatches,
-		RemoteBytes:          s.RemoteBytes - o.RemoteBytes,
-		TransportErrors:      s.TransportErrors - o.TransportErrors,
-		DroppedBatches:       s.DroppedBatches - o.DroppedBatches,
-
-		WorksetElements:  s.WorksetElements - o.WorksetElements,
-		SolutionAccesses: s.SolutionAccesses - o.SolutionAccesses,
-		SolutionUpdates:  s.SolutionUpdates - o.SolutionUpdates,
-		UDFInvocations:   s.UDFInvocations - o.UDFInvocations,
-		WorkersSpawned:   s.WorkersSpawned - o.WorkersSpawned,
-		ExchangesReused:  s.ExchangesReused - o.ExchangesReused,
-		BatchesAllocated: s.BatchesAllocated - o.BatchesAllocated,
-		BatchesRecycled:  s.BatchesRecycled - o.BatchesRecycled,
-		SolutionBytes:    s.SolutionBytes - o.SolutionBytes,
-		SolutionSpills:   s.SolutionSpills - o.SolutionSpills,
-		SolutionReloads:  s.SolutionReloads - o.SolutionReloads,
-
-		DeltasApplied:         s.DeltasApplied - o.DeltasApplied,
-		WarmRestarts:          s.WarmRestarts - o.WarmRestarts,
-		PartialRecomputes:     s.PartialRecomputes - o.PartialRecomputes,
-		FullRecomputes:        s.FullRecomputes - o.FullRecomputes,
-		MaintenanceSupersteps: s.MaintenanceSupersteps - o.MaintenanceSupersteps,
-
-		WALAppends:       s.WALAppends - o.WALAppends,
-		WALBytes:         s.WALBytes - o.WALBytes,
-		SnapshotsWritten: s.SnapshotsWritten - o.SnapshotsWritten,
-		RecoveryReplays:  s.RecoveryReplays - o.RecoveryReplays,
-
-		EngineSwitches:     s.EngineSwitches - o.EngineSwitches,
-		Reoptimizations:    s.Reoptimizations - o.Reoptimizations,
-		ReoptimizeFailures: s.ReoptimizeFailures - o.ReoptimizeFailures,
-		ReoptimizeBackoffs: s.ReoptimizeBackoffs - o.ReoptimizeBackoffs,
-		GreedyPlans:        s.GreedyPlans - o.GreedyPlans,
-		PlanCacheHits:      s.PlanCacheHits - o.PlanCacheHits,
-		FusedOperators:     s.FusedOperators - o.FusedOperators,
-		PlanNanos:          s.PlanNanos - o.PlanNanos,
+	var d Snapshot
+	sv := reflect.ValueOf(s)
+	ov := reflect.ValueOf(o)
+	dv := reflect.ValueOf(&d).Elem()
+	for _, f := range fieldPairs {
+		dv.Field(f.s).SetInt(sv.Field(f.s).Int() - ov.Field(f.s).Int())
 	}
+	return d
 }
 
 // Reset zeroes all counters.
 func (c *Counters) Reset() {
-	c.RecordsShipped.Store(0)
-	c.RecordsShippedRemote.Store(0)
-	c.RemoteBatches.Store(0)
-	c.RemoteBytes.Store(0)
-	c.TransportErrors.Store(0)
-	c.DroppedBatches.Store(0)
-	c.WorksetElements.Store(0)
-	c.SolutionAccesses.Store(0)
-	c.SolutionUpdates.Store(0)
-	c.UDFInvocations.Store(0)
-	c.WorkersSpawned.Store(0)
-	c.ExchangesReused.Store(0)
-	c.BatchesAllocated.Store(0)
-	c.BatchesRecycled.Store(0)
-	c.SolutionBytes.Store(0)
-	c.SolutionSpills.Store(0)
-	c.SolutionReloads.Store(0)
-	c.DeltasApplied.Store(0)
-	c.WarmRestarts.Store(0)
-	c.PartialRecomputes.Store(0)
-	c.FullRecomputes.Store(0)
-	c.MaintenanceSupersteps.Store(0)
-	c.WALAppends.Store(0)
-	c.WALBytes.Store(0)
-	c.SnapshotsWritten.Store(0)
-	c.RecoveryReplays.Store(0)
-	c.EngineSwitches.Store(0)
-	c.Reoptimizations.Store(0)
-	c.ReoptimizeFailures.Store(0)
-	c.ReoptimizeBackoffs.Store(0)
-	c.GreedyPlans.Store(0)
-	c.PlanCacheHits.Store(0)
-	c.FusedOperators.Store(0)
-	c.PlanNanos.Store(0)
+	cv := reflect.ValueOf(c).Elem()
+	for _, f := range fieldPairs {
+		cv.Field(f.c).Addr().Interface().(*atomic.Int64).Store(0)
+	}
+}
+
+// Field is one named counter value, for exporters that iterate the full
+// set instead of naming fields.
+type Field struct {
+	Name  string
+	Value int64
+}
+
+// Fields returns every counter value in declaration order, named by its
+// struct field. New counters appear here automatically.
+func (s Snapshot) Fields() []Field {
+	sv := reflect.ValueOf(s)
+	out := make([]Field, len(fieldPairs))
+	for i, f := range fieldPairs {
+		out[i] = Field{Name: f.name, Value: sv.Field(f.s).Int()}
+	}
+	return out
 }
 
 // IterationStat records one iteration/superstep of an iterative job — one
@@ -316,22 +278,63 @@ type TraceEvent struct {
 	Event     string
 }
 
-// Trace accumulates per-iteration statistics for one job run.
+// DefaultTraceCap bounds Trace.Iterations and Trace.Events when Trace.Cap
+// is zero. A live view flushing every few milliseconds records thousands
+// of maintenance supersteps per minute; without a cap a week-old view's
+// trace grows without bound.
+const DefaultTraceCap = 4096
+
+// Trace accumulates per-iteration statistics for one job run. Retention
+// is bounded: once an entry list reaches the cap, the oldest eighth is
+// discarded in one block (amortized O(1) per Add) and counted in Dropped.
+// Iterations and Events stay plain, ordered slices — consumers that chart
+// or diff them are unaffected until a run actually exceeds the cap.
 type Trace struct {
 	Iterations []IterationStat
 	Total      time.Duration
 	// Events holds out-of-band occurrences in arrival order.
 	Events []TraceEvent
+	// Cap bounds len(Iterations) and len(Events) separately
+	// (DefaultTraceCap when zero; negative means unbounded).
+	Cap int
+	// Dropped counts entries discarded to stay under Cap, across both
+	// lists. Total still reflects every iteration ever added.
+	Dropped int64
+}
+
+func (t *Trace) cap() int {
+	if t.Cap == 0 {
+		return DefaultTraceCap
+	}
+	return t.Cap
 }
 
 // Add appends one iteration's stats.
 func (t *Trace) Add(st IterationStat) {
+	if c := t.cap(); c > 0 && len(t.Iterations) >= c {
+		drop := c / 8
+		if drop < 1 {
+			drop = 1
+		}
+		n := copy(t.Iterations, t.Iterations[drop:])
+		t.Iterations = t.Iterations[:n]
+		t.Dropped += int64(drop)
+	}
 	t.Iterations = append(t.Iterations, st)
 	t.Total += st.Duration
 }
 
 // AddEvent records an out-of-band occurrence after the given iteration.
 func (t *Trace) AddEvent(iteration int, event string) {
+	if c := t.cap(); c > 0 && len(t.Events) >= c {
+		drop := c / 8
+		if drop < 1 {
+			drop = 1
+		}
+		n := copy(t.Events, t.Events[drop:])
+		t.Events = t.Events[:n]
+		t.Dropped += int64(drop)
+	}
 	t.Events = append(t.Events, TraceEvent{Iteration: iteration, Event: event})
 }
 

@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -99,5 +101,140 @@ func TestTrace(t *testing.T) {
 	}
 	if tr.Total != 3*time.Millisecond {
 		t.Errorf("total = %v", tr.Total)
+	}
+}
+
+// TestFieldParity fails when a counter field is added without matching
+// snapshot coverage (or vice versa). The reflect-based snapshot path
+// panics at package init on mismatch, so this test mostly documents the
+// guarantee — but it also pins value-level roundtrip coverage: every
+// field must survive Snapshot, Sub, and Fields with a distinct value.
+func TestFieldParity(t *testing.T) {
+	ct := reflect.TypeOf(Counters{})
+	st := reflect.TypeOf(Snapshot{})
+	if ct.NumField() != st.NumField() {
+		t.Fatalf("Counters has %d fields, Snapshot has %d", ct.NumField(), st.NumField())
+	}
+	if len(fieldPairs) != ct.NumField() {
+		t.Fatalf("fieldPairs covers %d of %d counter fields", len(fieldPairs), ct.NumField())
+	}
+
+	// Give every counter a distinct value via reflection, so a field
+	// silently skipped by Snapshot/Sub/Fields shows up as a wrong value.
+	var c Counters
+	cv := reflect.ValueOf(&c).Elem()
+	for i := 0; i < ct.NumField(); i++ {
+		cv.Field(i).Addr().Interface().(*atomic.Int64).Store(int64(100 + i))
+	}
+	s := c.Snapshot()
+	sv := reflect.ValueOf(s)
+	for i := 0; i < st.NumField(); i++ {
+		name := ct.Field(i).Name
+		want := int64(100 + i)
+		got, ok := sv.Type().FieldByName(name)
+		if !ok {
+			t.Fatalf("Snapshot missing field %s", name)
+		}
+		if v := sv.FieldByIndex(got.Index).Int(); v != want {
+			t.Errorf("Snapshot.%s = %d, want %d", name, v, want)
+		}
+	}
+
+	fields := s.Fields()
+	if len(fields) != ct.NumField() {
+		t.Fatalf("Fields() returned %d entries, want %d", len(fields), ct.NumField())
+	}
+	seen := map[string]int64{}
+	for _, f := range fields {
+		seen[f.Name] = f.Value
+	}
+	for i := 0; i < ct.NumField(); i++ {
+		name := ct.Field(i).Name
+		if seen[name] != int64(100+i) {
+			t.Errorf("Fields()[%s] = %d, want %d", name, seen[name], 100+i)
+		}
+	}
+
+	// Sub must cover every field too: s - s == zero, s - zero == s.
+	if d := s.Sub(s); d != (Snapshot{}) {
+		t.Errorf("s.Sub(s) = %+v, want zero", d)
+	}
+	if d := s.Sub(Snapshot{}); d != s {
+		t.Errorf("s.Sub(zero) != s: %+v", d)
+	}
+
+	// Reset must zero every field.
+	c.Reset()
+	if got := c.Snapshot(); got != (Snapshot{}) {
+		t.Errorf("Reset left %+v", got)
+	}
+}
+
+func TestTraceCapBoundsIterations(t *testing.T) {
+	tr := Trace{Cap: 64}
+	for i := 0; i < 1000; i++ {
+		tr.Add(IterationStat{Iteration: i, Duration: time.Microsecond})
+	}
+	if n := len(tr.Iterations); n > 64 {
+		t.Fatalf("retained %d iterations, cap 64", n)
+	}
+	if tr.Dropped == 0 {
+		t.Fatal("Dropped not counted")
+	}
+	if int(tr.Dropped)+len(tr.Iterations) != 1000 {
+		t.Errorf("dropped %d + retained %d != 1000 added", tr.Dropped, len(tr.Iterations))
+	}
+	// Retained entries are the newest, still in order.
+	last := tr.Iterations[len(tr.Iterations)-1]
+	if last.Iteration != 999 {
+		t.Errorf("newest retained iteration = %d, want 999", last.Iteration)
+	}
+	for i := 1; i < len(tr.Iterations); i++ {
+		if tr.Iterations[i].Iteration != tr.Iterations[i-1].Iteration+1 {
+			t.Fatalf("retained iterations not contiguous at %d", i)
+		}
+	}
+	// Total still reflects every add.
+	if tr.Total != 1000*time.Microsecond {
+		t.Errorf("Total = %v, want 1ms", tr.Total)
+	}
+}
+
+func TestTraceCapBoundsEvents(t *testing.T) {
+	tr := Trace{Cap: 32}
+	for i := 0; i < 500; i++ {
+		tr.AddEvent(i, "evt")
+	}
+	if n := len(tr.Events); n > 32 {
+		t.Fatalf("retained %d events, cap 32", n)
+	}
+	if tr.Events[len(tr.Events)-1].Iteration != 499 {
+		t.Errorf("newest event = %d, want 499", tr.Events[len(tr.Events)-1].Iteration)
+	}
+}
+
+func TestTraceDefaultCap(t *testing.T) {
+	var tr Trace
+	for i := 0; i < DefaultTraceCap+100; i++ {
+		tr.Add(IterationStat{Iteration: i})
+	}
+	if n := len(tr.Iterations); n > DefaultTraceCap {
+		t.Fatalf("default cap not applied: %d retained", n)
+	}
+	if tr.Dropped == 0 {
+		t.Fatal("Dropped not counted under default cap")
+	}
+}
+
+func TestTraceUnbounded(t *testing.T) {
+	tr := Trace{Cap: -1}
+	for i := 0; i < DefaultTraceCap*2; i++ {
+		tr.Add(IterationStat{Iteration: i})
+	}
+	if n := len(tr.Iterations); n != DefaultTraceCap*2 {
+		t.Fatalf("negative cap should be unbounded, retained %d", n)
+	}
+	if tr.Dropped != 0 {
+		t.Errorf("unbounded trace dropped %d", tr.Dropped)
 	}
 }

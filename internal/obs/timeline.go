@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// TimelineRow summarizes one superstep from its spans, possibly merged
+// across the hosts of a distributed run.
+type TimelineRow struct {
+	// Step is the superstep index.
+	Step int32 `json:"step"`
+	// Hosts counts distinct hosts that contributed spans to this step.
+	Hosts int `json:"hosts"`
+	// Operators counts operator spans in this step across all hosts.
+	Operators int `json:"operators"`
+	// Total is the slowest host's superstep duration — the step's
+	// wall-clock length.
+	Total time.Duration `json:"total_ns"`
+	// Compute is the critical-path operator time: the largest summed
+	// operator duration of any single (host, partition).
+	Compute time.Duration `json:"compute_ns"`
+	// Barrier is time not spent computing on the critical path: explicit
+	// barrier spans when present (distributed coordinator), otherwise
+	// Total - Compute.
+	Barrier time.Duration `json:"barrier_ns"`
+	// Ship is the summed transport ship time across hosts.
+	Ship time.Duration `json:"ship_ns"`
+	// Merge is the summed solution-set merge time.
+	Merge time.Duration `json:"merge_ns"`
+}
+
+// BuildTimeline folds spans into per-superstep rows, ordered by step.
+// Spans with Step < 0 (plan, flush, WAL, snapshot phases) are skipped —
+// they are not part of any one superstep.
+func BuildTimeline(spans []Span) []TimelineRow {
+	type hostPart struct {
+		host, part int32
+	}
+	type acc struct {
+		row      TimelineRow
+		hosts    map[int32]bool
+		partWork map[hostPart]time.Duration
+		barrier  time.Duration // explicit barrier spans
+	}
+	steps := make(map[int32]*acc)
+	get := func(step int32) *acc {
+		a := steps[step]
+		if a == nil {
+			a = &acc{
+				row:      TimelineRow{Step: step},
+				hosts:    make(map[int32]bool),
+				partWork: make(map[hostPart]time.Duration),
+			}
+			steps[step] = a
+		}
+		return a
+	}
+	for _, s := range spans {
+		if s.Step < 0 {
+			continue
+		}
+		a := get(s.Step)
+		a.hosts[s.Host] = true
+		d := time.Duration(s.Dur)
+		switch s.Phase {
+		case PhaseSuperstep:
+			if d > a.row.Total {
+				a.row.Total = d
+			}
+		case PhaseOperator:
+			a.row.Operators++
+			a.partWork[hostPart{s.Host, s.Part}] += d
+		case PhaseShip:
+			a.row.Ship += d
+		case PhaseMerge:
+			a.row.Merge += d
+		case PhaseBarrier:
+			a.barrier += d
+		}
+	}
+
+	rows := make([]TimelineRow, 0, len(steps))
+	for _, a := range steps {
+		for _, w := range a.partWork {
+			if w > a.row.Compute {
+				a.row.Compute = w
+			}
+		}
+		a.row.Hosts = len(a.hosts)
+		if a.barrier > 0 {
+			a.row.Barrier = a.barrier
+		} else if a.row.Total > a.row.Compute {
+			a.row.Barrier = a.row.Total - a.row.Compute
+		}
+		rows = append(rows, a.row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Step < rows[j].Step })
+	return rows
+}
+
+// WriteTimeline renders rows as an aligned text table.
+func WriteTimeline(w io.Writer, rows []TimelineRow) {
+	fmt.Fprintf(w, "%5s  %5s  %4s  %12s  %12s  %12s  %12s  %12s\n",
+		"step", "hosts", "ops", "total", "compute", "barrier", "ship", "merge")
+	var tot TimelineRow
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5d  %5d  %4d  %12s  %12s  %12s  %12s  %12s\n",
+			r.Step, r.Hosts, r.Operators,
+			fmtDur(r.Total), fmtDur(r.Compute), fmtDur(r.Barrier),
+			fmtDur(r.Ship), fmtDur(r.Merge))
+		tot.Total += r.Total
+		tot.Compute += r.Compute
+		tot.Barrier += r.Barrier
+		tot.Ship += r.Ship
+		tot.Merge += r.Merge
+		tot.Operators += r.Operators
+	}
+	fmt.Fprintf(w, "%5s  %5s  %4d  %12s  %12s  %12s  %12s  %12s\n",
+		"sum", "", tot.Operators,
+		fmtDur(tot.Total), fmtDur(tot.Compute), fmtDur(tot.Barrier),
+		fmtDur(tot.Ship), fmtDur(tot.Merge))
+}
+
+// fmtDur renders a duration rounded for column alignment.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// TimelineDoc is the JSON document `spinflow trace <scenario>` writes to
+// TRACE_<scenario>.json: the reassembled timeline plus the raw spans it
+// was built from.
+type TimelineDoc struct {
+	Scenario string        `json:"scenario"`
+	Trace    string        `json:"trace"`
+	Hosts    int           `json:"hosts"`
+	Rows     []TimelineRow `json:"rows"`
+	Spans    []Span        `json:"spans"`
+}
+
+// NewTimelineDoc builds the export document for one trace's spans.
+func NewTimelineDoc(scenario string, id TraceID, spans []Span) TimelineDoc {
+	hosts := make(map[int32]bool)
+	for _, s := range spans {
+		hosts[s.Host] = true
+	}
+	return TimelineDoc{
+		Scenario: scenario,
+		Trace:    id.String(),
+		Hosts:    len(hosts),
+		Rows:     BuildTimeline(spans),
+		Spans:    spans,
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/record"
 )
@@ -19,6 +20,20 @@ type Config struct {
 	// serialized form (§4.3). 0 means unlimited. Index caches (join hash
 	// tables) stay pinned regardless.
 	CacheBudget int64
+	// Trace receives superstep/operator/ship phase spans (optional). A nil
+	// sink costs one branch per would-be span on the superstep path.
+	Trace obs.TraceSink
+	// TraceID stamps recorded spans so one logical run's spans can be
+	// reassembled across processes; distributed transports also carry it in
+	// frame headers. Zero means untraced (spans still record if Trace is
+	// set, under trace ID 0).
+	TraceID obs.TraceID
+	// TraceLabel names the run on its superstep-level spans (a job or view
+	// name). Operator spans are labeled by plan-node name instead.
+	TraceLabel string
+	// Host is this process's host ID in a distributed session (0 when
+	// single-process), stamped on spans.
+	Host int
 }
 
 // Executor runs physical plans. It persists across the supersteps of an

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/record"
 )
@@ -54,6 +56,11 @@ type Session struct {
 
 	cur    Result // sink collection target of the in-flight superstep
 	closed bool
+
+	// step is the superstep index stamped on this Run's spans. Mutated only
+	// between supersteps (workers are parked), so workers read it
+	// race-free while recording operator spans.
+	step int32
 }
 
 // worker executes one (node, partition) task each superstep. All live
@@ -144,7 +151,24 @@ func (s *Session) HostedParts() []int { return s.hostedParts }
 func (w *worker) loop() {
 	for step := range w.fire {
 		if w.live {
-			if err := runTask(w.t); err != nil {
+			if sink := w.t.e.cfg.Trace; sink != nil {
+				t0 := time.Now()
+				err := runTask(w.t)
+				cfg := &w.t.e.cfg
+				sink.RecordSpan(obs.Span{
+					Trace: cfg.TraceID,
+					Host:  int32(cfg.Host),
+					Part:  int32(w.t.part),
+					Step:  w.t.sess.step,
+					Phase: obs.PhaseOperator,
+					Start: t0.UnixNano(),
+					Dur:   int64(time.Since(t0)),
+					Label: w.t.n.Name(),
+				})
+				if err != nil {
+					step.addErr(err)
+				}
+			} else if err := runTask(w.t); err != nil {
 				step.addErr(err)
 			}
 		}
@@ -170,12 +194,35 @@ func runTask(t *task) (err error) {
 	return err
 }
 
+// shipMeter is implemented by transports that time their outbound sends
+// (TCPTransport); sessions read the accumulator's delta per superstep to
+// attribute ship time to the step's span.
+type shipMeter interface {
+	ShipNanos() int64
+}
+
+// SetTraceStep sets the superstep index stamped on the next Run's spans.
+// Iteration drivers that reopen a session mid-run (re-optimization) call
+// it so the trace's step numbering stays continuous; without it each
+// session's spans count from 0.
+func (s *Session) SetTraceStep(step int) { s.step = int32(step) }
+
 // Run executes one superstep of the plan and returns the sink outputs.
 // Sink output slices are freshly allocated and owned by the caller; all
 // internal transport state is recycled for the next Run.
 func (s *Session) Run() (Result, error) {
 	if s.closed {
 		return nil, errors.New("runtime: Run on a closed session")
+	}
+	tsink := s.e.cfg.Trace
+	var start time.Time
+	var ship0 int64
+	meter, _ := s.tr.(shipMeter)
+	if tsink != nil {
+		start = time.Now()
+		if meter != nil {
+			ship0 = meter.ShipNanos()
+		}
 	}
 	s.compile()
 
@@ -202,6 +249,25 @@ func (s *Session) Run() (Result, error) {
 		if err := s.tr.Err(); err != nil {
 			return nil, err
 		}
+	}
+	if tsink != nil {
+		cfg := &s.e.cfg
+		now := time.Now()
+		tsink.RecordSpan(obs.Span{
+			Trace: cfg.TraceID, Host: int32(cfg.Host), Part: -1, Step: s.step,
+			Phase: obs.PhaseSuperstep, Start: start.UnixNano(),
+			Dur: int64(now.Sub(start)), Label: cfg.TraceLabel,
+		})
+		if meter != nil {
+			if d := meter.ShipNanos() - ship0; d > 0 {
+				tsink.RecordSpan(obs.Span{
+					Trace: cfg.TraceID, Host: int32(cfg.Host), Part: -1, Step: s.step,
+					Phase: obs.PhaseShip, Start: start.UnixNano(), Dur: d,
+					Label: cfg.TraceLabel,
+				})
+			}
+		}
+		s.step++
 	}
 	if len(step.errs) > 0 {
 		return nil, step.errs[0] // first error wins; all tasks already finished

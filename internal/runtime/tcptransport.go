@@ -11,20 +11,30 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/record"
 )
 
-// The TCP wire protocol: every message starts with a fixed 9-byte header —
-// kind, edge ID, destination partition — and data messages carry one
-// record frame (length-prefixed, CRC32-checked; see record.AppendFrame),
-// so a torn connection or bit flip surfaces as ErrCorruptFrame instead of
-// a misaligned stream. Per-connection TCP ordering guarantees that a
-// producer's end-of-stream message arrives after all of its data.
+// The TCP wire protocol: every message starts with a fixed 17-byte header —
+// kind, edge ID, destination partition, trace ID — and data messages carry
+// one record frame (length-prefixed, CRC32-checked; see
+// record.AppendFrame), so a torn connection or bit flip surfaces as
+// ErrCorruptFrame instead of a misaligned stream. Per-connection TCP
+// ordering guarantees that a producer's end-of-stream message arrives
+// after all of its data.
+//
+// The trace ID ties every frame to the distributed run that produced it
+// (obs.TraceID, stamped by the coordinator's job spec). Receivers with a
+// non-zero expected ID reject frames carrying a different non-zero ID —
+// cross-job traffic from a stale peer fails the run instead of silently
+// merging into the wrong fixpoint. Zero means untraced and matches
+// anything.
 const (
 	tcpMsgData = 1 // header + one record frame
 	tcpMsgEOS  = 2 // header only: one remote producer of edge finished
 
-	tcpHeaderSize = 9
+	tcpHeaderSize = 17
+	tcpTraceOff   = 9 // trace ID offset within the header
 )
 
 // tcpPreamble opens every peer connection: a magic marker plus the
@@ -60,7 +70,31 @@ type TCPTransport struct {
 	err   error
 
 	inbox []edgeInbox
+
+	// traceID stamps outbound frame headers and screens inbound ones; set
+	// by SetObs before the session runs. sendHist (optional) observes
+	// per-send wall time; shipNanos accumulates it for the session's ship
+	// span. timeSends gates the clock calls so an untraced transport pays
+	// nothing.
+	traceID   atomic.Uint64
+	sendHist  *obs.Histogram
+	timeSends atomic.Bool
+	shipNanos atomic.Int64
 }
+
+// SetObs attaches telemetry: id is stamped on (and verified against)
+// frame headers, sendHist — when non-nil — observes each outbound send's
+// wall time. Call before the session starts running supersteps.
+func (t *TCPTransport) SetObs(id obs.TraceID, sendHist *obs.Histogram) {
+	t.traceID.Store(uint64(id))
+	t.sendHist = sendHist
+	t.timeSends.Store(id != 0 || sendHist != nil)
+}
+
+// ShipNanos returns the accumulated outbound send time (grows only after
+// SetObs enabled timing); sessions diff it across a superstep to size the
+// ship span.
+func (t *TCPTransport) ShipNanos() int64 { return t.shipNanos.Load() }
 
 // tcpPeer is one live connection to a peer process. Writes are serialized
 // under mu; enc is the per-peer reusable serialization buffer.
@@ -225,15 +259,29 @@ func (t *TCPTransport) Send(edgeID, part int, b record.Batch) {
 		t.fail(fmt.Errorf("runtime: transport: no connection to host %d (partition %d)", t.placement[part], part))
 		return
 	}
+	var t0 time.Time
+	timed := t.timeSends.Load()
+	if timed {
+		t0 = time.Now()
+	}
 	p.mu.Lock()
 	p.enc = p.enc[:0]
-	p.enc = append(p.enc, tcpMsgData, 0, 0, 0, 0, 0, 0, 0, 0)
+	p.enc = append(p.enc, make([]byte, tcpHeaderSize)...)
+	p.enc[0] = tcpMsgData
 	binary.LittleEndian.PutUint32(p.enc[1:5], uint32(edgeID))
 	binary.LittleEndian.PutUint32(p.enc[5:9], uint32(part))
+	binary.LittleEndian.PutUint64(p.enc[tcpTraceOff:tcpHeaderSize], t.traceID.Load())
 	p.enc = record.AppendFrame(p.enc, b)
 	n := len(p.enc)
 	_, err := p.conn.Write(p.enc)
 	p.mu.Unlock()
+	if timed {
+		d := int64(time.Since(t0))
+		t.shipNanos.Add(d)
+		if t.sendHist != nil {
+			t.sendHist.Observe(time.Duration(d))
+		}
+	}
 	if err != nil {
 		t.fail(fmt.Errorf("runtime: transport send to host %d: %w", t.placement[part], err))
 		return
@@ -250,6 +298,7 @@ func (t *TCPTransport) FinishProducer(edgeID int) {
 	var hdr [tcpHeaderSize]byte
 	hdr[0] = tcpMsgEOS
 	binary.LittleEndian.PutUint32(hdr[1:5], uint32(edgeID))
+	binary.LittleEndian.PutUint64(hdr[tcpTraceOff:tcpHeaderSize], t.traceID.Load())
 	t.mu.Lock()
 	peers := append([]*tcpPeer(nil), t.peers...)
 	t.mu.Unlock()
@@ -281,6 +330,10 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		edge := int(binary.LittleEndian.Uint32(hdr[1:5]))
 		if edge < 0 || edge >= len(t.inbox) {
 			t.fail(fmt.Errorf("runtime: transport: edge %d out of range", edge))
+			return
+		}
+		if got, want := binary.LittleEndian.Uint64(hdr[tcpTraceOff:tcpHeaderSize]), t.traceID.Load(); got != 0 && want != 0 && got != want {
+			t.fail(fmt.Errorf("runtime: transport: frame carries trace %016x, this job is %016x — stale peer?", got, want))
 			return
 		}
 		switch hdr[0] {
