@@ -10,8 +10,10 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/iterative"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/optimizer"
 	"repro/internal/record"
 )
 
@@ -23,6 +25,9 @@ type Result struct {
 	Solution []record.Record
 	// Supersteps is the number of barrier rounds to the fixpoint.
 	Supersteps int
+	// PlanEpochs is how many coordinated mid-run re-optimizations the run
+	// applied (JobSpec.Reoptimize only).
+	PlanEpochs int
 	// Work is the coordinator process's counter snapshot (remote batches
 	// and bytes measure only host 0's share of the shuffle).
 	Work metrics.Snapshot
@@ -56,6 +61,86 @@ func (w *workerConn) expect(kinds ...string) (ctlMsg, error) {
 		}
 	}
 	return msg, fmt.Errorf("distrib: expected %v from worker, got %q", kinds, msg.Kind)
+}
+
+// coordBarrier plugs the worker pool into the shared superstep driver: the
+// coordinator's own job runs inside iterative's driver loop, and this
+// barrier is how each round reaches the other processes. Release fans the
+// step out to every worker before the coordinator computes its own share —
+// the exchanges require all processes in the round concurrently, since
+// every process's consumers wait on every process's producers. Collect
+// gathers the workers' local next-workset counts into the global one the
+// driver converges on, rejecting any worker whose plan epoch disagrees.
+type coordBarrier struct {
+	workers []*workerConn
+	j       *job
+	reg     *obs.Registry
+	// epoch is the coordinated plan epoch every process must be at; it
+	// advances in epochBump only after all workers acknowledge the swap.
+	epoch     int
+	stepStart time.Time
+}
+
+func (b *coordBarrier) Release(step int) error {
+	b.stepStart = time.Now()
+	for _, w := range b.workers {
+		if err := w.enc.Encode(ctlMsg{Kind: kindStep, Epoch: b.epoch}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *coordBarrier) Collect(step, localNext int) (int, error) {
+	total := localNext
+	for _, w := range b.workers {
+		done, err := w.expect(kindStepDone)
+		if err != nil {
+			return 0, err
+		}
+		if done.Epoch != b.epoch {
+			return 0, fmt.Errorf("distrib: superstep %d: worker at plan epoch %d, coordinator at %d — rejected at the barrier",
+				step, done.Epoch, b.epoch)
+		}
+		total += done.Count
+	}
+	if b.reg != nil {
+		// Release-to-all-done round trip: the barrier as the
+		// coordinator experiences it, including every peer's compute.
+		b.reg.Histogram("distrib_step_rtt").ObserveSince(b.stepStart)
+	}
+	return total, nil
+}
+
+// epochBump is the driver's OnEpoch hook: the coordinator's driver decided
+// to re-plan at the barrier, and phys is the plan it is about to swap to.
+// Broadcast the epoch with the global workset estimate, wait for every
+// worker to re-plan and swap, and verify their digests against ours —
+// only then does the driver swap the coordinator's own session, so a
+// worker that fails the swap aborts the run before any process executes
+// under a mixed-plan mesh.
+func (b *coordBarrier) epochBump(epoch int, est int64, phys *optimizer.PhysPlan) error {
+	digest := PlanDigest(phys)
+	for _, w := range b.workers {
+		if err := w.enc.Encode(ctlMsg{Kind: kindEpoch, Epoch: epoch, Count: int(est), Digest: digest}); err != nil {
+			return err
+		}
+	}
+	for _, w := range b.workers {
+		done, err := w.expect(kindEpochDone)
+		if err != nil {
+			return err
+		}
+		if done.Digest != digest {
+			return fmt.Errorf("distrib: plan epoch %d: worker re-planned a different dataflow (digest %.12s, coordinator %.12s)",
+				epoch, done.Digest, digest)
+		}
+	}
+	b.epoch = epoch
+	b.j.phys = phys
+	b.j.digest = digest
+	b.j.epoch = epoch
+	return nil
 }
 
 // Run executes js as a distributed session: this process is host 0 (the
@@ -141,44 +226,21 @@ func RunObs(js JobSpec, workerAddrs []string, reg *obs.Registry) (*Result, error
 		}
 	}
 
-	// The superstep barrier. Releasing the workers before running our own
-	// share lets all processes execute the round concurrently — the
-	// exchanges require it, since every process's consumers wait for
-	// every process's producers.
+	// Drive to the fixpoint through the shared superstep driver: the same
+	// loop that runs the single-process engines runs here, with the worker
+	// pool plugged in as the barrier and — when js.Reoptimize is set — the
+	// epoch hook coordinating mid-run plan swaps across every process.
 	res := &Result{}
-	converged := false
-	for step := 0; step < js.MaxSupersteps; step++ {
-		stepStart := time.Now()
-		for _, w := range workers {
-			if err := w.enc.Encode(ctlMsg{Kind: kindStep}); err != nil {
-				return nil, err
-			}
+	b := &coordBarrier{workers: workers, j: j, reg: reg}
+	ir, err := j.fx.RunDriven(j.w0, iterative.DriveHooks{Barrier: b, OnEpoch: b.epochBump})
+	if err != nil {
+		if errors.Is(err, iterative.ErrNoProgress) {
+			return nil, fmt.Errorf("distrib: no fixpoint after %d supersteps", js.MaxSupersteps)
 		}
-		total, err := j.step()
-		if err != nil {
-			return nil, err
-		}
-		for _, w := range workers {
-			done, err := w.expect(kindStepDone)
-			if err != nil {
-				return nil, err
-			}
-			total += done.Count
-		}
-		if reg != nil {
-			// Release-to-all-done round trip: the barrier as the
-			// coordinator experiences it, including every peer's compute.
-			reg.Histogram("distrib_step_rtt").ObserveSince(stepStart)
-		}
-		res.Supersteps = step + 1
-		if total == 0 {
-			converged = true
-			break
-		}
+		return nil, err
 	}
-	if !converged {
-		return nil, fmt.Errorf("distrib: no fixpoint after %d supersteps", js.MaxSupersteps)
-	}
+	res.Supersteps = ir.Supersteps
+	res.PlanEpochs = ir.PlanEpochs
 
 	// Assemble the solution: every process contributes its hosted
 	// partitions; the canonical sort makes the result byte-comparable

@@ -2,8 +2,10 @@ package distrib
 
 import (
 	"bytes"
+	"encoding/json"
 	"net"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/iterative"
@@ -216,6 +218,165 @@ func TestDistributedTracePropagation(t *testing.T) {
 	// Cross-process shuffle was timed on the coordinator's transport.
 	if coord.Histogram("transport_send_duration").Count() == 0 {
 		t.Error("transport_send_duration recorded nothing")
+	}
+}
+
+// TestDistributedReoptimizeMatchesSingleProcess is the plan-epoch
+// acceptance check: a 2-process run with mid-run re-optimization enabled
+// must apply at least one coordinated plan epoch (the workset collapses
+// far below the planned estimate near convergence) and still produce the
+// byte-identical fixpoint, in the same number of supersteps, as the
+// single-process driver running the identical spec.
+func TestDistributedReoptimizeMatchesSingleProcess(t *testing.T) {
+	jobs := []JobSpec{
+		{Algorithm: "cc", GraphKind: "uniform", GraphN: 200, GraphM: 400, Seed: 0xE90C, Parallelism: 4, Reoptimize: true},
+		{Algorithm: "sssp", GraphKind: "uniform", GraphN: 150, GraphM: 450, Seed: 0xE90D, Parallelism: 4, Source: 2, Reoptimize: true},
+	}
+	for _, js := range jobs {
+		js := js
+		t.Run(js.Algorithm, func(t *testing.T) {
+			single, err := RunSingle(js)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(js, startWorkers(t, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encodeAll(got.Solution), encodeAll(single.Solution)) {
+				t.Fatalf("re-optimized distributed fixpoint diverged: %d records vs %d single-process",
+					len(got.Solution), len(single.Solution))
+			}
+			if got.Supersteps != single.Supersteps {
+				t.Fatalf("superstep counts diverged: distributed %d, single %d",
+					got.Supersteps, single.Supersteps)
+			}
+			if got.PlanEpochs < 1 {
+				t.Fatalf("run applied %d plan epochs, want at least one mid-run re-optimization", got.PlanEpochs)
+			}
+		})
+	}
+}
+
+// startFakeWorker runs an almost-honest worker in-process: it executes the
+// real job (real plan, real data plane, real epoch swaps) but passes every
+// control reply through mutate first, so tests can inject exactly one
+// protocol-level lie and watch the coordinator catch it.
+func startFakeWorker(t *testing.T, mutate func(reply *ctlMsg)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		dec, enc := json.NewDecoder(conn), json.NewEncoder(conn)
+		send := func(msg ctlMsg) error {
+			mutate(&msg)
+			return enc.Encode(msg)
+		}
+		var jobMsg ctlMsg
+		if err := dec.Decode(&jobMsg); err != nil || jobMsg.Kind != kindJob {
+			return
+		}
+		j, dataAddr, err := newJob(*jobMsg.Job, jobMsg.HostID, "127.0.0.1:0", nil)
+		if err != nil {
+			return
+		}
+		defer j.close()
+		if send(ctlMsg{Kind: kindReady, DataAddr: dataAddr, Digest: j.digest}) != nil {
+			return
+		}
+		var start ctlMsg
+		if err := dec.Decode(&start); err != nil || start.Kind != kindStart {
+			return
+		}
+		if j.open(start.DataAddrs) != nil {
+			return
+		}
+		j.fx.SeedWorkset(j.w0)
+		if send(ctlMsg{Kind: kindMeshed}) != nil {
+			return
+		}
+		for {
+			var msg ctlMsg
+			if dec.Decode(&msg) != nil {
+				return
+			}
+			switch msg.Kind {
+			case kindStep:
+				count, err := j.fx.StepOnce()
+				if err != nil {
+					send(ctlMsg{Kind: kindError, Err: err.Error()})
+					continue
+				}
+				if send(ctlMsg{Kind: kindStepDone, Count: count, Epoch: j.epoch}) != nil {
+					return
+				}
+			case kindEpoch:
+				digest, err := j.applyEpoch(msg.Epoch, int64(msg.Count))
+				if err != nil {
+					send(ctlMsg{Kind: kindError, Err: err.Error()})
+					continue
+				}
+				if send(ctlMsg{Kind: kindEpochDone, Epoch: msg.Epoch, Digest: digest}) != nil {
+					return
+				}
+			case kindCollect:
+				if send(ctlMsg{Kind: kindSolution, Frames: j.collect(jobMsg.HostID)}) != nil {
+					return
+				}
+			case kindStop:
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestStaleEpochRejectedAtBarrier pins the barrier-time staleness check: a
+// worker whose step acknowledgment carries the wrong plan epoch — as a
+// worker that missed a coordinated swap would — must be rejected at the
+// superstep barrier, before another round executes.
+func TestStaleEpochRejectedAtBarrier(t *testing.T) {
+	js := JobSpec{Algorithm: "cc", GraphKind: "uniform", GraphN: 40, GraphM: 80, Seed: 0xE90E, Parallelism: 2}
+	addr := startFakeWorker(t, func(reply *ctlMsg) {
+		if reply.Kind == kindStepDone {
+			reply.Epoch = 7 // a plan swap the coordinator never announced
+		}
+	})
+	_, err := Run(js, []string{addr})
+	if err == nil {
+		t.Fatal("coordinator accepted a step acknowledgment from a stale plan epoch")
+	}
+	if !strings.Contains(err.Error(), "rejected at the barrier") {
+		t.Fatalf("wrong rejection: %v", err)
+	}
+}
+
+// TestEpochDigestMismatchAborts pins the swap-time agreement check: if a
+// worker's re-planned dataflow digest disagrees with the coordinator's,
+// the epoch bump fails — and it fails before the coordinator swaps its own
+// session, so no superstep ever runs on a mixed-plan mesh.
+func TestEpochDigestMismatchAborts(t *testing.T) {
+	// Same spec as the parity test: known to trigger a mid-run epoch.
+	js := JobSpec{Algorithm: "cc", GraphKind: "uniform", GraphN: 200, GraphM: 400, Seed: 0xE90C, Parallelism: 4, Reoptimize: true}
+	addr := startFakeWorker(t, func(reply *ctlMsg) {
+		if reply.Kind == kindEpochDone {
+			reply.Digest = "deadbeefdeadbeef"
+		}
+	})
+	_, err := Run(js, []string{addr})
+	if err == nil {
+		t.Fatal("coordinator accepted an epoch acknowledgment with a foreign plan digest")
+	}
+	if !strings.Contains(err.Error(), "different dataflow") {
+		t.Fatalf("wrong rejection: %v", err)
 	}
 }
 

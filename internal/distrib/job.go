@@ -3,7 +3,6 @@ package distrib
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/graphgen"
@@ -49,55 +48,66 @@ func distWeight(src, dst int64) float64 {
 // buildSpec derives the job's incremental spec, initial solution, and
 // initial workset from the JobSpec.
 func buildSpec(js JobSpec) (iterative.IncrementalSpec, []record.Record, []record.Record, error) {
+	var (
+		spec   iterative.IncrementalSpec
+		s0, w0 []record.Record
+	)
 	g, err := buildGraph(js)
 	if err != nil {
-		return iterative.IncrementalSpec{}, nil, nil, err
+		return spec, nil, nil, err
 	}
 	switch js.Algorithm {
 	case "cc":
-		spec, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCMatch)
-		return spec, s0, w0, nil
+		spec, s0, w0 = algorithms.CCIncrementalSpec(g, algorithms.CCMatch)
 	case "cc-cogroup":
-		spec, s0, w0 := algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
-		return spec, s0, w0, nil
+		spec, s0, w0 = algorithms.CCIncrementalSpec(g, algorithms.CCCoGroup)
 	case "sssp":
 		und := g.Undirected()
 		edges := make([]algorithms.WeightedEdge, len(und.Edges))
 		for i, e := range und.Edges {
 			edges[i] = algorithms.WeightedEdge{Src: e.Src, Dst: e.Dst, Weight: distWeight(e.Src, e.Dst)}
 		}
-		spec, s0, w0 := algorithms.SSSPSpec(edges, js.Source)
-		return spec, s0, w0, nil
+		spec, s0, w0 = algorithms.SSSPSpec(edges, js.Source)
+	default:
+		return spec, nil, nil, fmt.Errorf("distrib: unknown algorithm %q", js.Algorithm)
 	}
-	return iterative.IncrementalSpec{}, nil, nil, fmt.Errorf("distrib: unknown algorithm %q", js.Algorithm)
+	// The same bounds and re-planning policy on every process — and on
+	// the single-process oracle, which runs the identical spec.
+	spec.MaxSupersteps = js.MaxSupersteps
+	spec.Reoptimize = js.Reoptimize
+	return spec, s0, w0, nil
 }
 
 // job is one process's share of a distributed run: the locally derived
-// plan, the transport meshed with the peers, and the session hosting this
-// process's partition range.
+// plan, the transport meshed with the peers, and a resident Fixpoint
+// hosting this process's partition range. The coordinator drives its
+// job's Fixpoint through the shared superstep driver (RunDriven with a
+// barrier and an epoch hook); workers drive theirs one StepOnce — or one
+// ApplyEpoch — per control message.
 type job struct {
-	js     JobSpec
-	spec   iterative.IncrementalSpec
-	phys   *optimizer.PhysPlan
-	place  runtime.Placement
-	m      *metrics.Counters
-	reg    *obs.Registry
-	exec   *runtime.Executor
-	tr     *runtime.TCPTransport
-	sess   *runtime.Session
+	js    JobSpec
+	spec  iterative.IncrementalSpec
+	cfg   iterative.Config
+	phys  *optimizer.PhysPlan
+	place runtime.Placement
+	m     *metrics.Counters
+	reg   *obs.Registry
+	tr    *runtime.TCPTransport
+	sol   *runtime.SolutionSet
+	fx    *iterative.Fixpoint
+	w0    []record.Record
+	// digest fingerprints the plan the session currently executes; epoch
+	// counts the coordinated plan swaps this process has applied. Both
+	// advance together at a plan-epoch bump.
 	digest string
-	// host is this process's host ID; stepN counts its supersteps. Both
-	// stamp the merge spans recorded in step().
-	host  int
-	stepN int
+	epoch  int
+	host   int
 }
 
 // newJob builds everything up to — but not including — the peer mesh: the
-// deterministic spec and plan, the executor with the solution set
-// initialized, and the transport listening on addr. Mid-run re-planning
-// is deliberately off in distributed runs: a re-optimized plan has new
-// edge IDs, and swapping it in safely would need a coordinated epoch
-// across all processes.
+// deterministic spec and plan, the solution set initialized with S0, and
+// the transport listening on addr. The Fixpoint (and its session) opens
+// in open(), after the mesh exists.
 //
 // A non-nil registry turns telemetry on: supersteps and operators record
 // spans under the job's trace ID with this process's host ID, and the
@@ -130,25 +140,13 @@ func newJob(js JobSpec, hostID int, listenAddr string, reg *obs.Registry) (*job,
 		return nil, "", err
 	}
 
-	rc := runtime.Config{BatchSize: js.BatchSize, Metrics: m}
-	if reg != nil {
-		rc.Trace = reg.Trace()
-		rc.TraceID = obs.TraceID(js.TraceID)
-		rc.TraceLabel = js.Algorithm
-		rc.Host = hostID
-	}
-	exec := runtime.NewExecutor(rc)
 	sol := runtime.NewSolutionSetWith(js.Parallelism, spec.SolutionKey, spec.Comparator, m,
 		runtime.SolutionOptions{Backend: cfg.SolutionBackend})
 	sol.Init(s0)
-	exec.Solution = sol
-	if _, err := iterative.ValidateMicrostep(spec); err == nil {
-		exec.DirectMerge = true
-	}
-	exec.SetPlaceholder(spec.Workset.ID, w0, spec.WorksetKey, js.Parallelism)
 
 	j := &job{
-		js: js, spec: spec, phys: phys, m: m, reg: reg, exec: exec,
+		js: js, spec: spec, cfg: cfg, phys: phys, m: m, reg: reg,
+		sol: sol, w0: w0,
 		place:  runtime.ContiguousPlacement(js.Parallelism, js.Hosts),
 		digest: PlanDigest(phys),
 		host:   hostID,
@@ -159,51 +157,40 @@ func newJob(js JobSpec, hostID int, listenAddr string, reg *obs.Registry) (*job,
 	}
 	addr, err := j.tr.Listen(listenAddr)
 	if err != nil {
-		exec.Close()
 		return nil, "", err
 	}
 	return j, addr, nil
 }
 
-// open meshes the transport with the peers and opens the hosted session.
+// open meshes the transport with the peers and opens the hosted Fixpoint
+// on it. The working set is not seeded here: workers seed their share
+// explicitly, the coordinator seeds through RunDriven.
 func (j *job) open(dataAddrs []string) error {
 	if err := j.tr.ConnectPeers(dataAddrs, meshTimeout); err != nil {
 		j.tr.Close()
-		j.exec.Close()
 		return err
 	}
-	j.sess = j.exec.OpenSessionOn(j.phys, j.tr)
+	fx, err := iterative.OpenFixpointOn(j.spec, j.sol, j.cfg, j.phys, j.tr)
+	if err != nil {
+		j.tr.Close()
+		return err
+	}
+	j.fx = fx
 	return nil
 }
 
-// step runs one superstep of this process's partitions and returns the
-// local next-workset count. The global convergence decision belongs to
-// the coordinator — an empty local workset does not mean the peers are
-// done.
-func (j *job) step() (int, error) {
-	res, err := j.sess.Run()
+// applyEpoch re-plans for the coordinator's global workset estimate and
+// swaps the session onto the new plan, advancing this process's plan
+// epoch. The returned digest must match the coordinator's.
+func (j *job) applyEpoch(epoch int, est int64) (string, error) {
+	phys, err := j.fx.ApplyEpoch(est)
 	if err != nil {
-		return 0, err
+		return "", err
 	}
-	mergeStart := time.Now()
-	j.exec.Solution.MergeDelta(res.Records(j.spec.DeltaSink.ID))
-	if j.reg != nil {
-		d := time.Since(mergeStart)
-		j.reg.Histogram("merge_duration").Observe(d)
-		j.reg.Trace().RecordSpan(obs.Span{
-			Trace: obs.TraceID(j.js.TraceID), Host: int32(j.host), Part: -1,
-			Step: int32(j.stepN), Phase: obs.PhaseMerge,
-			Start: mergeStart.UnixNano(), Dur: int64(d), Label: j.js.Algorithm,
-		})
-	}
-	j.stepN++
-	nextParts := res[j.spec.WorksetSink.ID]
-	count := 0
-	for _, p := range nextParts {
-		count += len(p)
-	}
-	j.exec.SetPlaceholderParts(j.spec.Workset.ID, nextParts)
-	return count, nil
+	j.phys = phys
+	j.digest = PlanDigest(phys)
+	j.epoch = epoch
+	return j.digest, nil
 }
 
 // collect serializes the hosted partitions of the solution set, one frame
@@ -212,7 +199,7 @@ func (j *job) collect(hostID int) []byte {
 	var out []byte
 	for _, p := range j.place.HostedBy(hostID) {
 		var b record.Batch
-		j.exec.Solution.EachPartition(p, func(r record.Record) {
+		j.sol.EachPartition(p, func(r record.Record) {
 			b = append(b, r)
 		})
 		// Within a partition the backend's iteration order is not
@@ -226,9 +213,8 @@ func (j *job) collect(hostID int) []byte {
 // close releases the session, transport, and executor. The solution set
 // stays readable (collect may have already run).
 func (j *job) close() {
-	if j.sess != nil {
-		j.sess.Close()
+	if j.fx != nil {
+		j.fx.Close()
 	}
 	j.tr.Close()
-	j.exec.Close()
 }

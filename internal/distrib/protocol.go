@@ -53,6 +53,17 @@ type JobSpec struct {
 	Backend string `json:"backend,omitempty"`
 	// MaxSupersteps bounds the run (0 = 10000).
 	MaxSupersteps int `json:"max_supersteps,omitempty"`
+	// Reoptimize lets the coordinator re-plan mid-run when the workset
+	// collapses far below the planned estimate. Each re-plan is a
+	// coordinated plan epoch: the coordinator decides at the superstep
+	// barrier, broadcasts the new epoch with the global workset size and
+	// its new plan digest, and every worker re-plans locally, swaps its
+	// session, and acknowledges with its own digest before the next
+	// superstep is released. Determinism does the heavy lifting again —
+	// all processes re-plan from the same estimate, so the digests must
+	// agree, and the exchange layer keeps routing by (edge ID, partition)
+	// in the new plan's ID space.
+	Reoptimize bool `json:"reoptimize,omitempty"`
 	// TraceID groups the run's telemetry spans across every process: the
 	// coordinator mints it (obs.NewTraceID) when it runs with a registry,
 	// ships it here with the job assignment, and each process stamps it on
@@ -87,9 +98,19 @@ const (
 	kindStart  = "start"
 	kindMeshed = "meshed"
 	// kindStep (coordinator → worker) releases one superstep; the worker
-	// replies kindStepDone with its local next-workset count.
+	// replies kindStepDone with its local next-workset count. Both carry
+	// the current plan epoch: a mismatch means a process missed (or
+	// imagined) a plan swap and is rejected at the barrier, before its
+	// traffic can be routed under the wrong plan.
 	kindStep     = "step"
 	kindStepDone = "step_done"
+	// kindEpoch (coordinator → worker) announces a coordinated plan swap:
+	// Epoch is the new epoch number, Count the global workset size to
+	// re-plan for, Digest the coordinator's new plan digest. The worker
+	// re-plans, swaps its session, and replies kindEpochDone with its own
+	// digest — which must match, or the run aborts.
+	kindEpoch     = "epoch"
+	kindEpochDone = "epoch_done"
 	// kindCollect (coordinator → worker) requests the worker's hosted
 	// solution partitions; the reply kindSolution carries them as
 	// concatenated record frames.
@@ -114,7 +135,10 @@ type ctlMsg struct {
 	DataAddrs []string `json:"data_addrs,omitempty"`
 	Digest    string   `json:"digest,omitempty"`
 	Count     int      `json:"count,omitempty"`
-	Frames    []byte   `json:"frames,omitempty"`
+	// Epoch rides kindStep/kindStepDone (barrier-time staleness check) and
+	// kindEpoch/kindEpochDone (the plan swap itself).
+	Epoch  int    `json:"epoch,omitempty"`
+	Frames []byte `json:"frames,omitempty"`
 	// Spans rides the kindSolution reply: the worker's telemetry spans for
 	// the job's trace ID, so the coordinator reassembles one cross-process
 	// timeline (host IDs keep the origins apart).

@@ -35,7 +35,7 @@ func RunSingle(js JobSpec) (*Result, error) {
 	}
 	sol := res.Solution
 	sort.Slice(sol, func(x, y int) bool { return record.Less(sol[x], sol[y]) })
-	return &Result{Solution: sol, Supersteps: res.Supersteps, Work: m.Snapshot()}, nil
+	return &Result{Solution: sol, Supersteps: res.Supersteps, PlanEpochs: res.PlanEpochs, Work: m.Snapshot()}, nil
 }
 
 // EncodeSolution serializes a result's solution records back-to-back —

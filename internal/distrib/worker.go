@@ -94,6 +94,10 @@ func runWorkerJob(js JobSpec, hostID int, dec *json.Decoder, enc *json.Encoder, 
 	if err := j.open(start.DataAddrs); err != nil {
 		return enc.Encode(ctlMsg{Kind: kindError, Err: err.Error()})
 	}
+	// Seed the initial workset: SetPlaceholder partitions the full W0 and
+	// the session reads only this worker's hosted range, so every process
+	// seeds from the identical deterministic slice.
+	j.fx.SeedWorkset(j.w0)
 	if err := enc.Encode(ctlMsg{Kind: kindMeshed}); err != nil {
 		return err
 	}
@@ -105,14 +109,35 @@ func runWorkerJob(js JobSpec, hostID int, dec *json.Decoder, enc *json.Encoder, 
 		}
 		switch msg.Kind {
 		case kindStep:
-			count, err := j.step()
+			if msg.Epoch != j.epoch {
+				err := fmt.Errorf("distrib: released for superstep at plan epoch %d while at %d", msg.Epoch, j.epoch)
+				if err := enc.Encode(ctlMsg{Kind: kindError, Err: err.Error()}); err != nil {
+					return err
+				}
+				continue // wait for the coordinator's stop
+			}
+			count, err := j.fx.StepOnce()
 			if err != nil {
 				if err := enc.Encode(ctlMsg{Kind: kindError, Err: err.Error()}); err != nil {
 					return err
 				}
 				continue // wait for the coordinator's stop
 			}
-			if err := enc.Encode(ctlMsg{Kind: kindStepDone, Count: count}); err != nil {
+			if err := enc.Encode(ctlMsg{Kind: kindStepDone, Count: count, Epoch: j.epoch}); err != nil {
+				return err
+			}
+		case kindEpoch:
+			// Coordinated plan swap: re-plan for the coordinator's global
+			// workset estimate, swap the session, and echo our new digest
+			// so the coordinator can verify the mesh stayed plan-agreed.
+			digest, err := j.applyEpoch(msg.Epoch, int64(msg.Count))
+			if err != nil {
+				if err := enc.Encode(ctlMsg{Kind: kindError, Err: err.Error()}); err != nil {
+					return err
+				}
+				continue // wait for the coordinator's stop
+			}
+			if err := enc.Encode(ctlMsg{Kind: kindEpochDone, Epoch: msg.Epoch, Digest: digest}); err != nil {
 				return err
 			}
 		case kindCollect:

@@ -20,8 +20,14 @@ type DistributedCheck struct {
 	Parallelism int
 	Hosts       int
 	Supersteps  int
-	Records     int
-	Identical   bool
+	// Reoptimize marks the cells that run with coordinated mid-run
+	// re-optimization on; PlanEpochs counts the plan swaps the run
+	// actually applied (every process re-plans and swaps sessions at an
+	// epoch bump, and the result must still be byte-identical).
+	Reoptimize bool
+	PlanEpochs int
+	Records    int
+	Identical  bool
 }
 
 // DistributedBenchRow is one row of the superstep-throughput comparison.
@@ -122,6 +128,19 @@ func distributedJobs(scale graphgen.Scale) []distrib.JobSpec {
 				})
 			}
 		}
+		// One cell per algorithm with coordinated mid-run re-optimization:
+		// the workset collapse near convergence triggers plan epochs, every
+		// process swaps sessions, and the bytes must still match.
+		jobs = append(jobs, distrib.JobSpec{
+			Algorithm:   alg,
+			GraphKind:   "uniform",
+			GraphN:      n,
+			GraphM:      2 * n,
+			Seed:        0xD157,
+			Source:      1,
+			Parallelism: 4,
+			Reoptimize:  true,
+		})
 	}
 	return jobs
 }
@@ -146,7 +165,7 @@ func Distributed(o Options) (*DistributedResult, error) {
 	defer w.stop()
 
 	o.printf("Distributed mode — 2-process differential (vs single-process bytes)\n")
-	o.printf("  %-11s %-8s %-4s %-6s %-7s %s\n", "algorithm", "backend", "par", "steps", "records", "identical")
+	o.printf("  %-11s %-8s %-4s %-6s %-6s %-7s %s\n", "algorithm", "backend", "par", "steps", "epochs", "records", "identical")
 	for _, js := range distributedJobs(o.Scale) {
 		single, err := distrib.RunSingle(js)
 		if err != nil {
@@ -160,10 +179,12 @@ func Distributed(o Options) (*DistributedResult, error) {
 		res.AllIdentical = res.AllIdentical && identical
 		res.Checks = append(res.Checks, DistributedCheck{
 			Algorithm: js.Algorithm, Backend: js.Backend, Parallelism: js.Parallelism,
-			Hosts: 2, Supersteps: dist.Supersteps, Records: len(dist.Solution), Identical: identical,
+			Hosts: 2, Supersteps: dist.Supersteps,
+			Reoptimize: js.Reoptimize, PlanEpochs: dist.PlanEpochs,
+			Records: len(dist.Solution), Identical: identical,
 		})
-		o.printf("  %-11s %-8s %-4d %-6d %-7d %t\n",
-			js.Algorithm, js.Backend, js.Parallelism, dist.Supersteps, len(dist.Solution), identical)
+		o.printf("  %-11s %-8s %-4d %-6d %-6d %-7d %t\n",
+			js.Algorithm, js.Backend, js.Parallelism, dist.Supersteps, dist.PlanEpochs, len(dist.Solution), identical)
 	}
 	if !res.AllIdentical {
 		return res, fmt.Errorf("harness: distributed fixpoints diverged from single-process")

@@ -321,8 +321,19 @@ func TestDistributedScenario(t *testing.T) {
 	if !res.AllIdentical {
 		t.Fatal("a distributed fixpoint diverged from the single-process bytes")
 	}
-	if len(res.Checks) != 8 {
-		t.Fatalf("checks = %d, want 8 (2 algorithms × 2 backends × 2 parallelisms)", len(res.Checks))
+	if len(res.Checks) != 10 {
+		t.Fatalf("checks = %d, want 10 (2 algorithms × 2 backends × 2 parallelisms, plus one reoptimize cell per algorithm)", len(res.Checks))
+	}
+	reoptCells := 0
+	for _, c := range res.Checks {
+		if c.Reoptimize {
+			reoptCells++
+		} else if c.PlanEpochs != 0 {
+			t.Errorf("%s/%s par=%d applied %d plan epochs without reoptimize on", c.Algorithm, c.Backend, c.Parallelism, c.PlanEpochs)
+		}
+	}
+	if reoptCells != 2 {
+		t.Errorf("reoptimize cells = %d, want one per algorithm", reoptCells)
 	}
 	for _, c := range res.Checks {
 		if !c.Identical {

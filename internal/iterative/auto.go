@@ -117,7 +117,10 @@ func incrementalStats(spec *IncrementalSpec, solution, workset int, cfg Config) 
 // time feed a least-squares fit of the cost weights, so repeated runs
 // plan with observed rather than guessed constants.
 func RunAuto(spec AutoSpec, initialSolution, initialWorkset []record.Record, cfg Config) (*AutoResult, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if err := spec.Incremental.validate(); err != nil {
 		return nil, err
 	}
@@ -291,12 +294,14 @@ func runAutoMicrostep(spec IncrementalSpec, initialSolution, workset []record.Re
 	}
 	prior := out.Supersteps
 	priorMicro := out.Microsteps
+	priorEpochs := out.PlanEpochs
 	priorPlan := out.Plan
 	events := out.Trace.Events
 	priorTrace := out.Trace
 	out.IncrementalResult = *res
 	out.Supersteps += prior
 	out.Microsteps += priorMicro
+	out.PlanEpochs += priorEpochs
 	if out.Plan == nil {
 		// A handoff keeps the plan the superstep phase executed;
 		// microstep execution itself has none.
@@ -345,104 +350,73 @@ func runAutoIncremental(auto AutoSpec, initialSolution, initialWorkset []record.
 		return nil, err
 	}
 	out.Plan = phys
-	reopt := newReoptState(phys, plannedEst)
 
-	exec := runtime.NewExecutor(cfg.runtimeConfig())
-	defer exec.Close()
-	exec.Solution = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
-	exec.Solution.Init(initialSolution)
-	exec.DirectMerge = microOK
-	exec.SetPlaceholder(spec.Workset.ID, initialWorkset, spec.WorksetKey, cfg.Parallelism)
-	if cfg.Metrics != nil {
-		cfg.Metrics.WorksetElements.Add(int64(len(initialWorkset)))
-	}
+	sol := cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
+	sol.Init(initialSolution)
+	en := openIncEngine(&spec, sol, cfg, expected, phys, nil)
+	en.tag = optimizer.EngineIncremental.String()
+	defer en.close()
+	en.seed(initialWorkset)
 
-	sess := exec.OpenSession(phys)
-	defer func() { sess.Close() }()
-
-	out.Set = exec.Solution
+	out.Set = sol
 	stats := incrementalStats(&spec, len(initialSolution), len(initialWorkset), cfg)
 	inCount := len(initialWorkset)
-	for step := 0; step < maxSteps; step++ {
-		weights := engineWeights(cfg)
-		planned := optimizer.SuperstepCost(int64(inCount), stats, weights)
-		start := time.Now()
-		var before metrics.Snapshot
-		if cfg.Metrics != nil {
-			before = cfg.Metrics.Snapshot()
-		}
-
-		sess.SetTraceStep(step)
-		res, err := sess.Run()
-		if err != nil {
-			return nil, err
-		}
-		out.Supersteps = step + 1
-		cfg.observeSuperstep(time.Since(start))
-		mergeStart := time.Now()
-		exec.Solution.MergeDelta(res.Records(spec.DeltaSink.ID))
-		cfg.noteMerge(step, mergeStart)
-
-		nextParts := res[spec.WorksetSink.ID]
-		nextCount := 0
-		for _, p := range nextParts {
-			nextCount += len(p)
-		}
-		dur := time.Since(start)
-		var work metrics.Snapshot
-		if cfg.Metrics != nil {
-			work = cfg.Metrics.Snapshot().Sub(before)
-			cfg.Metrics.WorksetElements.Add(int64(nextCount))
-			if cfg.Calibrator != nil {
-				cfg.Calibrator.ObserveSuperstep(work, stats.Tasks, dur)
-			}
-		}
-		out.PlannedVsObserved = append(out.PlannedVsObserved, metrics.PlannedVsObserved{
-			Engine: optimizer.EngineIncremental.String(), Superstep: step,
-			Planned: planned, Observed: dur,
-		})
-		if cfg.CollectTrace {
-			out.Trace.Add(metrics.IterationStat{
-				Iteration: step, Duration: dur, Work: work,
-				Engine: optimizer.EngineIncremental.String(),
+	var planned float64
+	d := &driver{
+		cfg: cfg, policy: en, maxSteps: maxSteps, worksetDriven: true,
+		calTasks: stats.Tasks,
+		reopt:    newReoptState(phys, plannedEst),
+		collect:  cfg.CollectTrace, trace: &out.Trace,
+		preStep: func(step int) {
+			planned = optimizer.SuperstepCost(int64(inCount), stats, engineWeights(cfg))
+		},
+		postStep: func(step, next int, work metrics.Snapshot, dur time.Duration) {
+			out.PlannedVsObserved = append(out.PlannedVsObserved, metrics.PlannedVsObserved{
+				Engine: optimizer.EngineIncremental.String(), Superstep: step,
+				Planned: planned, Observed: dur,
 			})
-		}
-		if err := checkpointIfDue(&spec, step, exec.Solution, nextParts); err != nil {
-			return nil, err
-		}
-		if nextCount == 0 {
-			out.Solution = exec.Solution.Snapshot()
-			return out, nil
-		}
-
+			inCount = next
+		},
 		// Crossover check with the freshest weights: once finishing
 		// asynchronously beats paying further barrier rounds, hand the
 		// resident solution set over and switch engines. Like the initial
 		// selection, a calibrated verdict must also hold under the
 		// default weights before a switch is trusted.
-		switchNow := microOK && optimizer.MicrostepWins(int64(nextCount), step+1, stats, engineWeights(cfg))
-		if switchNow && cfg.EngineWeights == nil && cfg.Calibrator != nil {
-			switchNow = optimizer.MicrostepWins(int64(nextCount), step+1, stats, optimizer.DefaultWeights())
-		}
-		if switchNow {
-			remaining := make([]record.Record, 0, nextCount)
-			for _, p := range nextParts {
-				remaining = append(remaining, p...)
+		switchWhen: func(step, next int) bool {
+			switchNow := microOK && optimizer.MicrostepWins(int64(next), step+1, stats, engineWeights(cfg))
+			if switchNow && cfg.EngineWeights == nil && cfg.Calibrator != nil {
+				switchNow = optimizer.MicrostepWins(int64(next), step+1, stats, optimizer.DefaultWeights())
 			}
-			sess.Close()
-			if cfg.Metrics != nil {
-				cfg.Metrics.EngineSwitches.Add(1)
-			}
-			out.Switches++
-			out.Trace.AddEvent(step, fmt.Sprintf(
-				"switched incremental → microstep at workset %d", nextCount))
-			return runAutoMicrostep(spec, nil, remaining, cfg, out, exec.Solution)
-		}
-		sess = reopt.maybeReoptimize(&spec, cfg, expected, step, nextCount,
-			exec, sess, &out.Trace)
-		inCount = nextCount
-		exec.SetPlaceholderParts(spec.Workset.ID, nextParts)
+			return switchNow
+		},
 	}
-	out.Solution = exec.Solution.Snapshot()
+	converged, err := d.run()
+	out.Supersteps = d.steps
+	out.PlanEpochs = d.epochs
+	if err != nil {
+		return nil, err
+	}
+	if d.switched {
+		// Hand the resident solution set over warm and finish
+		// asynchronously.
+		nextCount := 0
+		var remaining []record.Record
+		for _, p := range en.nextParts {
+			nextCount += len(p)
+			remaining = append(remaining, p...)
+		}
+		en.sess.Close()
+		if cfg.Metrics != nil {
+			cfg.Metrics.EngineSwitches.Add(1)
+		}
+		out.Switches++
+		out.Trace.AddEvent(d.steps-1, fmt.Sprintf(
+			"switched incremental → microstep at workset %d", nextCount))
+		return runAutoMicrostep(spec, nil, remaining, cfg, out, sol)
+	}
+	out.Solution = sol.Snapshot()
+	if converged {
+		return out, nil
+	}
 	return out, fmt.Errorf("%w after %d supersteps", ErrNoProgress, maxSteps)
 }

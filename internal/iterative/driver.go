@@ -1,0 +1,538 @@
+package iterative
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/runtime"
+)
+
+// This file is the single superstep driver every engine runs on. The
+// paper's point is that bulk and incremental iterations are one dataflow
+// abstraction differing only in step semantics; the code says the same
+// thing structurally: the full superstep lifecycle — the loop itself,
+// convergence, the re-optimize decision with its backoff and plan cache,
+// calibrator feedback, checkpoint hooks, and the obs histogram/span
+// recording — lives here exactly once, and the engines (bulk full
+// recompute, incremental workset ∪̇ merge, microstep per-element
+// dispatch) are small EnginePolicy values supplying only their step
+// semantics and cost inputs. RunBulk, RunIncremental, RunMicrostep, the
+// Resume*/Restore* entry points, RunAuto's monitored run, Fixpoint (and
+// through it internal/live), and internal/distrib's coordinator all
+// drive this loop rather than keeping private copies of it.
+
+// stepOutcome is what one EnginePolicy superstep reports back to the
+// driver core.
+type stepOutcome struct {
+	// next is the local next-workset cardinality. In a coordinated
+	// (distributed) run the driver converts it to the global count
+	// through the Barrier before acting on it.
+	next int
+	// done is engine-declared termination independent of the workset:
+	// bulk's criterion sink fell silent, its convergence callback fired,
+	// or its fixed pass count was reached.
+	done bool
+	// compute is the superstep's compute wall time (the session run,
+	// excluding the ∪̇ merge), recorded into the superstep-duration
+	// histogram. Zero skips the sample — microstep execution has no
+	// barriers to time.
+	compute time.Duration
+}
+
+// EnginePolicy supplies one engine's step semantics to the driver. The
+// methods are unexported: engines live in this package; the driver calls
+// them in a fixed lifecycle order (step → checkpoint → feed).
+type EnginePolicy interface {
+	// label names the engine on per-superstep trace stats ("" = plain).
+	label() string
+	// step executes one superstep. absStep is the absolute step index —
+	// resident engines (Fixpoint) number supersteps continuously across
+	// Run calls, so it is the trace/span step, while checkpoint cadence
+	// uses the run-relative index.
+	step(absStep int) (stepOutcome, error)
+	// checkpoint persists engine state after run-relative step, if due.
+	checkpoint(step int) error
+	// feed installs the produced workset for the next superstep; called
+	// only when the run continues, after any plan swap (placeholders
+	// live on the executor, so they survive session swaps).
+	feed()
+}
+
+// replanner is the optional EnginePolicy capability of an engine whose
+// physical plan can be re-optimized mid-run (the incremental engine).
+type replanner interface {
+	// reoptimizeWanted reports whether the spec asked for mid-run
+	// re-optimization.
+	reoptimizeWanted() bool
+	// replan plans for the collapsed workset estimate. useCache routes
+	// through the shared plan cache; hit reports a cache hit. A
+	// coordinated run plans fresh instead, so every process derives the
+	// identical plan from the identical estimate.
+	replan(est int64, cache *optimizer.PlanCache, useCache bool) (phys *optimizer.PhysPlan, hit bool, err error)
+	// swap installs a re-optimized plan: invalidate the loop-invariant
+	// caches, close the old session, open a new one (rebinding the
+	// transport's routing state in distributed runs).
+	swap(phys *optimizer.PhysPlan) error
+}
+
+// Barrier coordinates the driver's supersteps across the processes of a
+// distributed run. Release lets every peer start the step — it must be
+// called before the local step runs, because the exchanges interlock:
+// every process's consumers wait on every process's producers. Collect
+// folds the local next-workset count into the global one; only the
+// global count decides convergence, since a process's empty workset can
+// refill entirely from its peers' shipped records.
+type Barrier interface {
+	Release(step int) error
+	Collect(step, localNext int) (globalNext int, err error)
+}
+
+// DriveHooks couples a Fixpoint run to an external coordinator: the
+// barrier that globalizes convergence, and the epoch hook that announces
+// a decided re-optimization to the peers before the local session swaps.
+type DriveHooks struct {
+	// Barrier, if non-nil, coordinates each superstep across processes.
+	Barrier Barrier
+	// OnEpoch, if non-nil, is called when the driver has decided a
+	// re-optimization and planned phys for the global workset estimate
+	// est: broadcast the new plan epoch, wait until every peer has
+	// re-planned and swapped, and return nil — only then does the local
+	// session swap and the next superstep start. A non-nil OnEpoch also
+	// bypasses the plan cache, so peers re-planning from the shipped
+	// estimate derive the byte-identical plan.
+	OnEpoch func(epoch int, est int64, phys *optimizer.PhysPlan) error
+}
+
+// driver owns one run's superstep lifecycle. Exactly one for loop in
+// this package drives supersteps: the one in run.
+type driver struct {
+	cfg    Config
+	policy EnginePolicy
+
+	maxSteps  int
+	traceBase int // absolute index of this run's first superstep
+
+	// worksetDriven runs convergence as "the (global) workset drained";
+	// false for bulk, whose policy declares done itself.
+	worksetDriven bool
+
+	// calTasks is the calibration feature (logical plan tasks per
+	// superstep) the engine supplies; 0 disables calibrator feedback.
+	calTasks int
+
+	// reopt enables mid-run re-optimization when non-nil and the policy
+	// is a replanner that wants it.
+	reopt *reoptState
+	hooks DriveHooks
+
+	// preStep/postStep/switchWhen are RunAuto's monitoring hooks: cost
+	// prediction before the step, planned-vs-observed after it, and the
+	// engine-crossover test that ends the run with switched=true.
+	preStep    func(step int)
+	postStep   func(step, next int, work metrics.Snapshot, dur time.Duration)
+	switchWhen func(step, next int) bool
+
+	collect bool
+	trace   *metrics.Trace
+
+	// Outcomes.
+	steps    int
+	epochs   int
+	switched bool
+}
+
+// run drives supersteps to convergence, a mid-run engine switch, or the
+// step budget. It returns whether the run converged; budget exhaustion
+// returns (false, nil) and the adapter wraps ErrNoProgress.
+func (d *driver) run() (converged bool, err error) {
+	rp, _ := d.policy.(replanner)
+	for step := 0; step < d.maxSteps; step++ {
+		if d.hooks.Barrier != nil {
+			if err := d.hooks.Barrier.Release(step); err != nil {
+				return false, err
+			}
+		}
+		if d.preStep != nil {
+			d.preStep(step)
+		}
+		start := time.Now()
+		var before metrics.Snapshot
+		if d.cfg.Metrics != nil {
+			before = d.cfg.Metrics.Snapshot()
+		}
+
+		out, err := d.policy.step(d.traceBase + step)
+		if err != nil {
+			return false, err
+		}
+		d.steps = step + 1
+		if out.compute > 0 {
+			d.cfg.observeSuperstep(out.compute)
+		}
+		dur := time.Since(start)
+		var work metrics.Snapshot
+		if d.cfg.Metrics != nil {
+			work = d.cfg.Metrics.Snapshot().Sub(before)
+			if d.cfg.Calibrator != nil && d.calTasks > 0 {
+				// The wall time includes the ∪̇ merge — the observed cost
+				// of a superstep is compute plus state maintenance.
+				d.cfg.Calibrator.ObserveSuperstep(work, d.calTasks, dur)
+			}
+		}
+
+		next := out.next
+		if d.hooks.Barrier != nil {
+			if next, err = d.hooks.Barrier.Collect(step, out.next); err != nil {
+				return false, err
+			}
+		}
+		if d.postStep != nil {
+			d.postStep(step, next, work, dur)
+		}
+		if d.collect {
+			d.trace.Add(metrics.IterationStat{
+				Iteration: step, Duration: dur, Work: work, Engine: d.policy.label(),
+			})
+		}
+		if err := d.policy.checkpoint(step); err != nil {
+			return false, err
+		}
+		if out.done || (d.worksetDriven && next == 0) {
+			return true, nil
+		}
+		if d.switchWhen != nil && d.switchWhen(step, next) {
+			d.switched = true
+			return false, nil
+		}
+		if rp != nil && d.reopt != nil {
+			if err := d.maybeReoptimize(rp, step, next); err != nil {
+				return false, err
+			}
+		}
+		d.policy.feed()
+	}
+	return false, nil
+}
+
+// reoptimizeBackoffSteps is how many supersteps a failed re-optimization
+// suppresses further attempts for: the same collapsed workset would
+// otherwise retry — and fail — every superstep until convergence.
+const reoptimizeBackoffSteps = 8
+
+// reoptState carries the adaptive re-planning state of one running
+// iteration: the estimate the current plan was costed with, the plan
+// cache its re-optimizations share (memoizing the key registry and whole
+// plans by fingerprint), the plan the session is executing, and the
+// backoff window after a failure. It persists across a Fixpoint's Run
+// calls, so repeated maintenance batches that collapse the same way hit
+// the cache instead of re-planning.
+type reoptState struct {
+	cache *optimizer.PlanCache
+	// cur is the plan the live session executes; a cache hit returning
+	// cur is a pure no-op (no session swap, caches stay warm).
+	cur        *optimizer.PhysPlan
+	plannedEst int64
+	// backoffUntil suppresses re-optimization attempts for supersteps
+	// below it after a failure.
+	backoffUntil int
+}
+
+func newReoptState(cur *optimizer.PhysPlan, plannedEst int64) *reoptState {
+	return &reoptState{cache: optimizer.NewPlanCache(), cur: cur, plannedEst: plannedEst}
+}
+
+// maybeReoptimize is the adaptive re-planning decision, owned by the
+// driver: when the engine wants re-optimization and the working set has
+// collapsed far below the size the current plan was costed with, Δ is
+// re-planned for the remaining supersteps and a fresh session swapped
+// in. Single-process runs re-plan through the plan cache — a hit skips
+// planning entirely, and a hit on the very plan already executing skips
+// the session swap too. Coordinated runs (OnEpoch set) plan fresh from
+// the exact global estimate and announce the new plan epoch to every
+// peer before swapping locally. Failures are surfaced
+// (ReoptimizeFailures, ReoptimizeBackoffs, a trace event) and suppress
+// further attempts for reoptimizeBackoffSteps supersteps.
+func (d *driver) maybeReoptimize(rp replanner, step, next int) error {
+	st := d.reopt
+	if !rp.reoptimizeWanted() || int64(next)*16 >= st.plannedEst || step < st.backoffUntil {
+		return nil
+	}
+	useCache := d.hooks.OnEpoch == nil
+	newPhys, hit, rerr := rp.replan(int64(next), st.cache, useCache)
+	if rerr != nil {
+		if d.cfg.Metrics != nil {
+			d.cfg.Metrics.ReoptimizeFailures.Add(1)
+			d.cfg.Metrics.ReoptimizeBackoffs.Add(1)
+		}
+		st.backoffUntil = step + 1 + reoptimizeBackoffSteps
+		d.trace.AddEvent(step, fmt.Sprintf("reoptimize failed (backing off %d supersteps): %v",
+			reoptimizeBackoffSteps, rerr))
+		return nil
+	}
+	st.plannedEst = int64(next)
+	if newPhys == st.cur {
+		return nil
+	}
+	if d.hooks.OnEpoch != nil {
+		if err := d.hooks.OnEpoch(d.epochs+1, int64(next), newPhys); err != nil {
+			return fmt.Errorf("iterative: plan epoch %d: %w", d.epochs+1, err)
+		}
+	}
+	if d.cfg.Metrics != nil {
+		d.cfg.Metrics.Reoptimizations.Add(1)
+	}
+	if hit {
+		d.trace.AddEvent(step, fmt.Sprintf("reoptimized for workset %d (plan cache hit)", next))
+	} else {
+		d.trace.AddEvent(step, fmt.Sprintf("reoptimized for workset %d", next))
+	}
+	if err := rp.swap(newPhys); err != nil {
+		return err
+	}
+	st.cur = newPhys
+	d.epochs++
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Incremental engine: one superstep evaluates Δ against (S, W), merges D
+// into S with ∪̇, and produces the next working set. Shared by
+// RunIncremental, Fixpoint (live maintenance, ResumeIncremental), the
+// distributed job, and RunAuto's monitored incremental phase.
+
+type incEngine struct {
+	spec     *IncrementalSpec
+	cfg      Config
+	expected int
+	exec     *runtime.Executor
+	tr       runtime.Transport
+	sess     *runtime.Session
+	// nextParts is the last step's produced workset, partition-aligned;
+	// feed installs it, checkpoint persists it.
+	nextParts [][]record.Record
+	// tag labels trace stats (RunAuto sets "incremental"; plain runs "").
+	tag string
+}
+
+// openIncEngine builds the executor and session for an already-planned
+// incremental spec: sol becomes the resident solution set, DirectMerge
+// turns on when the Δ flow meets the §5.2 locality conditions (later
+// working-set elements then observe earlier updates within a superstep,
+// pruning redundant candidates at the source), and the session hosts
+// this process's partitions on tr (nil = everything in-process).
+func openIncEngine(spec *IncrementalSpec, sol *runtime.SolutionSet, cfg Config, expected int,
+	phys *optimizer.PhysPlan, tr runtime.Transport) *incEngine {
+	exec := runtime.NewExecutor(cfg.runtimeConfig())
+	exec.Solution = sol
+	if _, err := ValidateMicrostep(*spec); err == nil {
+		exec.DirectMerge = true
+	}
+	return &incEngine{
+		spec: spec, cfg: cfg, expected: expected,
+		exec: exec, tr: tr, sess: exec.OpenSessionOn(phys, tr),
+	}
+}
+
+// seed installs the initial working set, partitioned on the workset key.
+func (en *incEngine) seed(w []record.Record) {
+	en.exec.SetPlaceholder(en.spec.Workset.ID, w, en.spec.WorksetKey, en.cfg.Parallelism)
+	if en.cfg.Metrics != nil {
+		en.cfg.Metrics.WorksetElements.Add(int64(len(w)))
+	}
+}
+
+func (en *incEngine) label() string { return en.tag }
+
+func (en *incEngine) step(absStep int) (stepOutcome, error) {
+	start := time.Now()
+	// Keeps span numbering continuous across re-plan session swaps and
+	// a Fixpoint's successive maintenance runs.
+	en.sess.SetTraceStep(absStep)
+	res, err := en.sess.Run()
+	if err != nil {
+		return stepOutcome{}, err
+	}
+	compute := time.Since(start)
+
+	// S ∪̇ D — applied after the superstep so that every access inside
+	// the superstep observed S_i (§5.3: "we cache the records in the
+	// delta set D until the end of the superstep").
+	mergeStart := time.Now()
+	en.exec.Solution.MergeDelta(res.Records(en.spec.DeltaSink.ID))
+	en.cfg.noteMerge(absStep, mergeStart)
+
+	en.nextParts = res[en.spec.WorksetSink.ID]
+	count := 0
+	for _, p := range en.nextParts {
+		count += len(p)
+	}
+	if en.cfg.Metrics != nil {
+		en.cfg.Metrics.WorksetElements.Add(int64(count))
+	}
+	return stepOutcome{next: count, compute: compute}, nil
+}
+
+func (en *incEngine) checkpoint(step int) error {
+	return checkpointIfDue(en.spec, step, en.exec.Solution, en.nextParts)
+}
+
+// feed re-enters the produced workset: the sink is partition-pinned on
+// the workset key, so its partitions re-enter directly — the paper's
+// partitioned queues.
+func (en *incEngine) feed() {
+	en.exec.SetPlaceholderParts(en.spec.Workset.ID, en.nextParts)
+}
+
+func (en *incEngine) reoptimizeWanted() bool { return en.spec.Reoptimize }
+
+// replan plans Δ for a collapsed workset estimate, through the plan
+// cache (counting PlanCacheHits on a hit) or fresh when a coordinated
+// epoch needs every process to derive the identical plan from est.
+func (en *incEngine) replan(est int64, cache *optimizer.PlanCache, useCache bool) (*optimizer.PhysPlan, bool, error) {
+	saved := en.spec.Workset.EstRecords
+	if est > 0 {
+		en.spec.Workset.EstRecords = est
+	}
+	defer func() { en.spec.Workset.EstRecords = saved }()
+	opts := incrementalOptions(en.spec, en.cfg, en.expected, true)
+	start := time.Now()
+	var (
+		phys *optimizer.PhysPlan
+		hit  bool
+		err  error
+	)
+	if useCache {
+		phys, hit, err = cache.Optimize(en.spec.Plan, opts, est)
+	} else {
+		phys, err = optimizer.Optimize(en.spec.Plan, opts)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if hit {
+		if en.cfg.Metrics != nil {
+			en.cfg.Metrics.PlanCacheHits.Add(1)
+		}
+	} else {
+		notePlanned(en.cfg, opts.Planner, phys, time.Since(start))
+	}
+	return phys, hit, nil
+}
+
+// swap installs a re-optimized plan mid-run: the loop-invariant caches
+// are dropped (their slots are keyed by the old plan's node IDs), the
+// old session closes, the transport's per-edge routing state is rebound
+// to the new plan's edge count, and a fresh session opens. The solution
+// set and the executor's placeholders survive untouched.
+func (en *incEngine) swap(phys *optimizer.PhysPlan) error {
+	en.exec.InvalidateCaches()
+	en.sess.Close()
+	if rb, ok := en.tr.(runtime.Rebinder); ok {
+		rb.Rebind(phys.NumEdges)
+	}
+	en.sess = en.exec.OpenSessionOn(phys, en.tr)
+	return nil
+}
+
+// close releases the session and the executor's caches; the solution
+// set stays readable.
+func (en *incEngine) close() {
+	en.sess.Close()
+	en.exec.Close()
+}
+
+// ---------------------------------------------------------------------
+// Bulk engine: one step is a full recomputation pass of G over the
+// previous partial solution, with the engine's own termination criteria
+// (silent criterion sink, driver-side convergence test, fixed count).
+
+type bulkPolicy struct {
+	spec      *BulkSpec
+	cfg       Config
+	exec      *runtime.Executor
+	sess      *runtime.Session
+	phKey     record.KeyFunc
+	prev      []record.Record
+	next      []record.Record
+	nextParts [][]record.Record
+}
+
+func (b *bulkPolicy) label() string { return "" }
+
+func (b *bulkPolicy) step(absStep int) (stepOutcome, error) {
+	start := time.Now()
+	if b.spec.Unroll && absStep > 0 {
+		// Unrolled execution: a new instance of G per pass (§4.2) —
+		// drop every loop-invariant cache before re-running. The
+		// session detects the generation change and rewires.
+		b.exec.InvalidateCaches()
+	}
+	b.sess.SetTraceStep(absStep)
+	res, err := b.sess.Run()
+	if err != nil {
+		return stepOutcome{}, err
+	}
+	b.nextParts = res[b.spec.Output.ID]
+	next := res.Records(b.spec.Output.ID)
+
+	done := false
+	if b.spec.Termination != nil && len(res.Records(b.spec.Termination.ID)) == 0 {
+		done = true
+	}
+	if b.spec.Converged != nil && b.spec.Converged(b.prev, next) {
+		done = true
+	}
+	if b.spec.FixedIterations > 0 && absStep+1 >= b.spec.FixedIterations {
+		done = true
+	}
+	b.prev, b.next = next, next
+	return stepOutcome{done: done, compute: time.Since(start)}, nil
+}
+
+func (b *bulkPolicy) checkpoint(step int) error {
+	if b.spec.CheckpointEvery <= 0 || b.spec.OnCheckpoint == nil || (step+1)%b.spec.CheckpointEvery != 0 {
+		return nil
+	}
+	cp := &Checkpoint{Kind: "bulk", Iteration: step + 1,
+		Solution: append([]record.Record(nil), b.next...)}
+	if err := b.spec.OnCheckpoint(cp); err != nil {
+		return fmt.Errorf("iterative: checkpoint at pass %d: %w", step+1, err)
+	}
+	return nil
+}
+
+// feed closes the loop: O becomes the next I. When the loop-closing
+// property grant holds, O's partitions are already laid out correctly
+// and re-enter without reshuffling.
+func (b *bulkPolicy) feed() {
+	if b.phKey != nil {
+		b.exec.SetPlaceholderParts(b.spec.Input.ID, b.nextParts)
+	} else {
+		b.exec.SetPlaceholder(b.spec.Input.ID, b.next, nil, b.cfg.Parallelism)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Microstep engine: the whole asynchronous drain is one driver step —
+// there are no barriers inside it, so the run converges in a single
+// pass (next=0 after the in-flight count hits zero) and the engine
+// reports no compute sample into the superstep histogram.
+
+type microPolicy struct {
+	run     *microRun
+	workset []record.Record
+	out     *IncrementalResult
+}
+
+func (mp *microPolicy) label() string { return "microstep" }
+
+func (mp *microPolicy) step(absStep int) (stepOutcome, error) {
+	mp.run.drain(mp.workset, mp.out)
+	return stepOutcome{done: true}, nil
+}
+
+func (mp *microPolicy) checkpoint(int) error { return nil }
+func (mp *microPolicy) feed()                {}

@@ -21,6 +21,18 @@
 //     dispatch-overhead crossover. A shared optimizer.Calibrator fits
 //     the cost weights from measured supersteps so repeated runs (live
 //     views, harness sweeps) plan with observed constants.
+//
+// All of these run on one superstep driver (driver.go): a single loop
+// owning session lifecycle, convergence, the reoptimize decision with
+// backoff and plan cache, calibrator feedback, checkpoint cadence, and
+// span recording. An engine contributes only an EnginePolicy (what one
+// step computes: bulk = full recompute, incremental = Δ then S ∪̇ D,
+// microstep = asynchronous drain), and a deployment contributes only
+// DriveHooks: a Barrier that globalizes per-process workset counts and
+// an OnEpoch callback that coordinates plan swaps across processes —
+// nil hooks mean single-process, where local counts are global. The
+// public Run*/Resume* functions and the resident Fixpoint are thin
+// adapters over that core.
 package iterative
 
 import (
@@ -98,11 +110,27 @@ type Config struct {
 	Host int
 }
 
-func (c Config) normalized() Config {
-	if c.Parallelism <= 0 {
+// normalize validates and default-fills a Config exactly once, at every
+// public Run*/Resume*/Plan*/Open* entry point: negative knobs are
+// rejected (they are always caller bugs, and silently clamping them hid
+// the bug), zero means "use the default".
+func (c Config) normalize() (Config, error) {
+	if c.Parallelism < 0 {
+		return c, fmt.Errorf("iterative: negative Parallelism %d", c.Parallelism)
+	}
+	if c.BatchSize < 0 {
+		return c, fmt.Errorf("iterative: negative BatchSize %d", c.BatchSize)
+	}
+	if c.SolutionMemoryBudget < 0 {
+		return c, fmt.Errorf("iterative: negative SolutionMemoryBudget %d", c.SolutionMemoryBudget)
+	}
+	if c.Hosts < 0 {
+		return c, fmt.Errorf("iterative: negative Hosts %d", c.Hosts)
+	}
+	if c.Parallelism == 0 {
 		c.Parallelism = 1
 	}
-	return c
+	return c, nil
 }
 
 // runtimeConfig builds the executor config, threading telemetry through
@@ -209,7 +237,10 @@ type BulkResult struct {
 // evaluated (and cached) once, while I is re-bound to the previous pass's
 // O before every pass (§4.2).
 func RunBulk(spec BulkSpec, initial []record.Record, cfg Config) (*BulkResult, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if spec.Input == nil || spec.Output == nil {
 		return nil, fmt.Errorf("iterative: bulk spec needs Input and Output nodes")
 	}
@@ -266,70 +297,18 @@ func RunBulk(spec BulkSpec, initial []record.Record, cfg Config) (*BulkResult, e
 	defer sess.Close()
 
 	out := &BulkResult{Plan: phys}
-	prev := initial
-	for i := 0; i < maxIter; i++ {
-		start := time.Now()
-		var before metrics.Snapshot
-		if cfg.Metrics != nil {
-			before = cfg.Metrics.Snapshot()
-		}
-		if spec.Unroll && i > 0 {
-			// Unrolled execution: a new instance of G per pass (§4.2) —
-			// drop every loop-invariant cache before re-running. The
-			// session detects the generation change and rewires.
-			exec.InvalidateCaches()
-		}
-
-		res, err := sess.Run()
-		if err != nil {
-			return nil, err
-		}
-		nextParts := res[spec.Output.ID]
-		next := res.Records(spec.Output.ID)
-		out.Iterations = i + 1
-		cfg.observeSuperstep(time.Since(start))
-		if cfg.CollectTrace {
-			st := metrics.IterationStat{Iteration: i, Duration: time.Since(start)}
-			if cfg.Metrics != nil {
-				st.Work = cfg.Metrics.Snapshot().Sub(before)
-			}
-			out.Trace.Add(st)
-		}
-
-		if spec.CheckpointEvery > 0 && spec.OnCheckpoint != nil && (i+1)%spec.CheckpointEvery == 0 {
-			cp := &Checkpoint{Kind: "bulk", Iteration: i + 1,
-				Solution: append([]record.Record(nil), next...)}
-			if err := spec.OnCheckpoint(cp); err != nil {
-				return nil, fmt.Errorf("iterative: checkpoint at pass %d: %w", i+1, err)
-			}
-		}
-
-		stop := false
-		if spec.Termination != nil && len(res.Records(spec.Termination.ID)) == 0 {
-			stop = true
-		}
-		if spec.Converged != nil && spec.Converged(prev, next) {
-			stop = true
-		}
-		if spec.FixedIterations > 0 && i+1 >= spec.FixedIterations {
-			stop = true
-		}
-		out.Solution = next
-		if stop {
-			return out, nil
-		}
-
-		// Feedback: O becomes the next I. When the loop-closing property
-		// grant holds, O's partitions are already laid out correctly and
-		// re-enter without reshuffling.
-		if phKey != nil {
-			exec.SetPlaceholderParts(spec.Input.ID, nextParts)
-		} else {
-			exec.SetPlaceholder(spec.Input.ID, next, nil, cfg.Parallelism)
-		}
-		prev = next
+	b := &bulkPolicy{spec: &spec, cfg: cfg, exec: exec, sess: sess, phKey: phKey, prev: initial}
+	d := &driver{
+		cfg: cfg, policy: b, maxSteps: maxIter,
+		collect: cfg.CollectTrace, trace: &out.Trace,
 	}
-	if spec.FixedIterations > 0 {
+	converged, err := d.run()
+	out.Iterations = d.steps
+	out.Solution = b.next
+	if err != nil {
+		return nil, err
+	}
+	if converged || spec.FixedIterations > 0 {
 		return out, nil
 	}
 	// Budget exhausted: return the partial result so capped experiment
@@ -389,6 +368,9 @@ type IncrementalResult struct {
 	// Microsteps counts individually processed workset elements (only for
 	// microstep execution).
 	Microsteps int64
+	// PlanEpochs counts the mid-run re-optimizations that actually swapped
+	// in a new plan (in a distributed run: coordinated plan-epoch bumps).
+	PlanEpochs int
 	// Trace holds per-superstep stats when Config.CollectTrace is set.
 	Trace metrics.Trace
 	// Plan is the physical plan (nil for microstep execution).
@@ -414,7 +396,10 @@ func (s *IncrementalSpec) validate() error {
 // with ∪̇ and installs the produced working set for the next superstep.
 // It converges when the working set is empty (§5.3).
 func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []record.Record, cfg Config) (*IncrementalResult, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -436,82 +421,29 @@ func RunIncremental(spec IncrementalSpec, initialSolution, initialWorkset []reco
 		return nil, err
 	}
 
-	exec := runtime.NewExecutor(cfg.runtimeConfig())
-	defer exec.Close()
-	exec.Solution = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
-	exec.Solution.Init(initialSolution)
-	// §5.3: when the Δ flow meets the microstep locality conditions, delta
-	// records merge into S directly during the superstep, so later
-	// working-set elements observe the update and redundant candidates are
-	// pruned at the source.
-	if _, err := ValidateMicrostep(spec); err == nil {
-		exec.DirectMerge = true
+	sol := cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
+	sol.Init(initialSolution)
+	en := openIncEngine(&spec, sol, cfg, expected, phys, nil)
+	defer en.close()
+	en.seed(initialWorkset)
+
+	out := &IncrementalResult{Plan: phys, Set: sol}
+	d := &driver{
+		cfg: cfg, policy: en, maxSteps: maxSteps, worksetDriven: true,
+		reopt:   newReoptState(phys, plannedEst),
+		collect: cfg.CollectTrace, trace: &out.Trace,
 	}
-	exec.SetPlaceholder(spec.Workset.ID, initialWorkset, spec.WorksetKey, cfg.Parallelism)
-	if cfg.Metrics != nil {
-		cfg.Metrics.WorksetElements.Add(int64(len(initialWorkset)))
+	converged, err := d.run()
+	out.Supersteps = d.steps
+	out.PlanEpochs = d.epochs
+	if err != nil {
+		return nil, err
 	}
-
-	// One persistent session per plan: supersteps reuse its workers,
-	// exchanges and pooled batches. Re-optimization swaps in a fresh
-	// session for the new plan.
-	sess := exec.OpenSession(phys)
-	defer func() { sess.Close() }()
-
-	out := &IncrementalResult{Plan: phys, Set: exec.Solution}
-	reopt := newReoptState(phys, plannedEst)
-	for step := 0; step < maxSteps; step++ {
-		start := time.Now()
-		var before metrics.Snapshot
-		if cfg.Metrics != nil {
-			before = cfg.Metrics.Snapshot()
-		}
-
-		sess.SetTraceStep(step) // keeps span numbering continuous across re-plan session swaps
-		res, err := sess.Run()
-		if err != nil {
-			return nil, err
-		}
-		out.Supersteps = step + 1
-		cfg.observeSuperstep(time.Since(start))
-
-		// S ∪̇ D — applied after the superstep so that every access inside
-		// the superstep observed S_i (§5.3: "we cache the records in the
-		// delta set D until the end of the superstep").
-		mergeStart := time.Now()
-		exec.Solution.MergeDelta(res.Records(spec.DeltaSink.ID))
-		cfg.noteMerge(step, mergeStart)
-
-		nextParts := res[spec.WorksetSink.ID]
-		nextCount := 0
-		for _, p := range nextParts {
-			nextCount += len(p)
-		}
-		if cfg.Metrics != nil {
-			cfg.Metrics.WorksetElements.Add(int64(nextCount))
-		}
-		if cfg.CollectTrace {
-			st := metrics.IterationStat{Iteration: step, Duration: time.Since(start)}
-			if cfg.Metrics != nil {
-				st.Work = cfg.Metrics.Snapshot().Sub(before)
-			}
-			out.Trace.Add(st)
-		}
-		if err := checkpointIfDue(&spec, step, exec.Solution, nextParts); err != nil {
-			return nil, err
-		}
-		if nextCount == 0 {
-			out.Solution = exec.Solution.Snapshot()
-			return out, nil
-		}
-		sess = reopt.maybeReoptimize(&spec, cfg, expected, step, nextCount,
-			exec, sess, &out.Trace)
-		// The workset sink is partition-pinned on WorksetKey, so its
-		// partitions re-enter directly — the paper's partitioned queues.
-		exec.SetPlaceholderParts(spec.Workset.ID, nextParts)
+	out.Solution = sol.Snapshot()
+	if converged {
+		return out, nil
 	}
 	// Budget exhausted: hand back the partial state for capped runs.
-	out.Solution = exec.Solution.Snapshot()
 	return out, fmt.Errorf("%w after %d supersteps", ErrNoProgress, maxSteps)
 }
 
@@ -571,96 +503,6 @@ func notePlanned(cfg Config, planner optimizer.PlannerKind, phys *optimizer.Phys
 	}
 }
 
-// reoptimizeBackoffSteps is how many supersteps a failed re-optimization
-// suppresses further attempts for: the same collapsed workset would
-// otherwise retry — and fail — every superstep until convergence.
-const reoptimizeBackoffSteps = 8
-
-// reoptState carries the adaptive re-planning state of one running
-// iteration: the estimate the current plan was costed with, the plan
-// cache its re-optimizations share (memoizing the key registry and whole
-// plans by fingerprint), the plan the session is executing, and the
-// backoff window after a failure.
-type reoptState struct {
-	cache *optimizer.PlanCache
-	// cur is the plan the live session executes; a cache hit returning
-	// cur is a pure no-op (no session swap, caches stay warm).
-	cur        *optimizer.PhysPlan
-	plannedEst int64
-	// backoffUntil suppresses re-optimization attempts for supersteps
-	// below it after a failure.
-	backoffUntil int
-}
-
-func newReoptState(cur *optimizer.PhysPlan, plannedEst int64) *reoptState {
-	return &reoptState{cache: optimizer.NewPlanCache(), cur: cur, plannedEst: plannedEst}
-}
-
-// maybeReoptimize is the adaptive re-planning step shared by
-// RunIncremental, RunAuto's incremental phase and Fixpoint: when
-// Reoptimize is set and the working set has collapsed far below the size
-// the current plan was costed with, Δ is re-planned for the remaining
-// supersteps and a fresh session swapped in. Re-planning goes through the
-// plan cache — a hit skips planning entirely, and a hit on the very plan
-// already executing skips the session swap too. Failures are surfaced
-// (ReoptimizeFailures, ReoptimizeBackoffs, a trace event) and suppress
-// further attempts for reoptimizeBackoffSteps supersteps. Returns the
-// session to continue with.
-func (st *reoptState) maybeReoptimize(spec *IncrementalSpec, cfg Config, expected, step, nextCount int,
-	exec *runtime.Executor, sess *runtime.Session, trace *metrics.Trace) *runtime.Session {
-	if !spec.Reoptimize || int64(nextCount)*16 >= st.plannedEst || step < st.backoffUntil {
-		return sess
-	}
-	newPhys, hit, rerr := st.replan(spec, cfg, expected, int64(nextCount))
-	if rerr != nil {
-		if cfg.Metrics != nil {
-			cfg.Metrics.ReoptimizeFailures.Add(1)
-			cfg.Metrics.ReoptimizeBackoffs.Add(1)
-		}
-		st.backoffUntil = step + 1 + reoptimizeBackoffSteps
-		trace.AddEvent(step, fmt.Sprintf("reoptimize failed (backing off %d supersteps): %v",
-			reoptimizeBackoffSteps, rerr))
-		return sess
-	}
-	st.plannedEst = int64(nextCount)
-	if newPhys == st.cur {
-		return sess
-	}
-	if cfg.Metrics != nil {
-		cfg.Metrics.Reoptimizations.Add(1)
-	}
-	if hit {
-		trace.AddEvent(step, fmt.Sprintf("reoptimized for workset %d (plan cache hit)", nextCount))
-	} else {
-		trace.AddEvent(step, fmt.Sprintf("reoptimized for workset %d", nextCount))
-	}
-	st.cur = newPhys
-	exec.InvalidateCaches()
-	sess.Close()
-	return exec.OpenSession(newPhys)
-}
-
-// replan plans Δ for a collapsed workset estimate through the plan cache,
-// counting PlanCacheHits on a hit and the usual planning metrics on a
-// miss.
-func (st *reoptState) replan(spec *IncrementalSpec, cfg Config, expected int, est int64) (*optimizer.PhysPlan, bool, error) {
-	saved := spec.Workset.EstRecords
-	if est > 0 {
-		spec.Workset.EstRecords = est
-	}
-	defer func() { spec.Workset.EstRecords = saved }()
-	opts := incrementalOptions(spec, cfg, expected, true)
-	start := time.Now()
-	phys, hit, err := st.cache.Optimize(spec.Plan, opts, est)
-	if err != nil {
-		return nil, false, err
-	}
-	if hit {
-		if cfg.Metrics != nil {
-			cfg.Metrics.PlanCacheHits.Add(1)
-		}
-	} else {
-		notePlanned(cfg, opts.Planner, phys, time.Since(start))
-	}
-	return phys, hit, nil
-}
+// The superstep loop itself — and the reoptimize/backoff/plan-cache
+// state it drives — lives in driver.go; RunBulk and RunIncremental above
+// are adapters supplying an EnginePolicy to it.

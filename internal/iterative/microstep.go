@@ -399,7 +399,10 @@ func (m *microRun) processOne(part int, r record.Record) {
 // microsteps. The spec must satisfy the §5.2 conditions (ValidateMicrostep
 // is applied first).
 func RunMicrostep(spec IncrementalSpec, initialSolution, initialWorkset []record.Record, cfg Config) (*IncrementalResult, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	// Validate before building the solution set: an inadmissible spec
 	// must not pay the O(S) init — or, under a memory budget, leave
 	// orphaned spill files behind.
@@ -419,7 +422,10 @@ func RunMicrostep(spec IncrementalSpec, initialSolution, initialWorkset []record
 // rebuilt. `existing` is mutated in place and returned in the result's
 // Set field; its partition count must match cfg.Parallelism.
 func ResumeMicrostep(spec IncrementalSpec, existing *runtime.SolutionSet, workset []record.Record, cfg Config) (*IncrementalResult, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if existing == nil {
 		return nil, fmt.Errorf("iterative: ResumeMicrostep needs an existing solution set (use RunMicrostep for cold starts)")
 	}
@@ -497,11 +503,28 @@ func runMicrostepOn(spec IncrementalSpec, sol *runtime.SolutionSet, initialWorks
 		return nil, fmt.Errorf("iterative: no solution operator compiled")
 	}
 
-	// Seed the queues and run one worker per partition until the
-	// in-flight count hits zero.
+	// An empty workset converges without spawning anything.
 	if len(initialWorkset) == 0 {
 		return &IncrementalResult{Solution: m.solution.Snapshot(), Supersteps: 0, Set: m.solution}, nil
 	}
+
+	// The whole asynchronous drain is one step of the shared driver loop:
+	// there are no barriers inside it, so the run "converges" in a single
+	// driver step and the microstep engine supplies no per-superstep cost
+	// or trace inputs (its trace is wall-clock sampled in drain instead).
+	out := &IncrementalResult{Set: m.solution}
+	d := &driver{cfg: cfg, policy: &microPolicy{run: m, workset: initialWorkset, out: out}, maxSteps: 1}
+	if _, err := d.run(); err != nil {
+		return nil, err
+	}
+	out.Solution = m.solution.Snapshot()
+	return out, nil
+}
+
+// drain seeds the queues and runs one worker per partition until the
+// in-flight count hits zero — the asynchronous execution body.
+func (m *microRun) drain(initialWorkset []record.Record, out *IncrementalResult) {
+	cfg := m.cfg
 	for _, r := range initialWorkset {
 		m.enqueue(r)
 	}
@@ -509,7 +532,6 @@ func runMicrostepOn(spec IncrementalSpec, sol *runtime.SolutionSet, initialWorks
 	// Optional progress sampling: without supersteps there is no natural
 	// iteration boundary, so the trace samples the work counters on a
 	// fixed wall-clock cadence instead.
-	out := &IncrementalResult{Set: m.solution}
 	stopSampler := make(chan struct{})
 	samplerDone := make(chan struct{})
 	if cfg.CollectTrace && cfg.Metrics != nil {
@@ -555,10 +577,8 @@ func runMicrostepOn(spec IncrementalSpec, sol *runtime.SolutionSet, initialWorks
 	close(stopSampler)
 	<-samplerDone
 
-	out.Solution = m.solution.Snapshot()
 	out.Supersteps = 1
 	out.Microsteps = m.steps.Load()
-	return out, nil
 }
 
 func containsNode(path []*dataflow.Node, n *dataflow.Node) bool {

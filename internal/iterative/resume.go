@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/metrics"
 	"repro/internal/optimizer"
 	"repro/internal/record"
 	"repro/internal/runtime"
@@ -17,17 +16,17 @@ import (
 // later workset deltas through warm restarts — the paper's observation
 // that (S, W) is exactly the state needed to maintain a fixpoint, not
 // just to compute it. The live maintenance service (internal/live) is
-// built on this type.
+// built on this type, and internal/distrib hosts one per process: the
+// coordinator drives its Fixpoint through RunDriven with a barrier and
+// an epoch hook, workers through StepOnce/ApplyEpoch under the
+// coordinator's control messages.
 //
 // A Fixpoint is not safe for concurrent Run calls; callers serialize
 // maintenance (the live scheduler does so per view).
 type Fixpoint struct {
 	spec IncrementalSpec
 	cfg  Config
-	phys *optimizer.PhysPlan
-	exec *runtime.Executor
-	sess *runtime.Session
-	sol  *runtime.SolutionSet
+	en   *incEngine
 	// reopt persists across Run calls, so repeated maintenance batches
 	// that collapse the same way hit the plan cache instead of re-planning
 	// (and skip the session swap when the cached plan is already live).
@@ -93,7 +92,10 @@ func optimizeIncremental(spec *IncrementalSpec, cfg Config, expected int) (*opti
 // plan from the same spec and config; expected ≤ 0 applies the default
 // iteration weight.
 func PlanIncremental(spec IncrementalSpec, cfg Config, expected int) (*optimizer.PhysPlan, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -110,7 +112,36 @@ func PlanIncremental(spec IncrementalSpec, cfg Config, expected int) (*optimizer
 // earlier run. An adopted set must have been created with the same
 // parallelism, since record partitioning depends on it.
 func OpenFixpoint(spec IncrementalSpec, sol *runtime.SolutionSet, cfg Config) (*Fixpoint, error) {
-	cfg = cfg.normalized()
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	expected := spec.ExpectedIterations
+	if expected <= 0 {
+		expected = 10
+	}
+	phys, err := optimizeIncremental(&spec, cfg, expected)
+	if err != nil {
+		return nil, err
+	}
+	return OpenFixpointOn(spec, sol, cfg, phys, nil)
+}
+
+// OpenFixpointOn opens a resident fixpoint over an already-optimized
+// plan and an optional transport: the distributed layer plans once per
+// process (every process derives the identical plan from the identical
+// spec) and hosts only its own partition range on the meshed transport.
+// A nil transport hosts everything in-process; a nil sol creates an
+// empty solution set from the Config.
+func OpenFixpointOn(spec IncrementalSpec, sol *runtime.SolutionSet, cfg Config,
+	phys *optimizer.PhysPlan, tr runtime.Transport) (*Fixpoint, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -122,37 +153,29 @@ func OpenFixpoint(spec IncrementalSpec, sol *runtime.SolutionSet, cfg Config) (*
 	if expected <= 0 {
 		expected = 10
 	}
-	phys, err := optimizeIncremental(&spec, cfg, expected)
-	if err != nil {
-		return nil, err
-	}
 	if sol == nil {
 		sol = cfg.newSolutionSet(spec.SolutionKey, spec.Comparator)
 	}
-	f := &Fixpoint{spec: spec, cfg: cfg, phys: phys, sol: sol,
+	f := &Fixpoint{spec: spec, cfg: cfg,
 		reopt: newReoptState(phys, spec.Workset.EstRecords)}
-	f.exec = runtime.NewExecutor(cfg.runtimeConfig())
-	f.exec.Solution = sol
-	if _, err := ValidateMicrostep(spec); err == nil {
-		f.exec.DirectMerge = true
-	}
-	f.sess = f.exec.OpenSession(phys)
+	f.en = openIncEngine(&f.spec, sol, cfg, expected, phys, tr)
 	return f, nil
 }
 
 // Solution returns the resident solution set. It stays valid across Run
 // calls and after Close, so converged state outlives the session.
-func (f *Fixpoint) Solution() *runtime.SolutionSet { return f.sol }
+func (f *Fixpoint) Solution() *runtime.SolutionSet { return f.en.exec.Solution }
 
-// Plan returns the optimized physical plan the session executes.
-func (f *Fixpoint) Plan() *optimizer.PhysPlan { return f.phys }
+// Plan returns the optimized physical plan the session executes (the
+// re-optimized one after a mid-run plan swap).
+func (f *Fixpoint) Plan() *optimizer.PhysPlan { return f.reopt.cur }
 
 // InvalidateConstants drops the session's loop-invariant caches (edge
 // tables, cached join build sides). Call it after mutating the data behind
 // a Source node of the Δ plan: the next Run re-materializes the constant
 // path from the current data, while workers, exchanges and pooled batches
 // stay warm.
-func (f *Fixpoint) InvalidateConstants() { f.exec.InvalidateCaches() }
+func (f *Fixpoint) InvalidateConstants() { f.en.exec.InvalidateCaches() }
 
 // Rebind re-optimizes a structurally new spec and swaps in a fresh session
 // for it, keeping the executor and the resident solution set. Live views
@@ -171,102 +194,120 @@ func (f *Fixpoint) Rebind(spec IncrementalSpec) error {
 		return err
 	}
 	f.spec = spec
-	f.phys = phys
 	// A structurally new spec invalidates the memoized registry and plans.
 	f.reopt = newReoptState(phys, spec.Workset.EstRecords)
-	f.exec.InvalidateCaches()
-	f.exec.DirectMerge = false
+	f.en.spec = &f.spec
+	f.en.expected = expected
+	f.en.exec.InvalidateCaches()
+	f.en.exec.DirectMerge = false
 	if _, err := ValidateMicrostep(spec); err == nil {
-		f.exec.DirectMerge = true
+		f.en.exec.DirectMerge = true
 	}
-	f.sess.Close()
-	f.sess = f.exec.OpenSession(phys)
+	f.en.sess.Close()
+	f.en.sess = f.en.exec.OpenSessionOn(phys, f.en.tr)
 	return nil
 }
 
-// Run drives the session from the given workset to the fixpoint: every
-// superstep evaluates Δ, merges the delta set into the resident solution
-// with ∪̇, and feeds the produced workset back, until the workset is
-// empty. The result's Solution slice is left nil (snapshotting the whole
-// set on every maintenance batch would defeat the point of warm restarts);
-// read the state through Solution(), or the result's Set handle.
-func (f *Fixpoint) Run(workset []record.Record) (*IncrementalResult, error) {
+// SeedWorkset installs a working set without running anything — the
+// distributed layer seeds every process's share before the coordinator
+// releases the first superstep.
+func (f *Fixpoint) SeedWorkset(workset []record.Record) {
+	f.en.seed(workset)
+	if f.reopt.plannedEst == 0 {
+		f.reopt.plannedEst = int64(len(workset))
+	}
+}
+
+// StepOnce runs exactly one superstep (evaluate Δ, merge D with ∪̇, feed
+// the produced workset back) and returns the local next-workset count.
+// It is the worker half of a coordinated run: convergence, checkpoints,
+// and re-optimization decisions belong to whoever drives the steps — the
+// produced workset is always fed back, because an empty local workset
+// can refill from the peers' shipped records.
+func (f *Fixpoint) StepOnce() (int, error) {
+	out, err := f.en.step(f.traceStep)
+	if err != nil {
+		return 0, err
+	}
+	f.traceStep++
+	f.cfg.observeSuperstep(out.compute)
+	f.en.feed()
+	return out.next, nil
+}
+
+// ApplyEpoch re-plans Δ fresh (no plan cache) for the given global
+// workset estimate and atomically swaps the session onto the new plan —
+// the worker half of a coordinated plan-epoch bump. Every process of a
+// distributed run calls it with the same estimate the coordinator's
+// driver decided on, derives the identical plan, and the coordinator
+// verifies the plan digests agree before releasing the next superstep.
+func (f *Fixpoint) ApplyEpoch(est int64) (*optimizer.PhysPlan, error) {
+	phys, _, err := f.en.replan(est, f.reopt.cache, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.en.swap(phys); err != nil {
+		return nil, err
+	}
+	f.reopt.cur = phys
+	f.reopt.plannedEst = est
+	return phys, nil
+}
+
+// RunDriven drives the session from the given workset to the fixpoint —
+// Run with coordination hooks: every superstep evaluates Δ, merges the
+// delta set into the resident solution with ∪̇, and feeds the produced
+// workset back, until the (global, when a Barrier is hooked in) workset
+// is empty. The result's Solution slice is left nil (snapshotting the
+// whole set on every maintenance batch would defeat the point of warm
+// restarts); read the state through Solution(), or the result's Set
+// handle.
+func (f *Fixpoint) RunDriven(workset []record.Record, hooks DriveHooks) (*IncrementalResult, error) {
 	maxSteps := f.spec.MaxSupersteps
 	if maxSteps <= 0 {
 		maxSteps = 10000
 	}
-	expected := f.spec.ExpectedIterations
-	if expected <= 0 {
-		expected = 10
-	}
 	if f.reopt.plannedEst == 0 {
 		f.reopt.plannedEst = int64(len(workset))
 	}
-	f.exec.SetPlaceholder(f.spec.Workset.ID, workset, f.spec.WorksetKey, f.cfg.Parallelism)
-	if f.cfg.Metrics != nil {
-		f.cfg.Metrics.WorksetElements.Add(int64(len(workset)))
+	f.en.seed(workset)
+	out := &IncrementalResult{Plan: f.reopt.cur, Set: f.en.exec.Solution}
+	d := &driver{
+		cfg: f.cfg, policy: f.en, maxSteps: maxSteps, worksetDriven: true,
+		traceBase: f.traceStep,
+		// Maintenance supersteps feed the cost-weight fit, so a view's
+		// later engine choices use observed constants. The tasks feature
+		// counts logical plan nodes — the same unit RunAuto's engine
+		// formulas multiply the fitted StepOverhead by.
+		calTasks: len(f.spec.Plan.Nodes()) * f.cfg.Parallelism,
+		reopt:    f.reopt,
+		hooks:    hooks,
+		collect:  f.cfg.CollectTrace, trace: &out.Trace,
 	}
-	out := &IncrementalResult{Plan: f.phys, Set: f.sol}
-	for step := 0; step < maxSteps; step++ {
-		start := time.Now()
-		var before metrics.Snapshot
-		if f.cfg.Metrics != nil {
-			before = f.cfg.Metrics.Snapshot()
-		}
-		f.sess.SetTraceStep(f.traceStep)
-		res, err := f.sess.Run()
-		if err != nil {
-			return nil, err
-		}
-		out.Supersteps = step + 1
-		f.traceStep++
-		f.cfg.observeSuperstep(time.Since(start))
-		mergeStart := time.Now()
-		f.sol.MergeDelta(res.Records(f.spec.DeltaSink.ID))
-		f.cfg.noteMerge(f.traceStep-1, mergeStart)
-
-		nextParts := res[f.spec.WorksetSink.ID]
-		nextCount := 0
-		for _, p := range nextParts {
-			nextCount += len(p)
-		}
-		if f.cfg.Metrics != nil {
-			f.cfg.Metrics.WorksetElements.Add(int64(nextCount))
-			if f.cfg.Calibrator != nil {
-				// Maintenance supersteps feed the cost-weight fit, so a
-				// view's later engine choices use observed constants.
-				// The tasks feature counts logical plan nodes — the same
-				// unit RunAuto's engine formulas multiply the fitted
-				// StepOverhead by.
-				f.cfg.Calibrator.ObserveSuperstep(f.cfg.Metrics.Snapshot().Sub(before),
-					len(f.spec.Plan.Nodes())*f.cfg.Parallelism, time.Since(start))
-			}
-		}
-		if f.cfg.CollectTrace {
-			st := metrics.IterationStat{Iteration: step, Duration: time.Since(start)}
-			if f.cfg.Metrics != nil {
-				st.Work = f.cfg.Metrics.Snapshot().Sub(before)
-			}
-			out.Trace.Add(st)
-		}
-		if nextCount == 0 {
-			return out, nil
-		}
-		f.sess = f.reopt.maybeReoptimize(&f.spec, f.cfg, expected, step, nextCount,
-			f.exec, f.sess, &out.Trace)
-		f.phys = f.reopt.cur
-		f.exec.SetPlaceholderParts(f.spec.Workset.ID, nextParts)
+	converged, err := d.run()
+	f.traceStep += d.steps
+	out.Supersteps = d.steps
+	out.PlanEpochs = d.epochs
+	out.Plan = f.reopt.cur
+	if err != nil {
+		return nil, err
+	}
+	if converged {
+		return out, nil
 	}
 	return out, fmt.Errorf("%w after %d supersteps", ErrNoProgress, maxSteps)
+}
+
+// Run drives the session from the given workset to the fixpoint (see
+// RunDriven; Run is the uncoordinated single-process form).
+func (f *Fixpoint) Run(workset []record.Record) (*IncrementalResult, error) {
+	return f.RunDriven(workset, DriveHooks{})
 }
 
 // Close releases the session and the executor's caches. The solution set
 // is untouched and remains readable (and adoptable by a later
 // OpenFixpoint).
-func (f *Fixpoint) Close() {
-	f.sess.Close()
-	f.exec.Close()
-}
+func (f *Fixpoint) Close() { f.en.close() }
 
 // ResumeIncremental warm-restarts an incremental iteration over an
 // existing, already-converged solution set: instead of loading S0 and

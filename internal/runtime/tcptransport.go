@@ -69,7 +69,13 @@ type TCPTransport struct {
 	peers []*tcpPeer // by host ID; nil at hostID and for unconnected peers
 	err   error
 
-	inbox []edgeInbox
+	// inbox is the per-edge routing state, indexed by plan edge ID. It is
+	// an atomic pointer because a coordinated plan epoch (Rebind) replaces
+	// the whole set for the new plan's edge-ID space while the read loops
+	// keep running: traffic is quiescent at the epoch barrier, but the
+	// race detector rightly demands real synchronization between the swap
+	// and the readers.
+	inbox atomic.Pointer[[]edgeInbox]
 
 	// traceID stamps outbound frame headers and screens inbound ones; set
 	// by SetObs before the session runs. sendHist (optional) observes
@@ -136,13 +142,38 @@ func NewTCPTransport(hostID int, placement Placement, numEdges int, m *metrics.C
 			hosts = h + 1
 		}
 	}
-	return &TCPTransport{
+	t := &TCPTransport{
 		hostID:    hostID,
 		placement: placement,
 		hosted:    hosted,
 		m:         m,
 		peers:     make([]*tcpPeer, hosts),
-		inbox:     make([]edgeInbox, numEdges),
+	}
+	boxes := make([]edgeInbox, numEdges)
+	t.inbox.Store(&boxes)
+	return t
+}
+
+// Rebind implements Rebinder: replace the per-edge inboxes with a fresh
+// set sized for a re-optimized plan's edge count. Callers guarantee
+// quiescence (see the interface contract); anything still parked for an
+// old edge ID is dropped with the old set. If the transport has already
+// failed, the new inboxes are born failed, so the next session's
+// exchanges close immediately instead of hanging.
+func (t *TCPTransport) Rebind(numEdges int) {
+	boxes := make([]edgeInbox, numEdges)
+	t.inbox.Store(&boxes)
+	// Re-check the failure state after the swap: a fail() racing the
+	// store may have marked only the old set.
+	t.mu.Lock()
+	err := t.err
+	t.mu.Unlock()
+	if err != nil {
+		for i := range boxes {
+			boxes[i].mu.Lock()
+			boxes[i].failed = true
+			boxes[i].mu.Unlock()
+		}
 	}
 }
 
@@ -328,7 +359,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 			return
 		}
 		edge := int(binary.LittleEndian.Uint32(hdr[1:5]))
-		if edge < 0 || edge >= len(t.inbox) {
+		if edge < 0 || edge >= len(*t.inbox.Load()) {
 			t.fail(fmt.Errorf("runtime: transport: edge %d out of range", edge))
 			return
 		}
@@ -364,7 +395,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 // disarmed (the superstep barrier), no late delivery can touch an
 // exchange the next superstep is about to reset.
 func (t *TCPTransport) deliver(edge, part int, b record.Batch) {
-	in := &t.inbox[edge]
+	in := &(*t.inbox.Load())[edge]
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.ex != nil {
@@ -377,7 +408,7 @@ func (t *TCPTransport) deliver(edge, part int, b record.Batch) {
 // finish accounts one remote producer completion for edge, under the same
 // lock discipline as deliver.
 func (t *TCPTransport) finish(edge int) {
-	in := &t.inbox[edge]
+	in := &(*t.inbox.Load())[edge]
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	if in.ex != nil {
@@ -390,7 +421,7 @@ func (t *TCPTransport) finish(edge int) {
 // arm implements Transport: the session installs the superstep's exchange
 // for its edge and the parked traffic flushes into it.
 func (t *TCPTransport) arm(ex *exchange) {
-	in := &t.inbox[ex.id]
+	in := &(*t.inbox.Load())[ex.id]
 	in.mu.Lock()
 	pending, eos, failed := in.pending, in.eos, in.failed
 	in.pending, in.eos = nil, 0
@@ -410,8 +441,9 @@ func (t *TCPTransport) arm(ex *exchange) {
 // disarmAll implements Transport: detach every exchange at the superstep
 // barrier, so traffic racing ahead parks in the inboxes.
 func (t *TCPTransport) disarmAll() {
-	for i := range t.inbox {
-		in := &t.inbox[i]
+	boxes := *t.inbox.Load()
+	for i := range boxes {
+		in := &boxes[i]
 		in.mu.Lock()
 		in.ex = nil
 		in.mu.Unlock()
@@ -430,8 +462,13 @@ func (t *TCPTransport) fail(err error) {
 	if t.m != nil {
 		t.m.TransportErrors.Add(1)
 	}
-	for i := range t.inbox {
-		in := &t.inbox[i]
+	// Load the inbox set only after recording the error: a concurrent
+	// Rebind either publishes its new set before this load (and it gets
+	// marked here), or re-reads t.err after its store (and marks it
+	// itself) — either way no inbox set escapes unfailed.
+	boxes := *t.inbox.Load()
+	for i := range boxes {
+		in := &boxes[i]
 		in.mu.Lock()
 		in.failed = true
 		ex := in.ex

@@ -68,3 +68,14 @@ type Transport interface {
 	arm(ex *exchange)
 	disarmAll()
 }
+
+// Rebinder is the optional Transport capability behind coordinated plan
+// epochs: a re-optimized plan has a new edge-ID space, so before a fresh
+// session opens on it, the transport's per-edge routing state must be
+// re-sized to the new plan's edge count. Rebind may only be called while
+// the transport is quiescent — the old session closed and every peer
+// parked at the same epoch barrier — since in-flight traffic for old
+// edge IDs would be misrouted under the new plan.
+type Rebinder interface {
+	Rebind(numEdges int)
+}

@@ -41,6 +41,12 @@
 // warm. With a Calibrator in the Config, measured superstep timings fit
 // the cost weights, so repeated runs plan with observed constants.
 //
+// All four entry points are thin adapters over one superstep driver
+// (internal/iterative/driver.go) that owns the iteration lifecycle —
+// convergence, mid-run re-optimization with backoff, calibration,
+// checkpoints, telemetry — once; engines supply only step semantics,
+// and distributed deployments plug in barrier and plan-epoch hooks.
+//
 // # Execution model: sessions and partition-pinned workers
 //
 // The runtime executes a physical plan through a session
