@@ -4,7 +4,7 @@
 // Usage:
 //
 //	spinflow [-scale f] [-par n] [-iters n] <experiment>...
-//	spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir] [-telemetry-addr :9090]
+//	spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir] [-workers n|addr,addr] [-telemetry-addr :9090]
 //	spinflow worker [-listen 127.0.0.1:0] [-telemetry-addr :9091]
 //	spinflow trace [-scale f] [-par n] <cc|live|distributed>
 //
@@ -34,17 +34,23 @@
 // are durable: mutations are write-ahead logged before acknowledgment,
 // snapshots stream periodically, and a restarted server recovers every
 // view (SIGKILL included — the WAL tail replays through the maintenance
-// path).
+// path). With -workers, every view is sharded across long-lived
+// maintenance sessions on `spinflow worker` processes: pass running
+// workers' control addresses, or an integer to spawn that many from this
+// binary; queries and snapshots scatter-gather across the hosts.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 
@@ -94,7 +100,53 @@ func worker(args []string) error {
 		<-sigc
 		ln.Close()
 	}()
-	return distrib.ServeWorker(ln, log.New(os.Stderr, "", log.LstdFlags), reg)
+	return distrib.ServeWorkerWith(ln, distrib.ServeWorkerOpts{
+		Log:   log.New(os.Stderr, "", log.LstdFlags),
+		Obs:   reg,
+		Views: live.NewWorkerHost(reg),
+	})
+}
+
+// spawnWorkers launches n `spinflow worker` child processes from this
+// binary and returns their control addresses plus a kill function. Each
+// child prints its bound address as its first stdout line; that is what
+// we scrape here.
+func spawnWorkers(n int) ([]string, func(), error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, nil, fmt.Errorf("locating own binary for worker processes: %w", err)
+	}
+	var procs []*exec.Cmd
+	kill := func() {
+		for _, c := range procs {
+			c.Process.Signal(syscall.SIGTERM)
+		}
+		for _, c := range procs {
+			c.Wait()
+		}
+	}
+	addrs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(self, "worker", "-listen", "127.0.0.1:0")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			kill()
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			kill()
+			return nil, nil, fmt.Errorf("spawning worker %d: %w", i, err)
+		}
+		procs = append(procs, cmd)
+		sc := bufio.NewScanner(out)
+		if !sc.Scan() {
+			kill()
+			return nil, nil, fmt.Errorf("worker %d exited before printing its control address", i)
+		}
+		addrs = append(addrs, strings.TrimSpace(sc.Text()))
+	}
+	return addrs, kill, nil
 }
 
 // distributed runs the 2-process differential + throughput scenario.
@@ -121,8 +173,27 @@ func serve(args []string) error {
 	viewBudget := fs.Int64("view-budget", 0, "per-view solution spill budget in bytes (0 = in-memory)")
 	dataDir := fs.String("data-dir", "", "directory for durable view state (WAL + snapshots); views are recovered from it on startup")
 	telemetry := fs.String("telemetry-addr", "", "serve /metrics, /debug/vars and pprof on this address (empty = off)")
+	workers := fs.String("workers", "", "shard views across workers: comma-separated control addresses of running `spinflow worker` processes, or an integer N to spawn N from this binary")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var workerAddrs []string
+	if *workers != "" {
+		if n, err := strconv.Atoi(*workers); err == nil {
+			if n < 1 {
+				return fmt.Errorf("-workers %d: need at least one worker to shard", n)
+			}
+			addrs, kill, err := spawnWorkers(n)
+			if err != nil {
+				return err
+			}
+			defer kill()
+			workerAddrs = addrs
+			fmt.Fprintf(os.Stderr, "spinflow serve: spawned %d worker process(es): %s\n", n, strings.Join(addrs, ", "))
+		} else {
+			workerAddrs = strings.Split(*workers, ",")
+		}
 	}
 
 	reg := obs.NewRegistry()
@@ -139,7 +210,8 @@ func serve(args []string) error {
 		DataDir:      *dataDir,
 		Obs:          reg,
 		DefaultView: live.ViewConfig{
-			Config: iterative.Config{Parallelism: *par, SolutionMemoryBudget: *viewBudget},
+			Config:  iterative.Config{Parallelism: *par, SolutionMemoryBudget: *viewBudget},
+			Workers: workerAddrs,
 		},
 	})
 	if *dataDir != "" {
@@ -292,7 +364,7 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: spinflow [flags] <table1|table2|fig2|fig4|fig7|fig8|fig9|fig10|fig11|fig12|outofcore|live|durable|auto|planner|distributed|explain|all>...")
-		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir] [-telemetry-addr :9090]")
+		fmt.Fprintln(os.Stderr, "       spinflow serve [-addr :8080] [-par n] [-budget bytes] [-data-dir dir] [-workers n|addr,addr] [-telemetry-addr :9090]")
 		fmt.Fprintln(os.Stderr, "       spinflow worker [-listen 127.0.0.1:0] [-telemetry-addr :9091]")
 		fmt.Fprintln(os.Stderr, "       spinflow trace [-scale f] [-par n] [-o file] <cc|live|distributed>")
 		os.Exit(2)

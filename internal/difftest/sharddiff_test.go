@@ -1,0 +1,292 @@
+package difftest
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/distrib"
+	"repro/internal/iterative"
+	"repro/internal/live"
+	"repro/internal/record"
+	"repro/internal/runtime"
+)
+
+// The sharded-serving differential: a LiveView spread over a real worker
+// process boundary (in-process listener, but the full control + data
+// protocol) must stay byte-identical to a single-process LiveView — and
+// to the from-scratch oracles — under the same random insert/delete
+// stream. This exercises the distributed monotone candidate rounds, the
+// coordinated full recompute on deletions, the digest-verified replans,
+// and the scatter-gather snapshot, across backends and both algorithms.
+
+// startViewWorkers launches n in-process `spinflow worker` equivalents
+// hosting view sessions, returning their control addresses.
+func startViewWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go distrib.ServeWorkerWith(ln, distrib.ServeWorkerOpts{Views: live.NewWorkerHost(nil)})
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// assertSnapshotsIdentical requires the two converged solutions to be
+// byte-identical after canonical sorting.
+func assertSnapshotsIdentical(t *testing.T, ctx string, sharded, single []record.Record) {
+	t.Helper()
+	sortRecords(single)
+	sortRecords(sharded)
+	if len(sharded) != len(single) {
+		t.Fatalf("%s: sharded %d records, single-process %d", ctx, len(sharded), len(single))
+	}
+	for i := range sharded {
+		if !sharded[i].Equal(single[i]) {
+			t.Fatalf("%s: record %d: sharded %+v, single-process %+v", ctx, i, sharded[i], single[i])
+		}
+	}
+}
+
+func sortRecords(recs []record.Record) {
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && record.Less(recs[j], recs[j-1]); j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+}
+
+// shardBackends is the sharded matrix: the spill backend stays local-only
+// (per-host spill files are exercised by the recovery suite instead).
+var shardBackends = []string{"map", "compact"}
+
+func shardViewConfig(backend string, workers []string) live.ViewConfig {
+	cfg := live.ViewConfig{Config: iterative.Config{Parallelism: 4}}
+	cfg.SolutionBackend = runtime.SolutionBackendKind(backend)
+	cfg.Workers = workers
+	return cfg
+}
+
+// ssspOracle is Dijkstra over the live graph state.
+func ssspOracle(gs *live.GraphState, source int64) map[int64]float64 {
+	return algorithms.SSSPReference(gs.WeightedUndirected(), source)
+}
+
+func TestLiveShardedStreamCC(t *testing.T) {
+	g := diffGraphs()[0]
+	half := len(g.Edges) / 2
+	initial := make([]live.Mutation, half)
+	for i, e := range g.Edges[:half] {
+		initial[i] = live.InsertEdge(e.Src, e.Dst)
+	}
+	for _, bk := range shardBackends {
+		t.Run(bk, func(t *testing.T) {
+			workers := startViewWorkers(t, 1)
+			sharded, err := live.NewView("shard-cc-"+bk, live.CC(), initial, shardViewConfig(bk, workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sharded.Close()
+			single, err := live.NewView("local-cc-"+bk, live.CC(), initial, shardViewConfig(bk, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+
+			model := live.NewGraphState()
+			replay := live.NewGraphState()
+			for _, mu := range initial {
+				model.Apply(mu)
+				replay.Apply(mu)
+			}
+			rng := &streamRNG{s: 0x5AA5 ^ uint64(len(g.Edges))}
+			stream := mutationStream(g, rng, 6, 6, model, g.Edges[half:])
+			for bi, batch := range stream {
+				for _, mu := range batch {
+					replay.Apply(mu)
+				}
+				for _, v := range []*live.LiveView{sharded, single} {
+					if err := v.Mutate(batch...); err != nil {
+						t.Fatalf("batch %d: %v", bi, err)
+					}
+					if err := v.Flush(); err != nil {
+						t.Fatalf("batch %d flush: %v", bi, err)
+					}
+				}
+				ctx := fmt.Sprintf("batch %d", bi)
+				snap := sharded.Snapshot()
+				assertSnapshotsIdentical(t, ctx, snap, single.Snapshot())
+				oracle := liveOracleCC(replay)
+				if len(snap) != len(oracle) {
+					t.Fatalf("%s: %d records, oracle %d", ctx, len(snap), len(oracle))
+				}
+				for _, r := range snap {
+					if oracle[r.A] != r.B {
+						t.Fatalf("%s: vertex %d -> %d, oracle %d", ctx, r.A, r.B, oracle[r.A])
+					}
+				}
+				// Point queries route across the host boundary.
+				for _, vid := range replay.Vertices()[:min(5, replay.NumVertices())] {
+					r, ok := sharded.Query(vid)
+					if !ok || r.B != oracle[vid] {
+						t.Fatalf("%s: query(%d) = (%+v, %v), oracle %d", ctx, vid, r, ok, oracle[vid])
+					}
+				}
+			}
+			// Both hosts must actually hold records.
+			for _, st := range sharded.Stats().Shards {
+				if st.Records == 0 {
+					t.Fatalf("host %d serves no records: %+v", st.Host, sharded.Stats().Shards)
+				}
+			}
+		})
+	}
+}
+
+func TestLiveShardedStreamSSSP(t *testing.T) {
+	const source = 0
+	g := diffGraphs()[1]
+	half := len(g.Edges) / 2
+	initial := make([]live.Mutation, half)
+	for i, e := range g.Edges[:half] {
+		initial[i] = live.InsertWeightedEdge(e.Src, e.Dst, diffWeight(e.Src, e.Dst))
+	}
+	for _, bk := range shardBackends {
+		t.Run(bk, func(t *testing.T) {
+			workers := startViewWorkers(t, 1)
+			sharded, err := live.NewView("shard-sssp-"+bk, live.SSSP(source), initial, shardViewConfig(bk, workers))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sharded.Close()
+			single, err := live.NewView("local-sssp-"+bk, live.SSSP(source), initial, shardViewConfig(bk, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+
+			model := live.NewGraphState()
+			replay := live.NewGraphState()
+			for _, mu := range initial {
+				model.Apply(mu)
+				replay.Apply(mu)
+			}
+			rng := &streamRNG{s: 0xD157 ^ uint64(len(g.Edges))<<2}
+			stream := mutationStream(g, rng, 4, 5, model, g.Edges[half:])
+			for bi, batch := range stream {
+				clean := batch[:0:0]
+				for _, mu := range batch {
+					if mu.Op == live.OpDeleteVertex && mu.Src == source {
+						continue
+					}
+					clean = append(clean, mu)
+				}
+				for _, mu := range clean {
+					replay.Apply(mu)
+				}
+				for _, v := range []*live.LiveView{sharded, single} {
+					if err := v.Mutate(clean...); err != nil {
+						t.Fatalf("batch %d: %v", bi, err)
+					}
+					if err := v.Flush(); err != nil {
+						t.Fatalf("batch %d flush: %v", bi, err)
+					}
+				}
+				ctx := fmt.Sprintf("batch %d", bi)
+				snap := sharded.Snapshot()
+				assertSnapshotsIdentical(t, ctx, snap, single.Snapshot())
+				oracle := ssspOracle(replay, source)
+				if len(snap) != len(oracle) {
+					t.Fatalf("%s: reached %d, oracle %d", ctx, len(snap), len(oracle))
+				}
+				for _, r := range snap {
+					if oracle[r.A] != r.X {
+						t.Fatalf("%s: dist(%d) = %v, oracle %v", ctx, r.A, r.X, oracle[r.A])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLiveShardedKillRecover crashes a durable sharded view mid-life and
+// recovers it onto the same (still running) workers: the per-host
+// snapshot layout plus the WAL tail must reassemble the exact state, and
+// maintenance must continue across the recovery.
+func TestLiveShardedKillRecover(t *testing.T) {
+	g := diffGraphs()[2]
+	half := len(g.Edges) / 2
+	initial := make([]live.Mutation, half)
+	for i, e := range g.Edges[:half] {
+		initial[i] = live.InsertEdge(e.Src, e.Dst)
+	}
+	workers := startViewWorkers(t, 1)
+	dir := t.TempDir()
+	cfg := shardViewConfig("compact", workers)
+	cfg.Durable = true
+	cfg.DataDir = dir
+	cfg.SnapshotEveryFlushes = 2
+
+	v, err := live.OpenView("shard-recover", live.CC(), initial, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := live.NewGraphState()
+	model := live.NewGraphState()
+	for _, mu := range initial {
+		replay.Apply(mu)
+		model.Apply(mu)
+	}
+	rng := &streamRNG{s: 0xBADC0DE}
+	stream := mutationStream(g, rng, 6, 5, model, g.Edges[half:])
+	for bi, batch := range stream[:4] {
+		for _, mu := range batch {
+			replay.Apply(mu)
+		}
+		if err := v.Mutate(batch...); err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if err := v.Flush(); err != nil {
+			t.Fatalf("batch %d flush: %v", bi, err)
+		}
+	}
+	v.Kill() // crash: no final snapshot, workers keep running
+
+	v2, err := live.OpenView("shard-recover", live.CC(), nil, cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer v2.Close()
+	check := func(ctx string) {
+		t.Helper()
+		oracle := liveOracleCC(replay)
+		snap := v2.Snapshot()
+		if len(snap) != len(oracle) {
+			t.Fatalf("%s: %d records, oracle %d", ctx, len(snap), len(oracle))
+		}
+		for _, r := range snap {
+			if oracle[r.A] != r.B {
+				t.Fatalf("%s: vertex %d -> %d, oracle %d", ctx, r.A, r.B, oracle[r.A])
+			}
+		}
+	}
+	check("after recovery")
+	for bi, batch := range stream[4:] {
+		for _, mu := range batch {
+			replay.Apply(mu)
+		}
+		if err := v2.Mutate(batch...); err != nil {
+			t.Fatalf("post-recovery batch %d: %v", bi, err)
+		}
+		if err := v2.Flush(); err != nil {
+			t.Fatalf("post-recovery batch %d flush: %v", bi, err)
+		}
+	}
+	check("after post-recovery maintenance")
+}

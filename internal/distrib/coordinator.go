@@ -191,9 +191,11 @@ func RunObs(js JobSpec, workerAddrs []string, reg *obs.Registry) (*Result, error
 	dataAddrs := make([]string, js.Hosts)
 	dataAddrs[0] = dataAddr
 	for i, addr := range workerAddrs {
-		conn, err := net.DialTimeout("tcp", addr, meshTimeout)
+		// Session open tolerates a worker that is still starting: the dial
+		// retries with bounded backoff. Mid-run failures stay fail-fast.
+		conn, err := DialWorker(addr, MeshTimeout)
 		if err != nil {
-			return nil, fmt.Errorf("distrib: dial worker %s: %w", addr, err)
+			return nil, err
 		}
 		w := &workerConn{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}
 		workers[i] = w

@@ -120,10 +120,11 @@ func newJob(js JobSpec, hostID int, listenAddr string, reg *obs.Registry) (*job,
 	}
 	m := &metrics.Counters{}
 	cfg := iterative.Config{
-		Parallelism: js.Parallelism,
-		BatchSize:   js.BatchSize,
-		Hosts:       js.Hosts,
-		Metrics:     m,
+		Parallelism:     js.Parallelism,
+		BatchSize:       js.BatchSize,
+		Hosts:           js.Hosts,
+		Metrics:         m,
+		WireCompression: js.WireCompression,
 	}
 	if reg != nil {
 		cfg.Obs = reg
@@ -152,6 +153,7 @@ func newJob(js JobSpec, hostID int, listenAddr string, reg *obs.Registry) (*job,
 		host:   hostID,
 	}
 	j.tr = runtime.NewTCPTransport(hostID, j.place, phys.NumEdges, m)
+	j.tr.SetCompression(cfg.WireCompression)
 	if reg != nil {
 		j.tr.SetObs(obs.TraceID(js.TraceID), reg.Histogram("transport_send_duration"))
 	}
@@ -166,7 +168,7 @@ func newJob(js JobSpec, hostID int, listenAddr string, reg *obs.Registry) (*job,
 // on it. The working set is not seeded here: workers seed their share
 // explicitly, the coordinator seeds through RunDriven.
 func (j *job) open(dataAddrs []string) error {
-	if err := j.tr.ConnectPeers(dataAddrs, meshTimeout); err != nil {
+	if err := j.tr.ConnectPeers(dataAddrs, MeshTimeout); err != nil {
 		j.tr.Close()
 		return err
 	}

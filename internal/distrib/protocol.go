@@ -14,6 +14,14 @@
 // flows. Identical plans mean identical dense node/edge IDs and identical
 // superstep schedules, which is what lets the exchange layer route by
 // (edge ID, partition) alone.
+//
+// Workers are not limited to batch jobs: a control message whose kind
+// starts with "view_" hands the whole connection to the process's
+// ViewHost, which runs a long-lived live-view maintenance session (the
+// live tier's sharded serving mode) before returning the connection to
+// this control loop. The same determinism rule applies there — each host
+// re-derives the view's plan locally and the coordinator cross-checks
+// digests.
 package distrib
 
 import (
@@ -64,6 +72,11 @@ type JobSpec struct {
 	// agree, and the exchange layer keeps routing by (edge ID, partition)
 	// in the new plan's ID space.
 	Reoptimize bool `json:"reoptimize,omitempty"`
+	// WireCompression asks every process to flate-compress its data-plane
+	// record frames (Config.WireCompression); the receive path always
+	// understands both message kinds, so it is purely a bandwidth/CPU
+	// trade.
+	WireCompression bool `json:"wire_compression,omitempty"`
 	// TraceID groups the run's telemetry spans across every process: the
 	// coordinator mints it (obs.NewTraceID) when it runs with a registry,
 	// ships it here with the job assignment, and each process stamps it on

@@ -7,26 +7,52 @@ import (
 	"io"
 	"log"
 	"net"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
 )
 
-// meshTimeout bounds how long a process waits for the full peer mesh.
-const meshTimeout = 30 * time.Second
+// MeshTimeout bounds how long a process waits for the full peer mesh
+// (shared by batch jobs and the live tier's sharded view sessions).
+const MeshTimeout = 30 * time.Second
+
+// ViewHost extends a worker with long-lived live-view maintenance
+// sessions. When a control message arrives whose kind starts with "view_"
+// outside a batch job, the whole connection is handed to the host: open is
+// the raw opening message, and dec/enc are the connection's codec pair.
+// ServeView owns the connection until the session ends (normally or with
+// an error); afterwards the control loop resumes on the same connection.
+// The interface is stdlib-shaped on purpose, so the live tier can
+// implement it without this package knowing its message schema.
+type ViewHost interface {
+	ServeView(open json.RawMessage, dec *json.Decoder, enc *json.Encoder) error
+}
+
+// ServeWorkerOpts configures a worker process.
+type ServeWorkerOpts struct {
+	// Log receives connection-level failures (a lost coordinator is
+	// normal at shutdown, so they are logged, not fatal).
+	Log *log.Logger
+	// Obs is the worker's telemetry plane: jobs and view sessions that
+	// arrive with a trace ID record their spans into its ring (and ship
+	// them back to the coordinator at collect time). Nil disables it.
+	Obs *obs.Registry
+	// Views, if set, lets this worker host live-view maintenance
+	// sessions in addition to batch jobs.
+	Views ViewHost
+}
 
 // ServeWorker accepts coordinator control connections on ln and hosts the
 // partition ranges they assign. One control connection carries any number
-// of sequential jobs; Serve returns when the listener closes. The logger
-// receives connection-level failures (a lost coordinator is normal at
-// shutdown, so they are logged, not fatal).
-//
-// A non-nil registry is this worker's telemetry plane: jobs that arrive
-// with a trace ID record their spans into its ring (and ship them back to
-// the coordinator at collect time), its histograms accumulate superstep
-// and transport latencies, and `spinflow worker -telemetry-addr` serves
-// it over /metrics. Nil disables all of it.
+// of sequential jobs; Serve returns when the listener closes.
 func ServeWorker(ln net.Listener, lg *log.Logger, reg *obs.Registry) error {
+	return ServeWorkerWith(ln, ServeWorkerOpts{Log: lg, Obs: reg})
+}
+
+// ServeWorkerWith is ServeWorker with the full option set (telemetry and
+// live-view session hosting).
+func ServeWorkerWith(ln net.Listener, opts ServeWorkerOpts) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -36,35 +62,55 @@ func ServeWorker(ln net.Listener, lg *log.Logger, reg *obs.Registry) error {
 			return err
 		}
 		go func() {
-			if err := serveControl(conn, reg); err != nil && !errors.Is(err, io.EOF) && lg != nil {
-				lg.Printf("distrib: worker control connection: %v", err)
+			if err := serveControl(conn, opts); err != nil && !errors.Is(err, io.EOF) && opts.Log != nil {
+				opts.Log.Printf("distrib: worker control connection: %v", err)
 			}
 		}()
 	}
 }
 
 // serveControl runs one coordinator's control connection to completion.
-func serveControl(conn net.Conn, reg *obs.Registry) error {
+// Messages are decoded to a raw form first so kinds this package does not
+// define (the live tier's view session verbs) can be dispatched to the
+// ViewHost without the control plane knowing their schema.
+func serveControl(conn net.Conn, opts ServeWorkerOpts) error {
 	defer conn.Close()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
 	for {
-		var msg ctlMsg
-		if err := dec.Decode(&msg); err != nil {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
 			return err
 		}
-		switch msg.Kind {
-		case kindJob:
+		var peek struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &peek); err != nil {
+			return fmt.Errorf("distrib: malformed control message: %w", err)
+		}
+		switch {
+		case peek.Kind == kindJob:
+			var msg ctlMsg
+			if err := json.Unmarshal(raw, &msg); err != nil {
+				return fmt.Errorf("distrib: malformed job message: %w", err)
+			}
 			if msg.Job == nil {
 				return errors.New("distrib: job message without a spec")
 			}
-			if err := runWorkerJob(*msg.Job, msg.HostID, dec, enc, reg); err != nil {
+			if err := runWorkerJob(*msg.Job, msg.HostID, dec, enc, opts.Obs); err != nil {
 				return err
 			}
-		case kindStop:
+		case peek.Kind == kindStop:
 			return nil
+		case strings.HasPrefix(peek.Kind, "view_"):
+			if opts.Views == nil {
+				return fmt.Errorf("distrib: control message %q but this worker hosts no views", peek.Kind)
+			}
+			if err := opts.Views.ServeView(raw, dec, enc); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("distrib: unexpected control message %q outside a job", msg.Kind)
+			return fmt.Errorf("distrib: unexpected control message %q outside a job", peek.Kind)
 		}
 	}
 }

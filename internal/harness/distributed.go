@@ -6,10 +6,14 @@ import (
 	"fmt"
 	"net"
 	"os/exec"
+	"sort"
 	"time"
 
 	"repro/internal/distrib"
 	"repro/internal/graphgen"
+	"repro/internal/iterative"
+	"repro/internal/live"
+	"repro/internal/record"
 )
 
 // DistributedCheck is one differential cell: the same job run distributed
@@ -40,10 +44,27 @@ type DistributedBenchRow struct {
 	RemoteBytes   int64
 }
 
+// ShardedServeRow is one row of the sharded live-serving comparison: the
+// same warm CC maintenance stream (the Live scenario's FOAF mutation mix)
+// absorbed by a single-process LiveView and by a view sharded across a
+// worker process via distributed maintenance sessions.
+type ShardedServeRow struct {
+	Hosts         int
+	Batches       int
+	BatchEdges    int
+	Duration      time.Duration
+	BatchesPerSec float64
+}
+
 // DistributedResult is the outcome of the Distributed scenario.
 type DistributedResult struct {
 	Checks []DistributedCheck
 	Bench  []DistributedBenchRow
+	// Sharded is the warm sharded-maintenance throughput pair; the
+	// acceptance bar is ShardedSlowdown <= 2 with identical final states.
+	Sharded          []ShardedServeRow
+	ShardedSlowdown  float64
+	ShardedIdentical bool
 	// AllIdentical is the acceptance bit: every differential cell agreed.
 	AllIdentical bool
 }
@@ -68,7 +89,9 @@ func startWorker(o Options) (*workerHandle, error) {
 		if err != nil {
 			return nil, err
 		}
-		go distrib.ServeWorker(ln, nil, o.WorkerObs)
+		go distrib.ServeWorkerWith(ln, distrib.ServeWorkerOpts{
+			Obs: o.WorkerObs, Views: live.NewWorkerHost(o.WorkerObs),
+		})
 		return &workerHandle{addr: ln.Addr().String(), stop: func() { ln.Close() }}, nil
 	}
 	cmd := exec.Command(o.WorkerBinary, "worker", "-listen", "127.0.0.1:0")
@@ -222,6 +245,74 @@ func Distributed(o Options) (*DistributedResult, error) {
 			row.Hosts, row.Supersteps, row.Duration.Round(time.Millisecond),
 			row.StepsPerSec, row.RemoteBatches, row.RemoteBytes)
 	}
-	o.printf("\n")
+
+	// Sharded live serving: the Live scenario's warm FOAF CC maintenance
+	// stream, absorbed by a single-process view and by a view sharded
+	// across the worker via distributed maintenance sessions. Cold builds
+	// stay off the clock; the pair measures warm batch absorption only.
+	g := graphgen.FOAF(o.Scale)
+	initial := make([]live.Mutation, len(g.Edges))
+	for i, e := range g.Edges {
+		initial[i] = live.InsertEdge(e.Src, e.Dst)
+	}
+	const shardBatches = 6
+	batchN := int(g.NumEdges() / 5)
+	if batchN < 1 {
+		batchN = 1
+	}
+	batches := make([][]live.Mutation, shardBatches)
+	for i := range batches {
+		batches[i] = mutationBatch(g, batchN, 0x5EED+uint64(i)*7919)
+	}
+	runStream := func(workers []string) ([]record.Record, time.Duration, error) {
+		cfg := live.ViewConfig{Config: iterative.Config{Parallelism: o.Parallelism}}
+		cfg.Workers = workers
+		v, err := live.NewView("shard-bench", live.CC(), initial, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer v.Close()
+		start := time.Now()
+		for _, b := range batches {
+			if err := v.Mutate(b...); err != nil {
+				return nil, 0, err
+			}
+			if err := v.Flush(); err != nil {
+				return nil, 0, err
+			}
+		}
+		d := time.Since(start)
+		snap := v.Snapshot()
+		sort.Slice(snap, func(i, j int) bool { return record.Less(snap[i], snap[j]) })
+		return snap, d, nil
+	}
+	o.printf("\n  sharded serving (warm cc maintenance on %s, %d batches x %d edges):\n",
+		g.Name, shardBatches, batchN)
+	o.printf("  %-6s %-10s %s\n", "hosts", "duration", "batches/s")
+	var snaps [][]record.Record
+	for hosts := 1; hosts <= 2; hosts++ {
+		var workers []string
+		if hosts == 2 {
+			workers = []string{w.addr}
+		}
+		snap, d, err := runStream(workers)
+		if err != nil {
+			return nil, fmt.Errorf("harness: sharded serving bench %d-host: %w", hosts, err)
+		}
+		snaps = append(snaps, snap)
+		row := ShardedServeRow{
+			Hosts: hosts, Batches: shardBatches, BatchEdges: batchN,
+			Duration: d, BatchesPerSec: float64(shardBatches) / d.Seconds(),
+		}
+		res.Sharded = append(res.Sharded, row)
+		o.printf("  %-6d %-10s %.1f\n", row.Hosts, row.Duration.Round(time.Millisecond), row.BatchesPerSec)
+	}
+	res.ShardedIdentical = bytes.Equal(distrib.EncodeSolution(snaps[0]), distrib.EncodeSolution(snaps[1]))
+	res.ShardedSlowdown = float64(res.Sharded[1].Duration) / float64(res.Sharded[0].Duration)
+	o.printf("  sharded/single slowdown: %.2fx, final states identical: %v\n\n",
+		res.ShardedSlowdown, res.ShardedIdentical)
+	if !res.ShardedIdentical {
+		return res, fmt.Errorf("harness: sharded maintained state diverged from single-process")
+	}
 	return res, nil
 }

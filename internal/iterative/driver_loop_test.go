@@ -1,0 +1,41 @@
+package iterative
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestSingleSuperstepLoop pins the engine-unification invariant: exactly
+// one for loop in this package drives supersteps — driver.run — and every
+// entry point (bulk, incremental, resumed, driven, auto) goes through it.
+// A second superstep loop creeping in means an engine forked off the
+// shared driver and its barrier/telemetry/re-optimization semantics can
+// silently drift; this test makes that a compile-adjacent failure instead
+// of a code-review hope.
+func TestSingleSuperstepLoop(t *testing.T) {
+	loop := regexp.MustCompile(`for\s+step\s*:=\s*0\s*;\s*step\s*<`)
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]int{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Clean(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(loop.FindAll(src, -1)); n > 0 {
+			found[name] = n
+		}
+	}
+	if len(found) != 1 || found["driver.go"] != 1 {
+		t.Fatalf("superstep loops per file = %v, want exactly one, in driver.go", found)
+	}
+}

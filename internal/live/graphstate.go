@@ -1,7 +1,8 @@
 package live
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/algorithms"
 	"repro/internal/graphgen"
@@ -22,13 +23,34 @@ type GraphState struct {
 	verts map[int64]struct{}
 	edges []WEdge
 	index map[[2]int64]int // (src,dst) -> position in edges
+
+	// Derived-table caches. The maintainers re-derive the symmetrized
+	// edge table and the sorted vertex list on every plan refresh; at
+	// serving scale those rebuilds dominated the whole refresh, and the
+	// tables only ever *grow* between refreshes on the insert fast path.
+	// Each cache covers a prefix of the append-only state (undirN/wundirN
+	// edges, vertsCache+vertsAdd vertices) and is advanced by sorting
+	// just the fresh tail and merging; removals and in-place re-weights
+	// invalidate (-1 / vertsOK=false) back to a full rebuild. The
+	// accessors return the cache itself — callers (plan sources, graph
+	// dumps) only read — and every advance allocates a fresh slice, so a
+	// table referenced by a live plan is never mutated behind it.
+	undir   []record.Record
+	undirN  int
+	wundir  []algorithms.WeightedEdge
+	wundirN int
+
+	vertsCache []int64
+	vertsAdd   []int64
+	vertsOK    bool
 }
 
 // NewGraphState creates an empty graph.
 func NewGraphState() *GraphState {
 	return &GraphState{
-		verts: make(map[int64]struct{}),
-		index: make(map[[2]int64]int),
+		verts:   make(map[int64]struct{}),
+		index:   make(map[[2]int64]int),
+		vertsOK: true,
 	}
 }
 
@@ -55,6 +77,9 @@ func (g *GraphState) AddVertex(v int64) bool {
 		return false
 	}
 	g.verts[v] = struct{}{}
+	if g.vertsOK {
+		g.vertsAdd = append(g.vertsAdd, v)
+	}
 	return true
 }
 
@@ -79,6 +104,7 @@ func (g *GraphState) AddEdge(src, dst int64, w float64) bool {
 			return false
 		}
 		g.edges[i].Weight = w
+		g.wundirN = -1 // the pair's min weight may have moved either way
 		return true
 	}
 	g.index[k] = len(g.edges)
@@ -112,6 +138,8 @@ func (g *GraphState) RemoveEdge(src, dst int64) (float64, bool) {
 	}
 	g.edges = g.edges[:last]
 	delete(g.index, k)
+	g.undirN, g.wundirN = -1, -1
+	g.undir, g.wundir = nil, nil
 	return w, true
 }
 
@@ -137,6 +165,8 @@ func (g *GraphState) RemoveVertex(v int64) []WEdge {
 		g.RemoveEdge(e.Src, e.Dst)
 	}
 	delete(g.verts, v)
+	g.vertsOK = false
+	g.vertsCache, g.vertsAdd = nil, nil
 	return removed
 }
 
@@ -148,65 +178,134 @@ func (g *GraphState) NumEdges() int { return len(g.edges) }
 
 // Vertices returns the alive vertices in ascending order.
 func (g *GraphState) Vertices() []int64 {
-	out := make([]int64, 0, len(g.verts))
-	for v := range g.verts {
-		out = append(out, v)
+	if !g.vertsOK {
+		g.vertsCache = make([]int64, 0, len(g.verts))
+		for v := range g.verts {
+			g.vertsCache = append(g.vertsCache, v)
+		}
+		slices.Sort(g.vertsCache)
+		g.vertsAdd = nil
+		g.vertsOK = true
+	} else if len(g.vertsAdd) > 0 {
+		slices.Sort(g.vertsAdd)
+		g.vertsCache = mergeSorted(g.vertsCache, g.vertsAdd, cmp.Compare, nil)
+		g.vertsAdd = nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return g.vertsCache
+}
+
+// symmetrize expands directed edges into both orientations, sorted by
+// (A, B) and deduplicated.
+func symmetrize(edges []WEdge) []record.Record {
+	out := make([]record.Record, 0, 2*len(edges))
+	for _, e := range edges {
+		out = append(out, record.Record{A: e.Src, B: e.Dst}, record.Record{A: e.Dst, B: e.Src})
+	}
+	slices.SortFunc(out, recordAB)
+	return slices.CompactFunc(out, func(x, y record.Record) bool {
+		return recordAB(x, y) == 0
+	})
+}
+
+func recordAB(x, y record.Record) int {
+	if c := cmp.Compare(x.A, y.A); c != 0 {
+		return c
+	}
+	return cmp.Compare(x.B, y.B)
+}
+
+// symmetrizeWeighted expands directed edges into both orientations,
+// sorted by (Src, Dst) with the smallest weight kept per pair.
+func symmetrizeWeighted(edges []WEdge) []algorithms.WeightedEdge {
+	out := make([]algorithms.WeightedEdge, 0, 2*len(edges))
+	for _, e := range edges {
+		out = append(out,
+			algorithms.WeightedEdge{Src: e.Src, Dst: e.Dst, Weight: e.Weight},
+			algorithms.WeightedEdge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+	}
+	slices.SortFunc(out, func(x, y algorithms.WeightedEdge) int {
+		if c := wedgePair(x, y); c != 0 {
+			return c
+		}
+		return cmp.Compare(x.Weight, y.Weight)
+	})
+	return slices.CompactFunc(out, func(x, y algorithms.WeightedEdge) bool {
+		return wedgePair(x, y) == 0
+	})
+}
+
+func wedgePair(x, y algorithms.WeightedEdge) int {
+	if c := cmp.Compare(x.Src, y.Src); c != 0 {
+		return c
+	}
+	return cmp.Compare(x.Dst, y.Dst)
+}
+
+// mergeSorted merges two sorted deduplicated slices into a fresh sorted
+// deduplicated slice. On equal keys resolve picks the survivor (nil
+// keeps a); a key from the tail can collide with the cache when the
+// reverse orientation of a cached pair arrives later.
+func mergeSorted[T any](a, b []T, compare func(T, T) int, resolve func(T, T) T) []T {
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch c := compare(a[i], b[j]); {
+		case c < 0:
+			out = append(out, a[i])
+			i++
+		case c > 0:
+			out = append(out, b[j])
+			j++
+		default:
+			keep := a[i]
+			if resolve != nil {
+				keep = resolve(a[i], b[j])
+			}
+			out = append(out, keep)
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // UndirectedRecords symmetrizes the edge set into deduplicated edge
 // records (A=src, B=dst, both orientations), the neighborhood table N of
 // the Connected Components dataflow. Order is deterministic: edges sort
-// by (A, B).
+// by (A, B). The maintainer re-derives this table on every plan refresh,
+// so between removals only the freshly appended edges are sorted and
+// merged into the cached table.
 func (g *GraphState) UndirectedRecords() []record.Record {
-	seen := make(map[[2]int64]struct{}, 2*len(g.edges))
-	out := make([]record.Record, 0, 2*len(g.edges))
-	add := func(s, d int64) {
-		k := [2]int64{s, d}
-		if _, dup := seen[k]; dup {
-			return
-		}
-		seen[k] = struct{}{}
-		out = append(out, record.Record{A: s, B: d})
+	if g.undirN < 0 || g.undirN > len(g.edges) {
+		g.undir = symmetrize(g.edges)
+		g.undirN = len(g.edges)
+	} else if g.undirN < len(g.edges) {
+		g.undir = mergeSorted(g.undir, symmetrize(g.edges[g.undirN:]), recordAB, nil)
+		g.undirN = len(g.edges)
 	}
-	for _, e := range g.edges {
-		add(e.Src, e.Dst)
-		add(e.Dst, e.Src)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
-	return out
+	return g.undir
 }
 
 // WeightedUndirected symmetrizes the edge set into weighted edges (both
-// orientations). When both orientations were inserted with different
-// weights, the smaller weight wins deterministically.
+// orientations). When both orientations carry different weights, the
+// smaller weight wins deterministically. Cached and incrementally merged
+// the same way as UndirectedRecords; in-place re-weights invalidate.
 func (g *GraphState) WeightedUndirected() []algorithms.WeightedEdge {
-	best := make(map[[2]int64]float64, 2*len(g.edges))
-	for _, e := range g.edges {
-		for _, k := range [][2]int64{{e.Src, e.Dst}, {e.Dst, e.Src}} {
-			if w, ok := best[k]; !ok || e.Weight < w {
-				best[k] = e.Weight
-			}
+	minW := func(x, y algorithms.WeightedEdge) algorithms.WeightedEdge {
+		if y.Weight < x.Weight {
+			return y
 		}
+		return x
 	}
-	out := make([]algorithms.WeightedEdge, 0, len(best))
-	for k, w := range best {
-		out = append(out, algorithms.WeightedEdge{Src: k[0], Dst: k[1], Weight: w})
+	if g.wundirN < 0 || g.wundirN > len(g.edges) {
+		g.wundir = symmetrizeWeighted(g.edges)
+		g.wundirN = len(g.edges)
+	} else if g.wundirN < len(g.edges) {
+		g.wundir = mergeSorted(g.wundir, symmetrizeWeighted(g.edges[g.wundirN:]), wedgePair, minW)
+		g.wundirN = len(g.edges)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
-		}
-		return out[i].Dst < out[j].Dst
-	})
-	return out
+	return g.wundir
 }
 
 // Graph materializes the current directed edge list as a graphgen.Graph

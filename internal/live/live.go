@@ -38,16 +38,25 @@
 // loading the latest valid snapshot, replaying the log tail through the
 // ordinary maintenance path, and truncating torn tails at the last valid
 // frame. `spinflow serve -data-dir` turns this on for every served view.
+//
+// A view reaches its fixpoint through the SessionProvider seam
+// (provider.go): in-process by default, or — with `spinflow serve
+// -workers` — a distributed session (shard.go) that hosts partition
+// ranges across `spinflow worker` processes. Every host keeps a full
+// graph replica and derives plan and placement independently
+// (digest-checked over the distrib control plane); only mutation batches
+// and owner-routed candidate worksets travel, supersteps ride the shared
+// driver's barrier over the TCP data plane, queries ask the key's owner,
+// and snapshots scatter-gather every host's shard into one canonical
+// file family.
 package live
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/dataflow"
 	"repro/internal/iterative"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -144,6 +153,12 @@ type ViewConfig struct {
 	// has grown this many bytes since the last one (default 4 MiB).
 	// Durable views only.
 	SnapshotEveryBytes int64
+	// Workers shards the view across distributed maintenance sessions:
+	// each entry is the control address of an already-listening `spinflow
+	// worker` process. The view's partition ranges are placed over
+	// 1+len(Workers) hosts (this process is host 0) and every flush is
+	// coordinated across the mesh. Empty means in-process maintenance.
+	Workers []string
 	// AutoEngine routes full recomputes through iterative.RunAuto: the
 	// cost model — calibrated from this view's own measured supersteps —
 	// picks between the superstep and microstep engines per recompute
@@ -159,6 +174,11 @@ type ViewConfig struct {
 func (c ViewConfig) normalized() ViewConfig {
 	if c.Parallelism <= 0 {
 		c.Parallelism = 1
+	}
+	// A sharded view needs at least one partition per host, or trailing
+	// hosts would sit in the mesh owning nothing.
+	if hosts := 1 + len(c.Workers); len(c.Workers) > 0 && c.Parallelism < hosts {
+		c.Parallelism = hosts
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 256
@@ -227,6 +247,9 @@ type ViewStats struct {
 	// RecoveredFrames counts WAL frames replayed through the maintenance
 	// path when this view instance was recovered (0 for fresh views).
 	RecoveredFrames int64
+	// Shards reports the per-host solution split of a sharded view (nil
+	// for in-process views).
+	Shards []ShardStat
 	// LastError is the most recent background (timer) flush or snapshot
 	// failure, if any — synchronous errors go to the caller instead.
 	LastError string
@@ -253,21 +276,15 @@ type LiveView struct {
 	walHist   *obs.Histogram
 	snapHist  *obs.Histogram
 
-	// mu guards the graph, the fixpoint and the solution set: exclusive
-	// for maintenance, shared for reads.
-	mu        sync.RWMutex
-	gs        *GraphState
-	fx        *iterative.Fixpoint
-	spec      iterative.IncrementalSpec
-	sources   []*dataflow.Node
-	planEdges int // directed edge count the current plan was costed with
-	// overlay holds edges live in gs but not yet folded into the plan's
-	// cached edge table: the insert fast path leaves the O(E) caches
-	// untouched and instead re-derives candidates over these edges until
-	// the solution is a fixpoint over N ∪ overlay. Deletions, drift, or
-	// overlay growth fold them in (source refresh + cache invalidation).
-	overlay []WEdge
-	stats   ViewStats
+	// mu guards the graph, the session provider and its solution state:
+	// exclusive for maintenance, shared for reads.
+	mu sync.RWMutex
+	gs *GraphState
+	// sess is the session provider backing the view: in-process
+	// (localSession) by default, or sharded over worker processes
+	// (distSession) when ViewConfig.Workers is set.
+	sess  SessionProvider
+	stats ViewStats
 	// dur is the durability state (nil for in-memory views). Its wal is
 	// internally locked; the seq/snapshot bookkeeping is guarded by mu,
 	// except that Mutate reads the wal's seq under pmu.
@@ -326,21 +343,32 @@ func newViewCore(name string, m Maintainer, initial []Mutation, cfg ViewConfig) 
 		v.gs.Apply(mut)
 	}
 	v.bindObs()
-	spec, s0, w0 := m.Spec(v.gs)
-	fx, err := iterative.OpenFixpoint(spec, nil, cfg.Config)
+	sess, err := v.openSession(nil)
 	if err != nil {
 		return nil, err
 	}
-	v.fx = fx
-	v.spec = spec
-	v.rebindSources(spec)
-	v.planEdges = v.gs.NumEdges()
-	fx.Solution().Init(s0)
-	if _, err := fx.Run(w0); err != nil {
-		fx.Close()
+	v.sess = sess
+	return v, nil
+}
+
+// openSession builds the view's session provider over the current graph:
+// sharded across ViewConfig.Workers when set, in-process otherwise. A
+// non-nil recovered solution skips the cold fixpoint and initializes the
+// session from those records instead (the snapshot-recovery path).
+func (v *LiveView) openSession(recovered []record.Record) (SessionProvider, error) {
+	if len(v.cfg.Workers) > 0 {
+		return openDistSession(v, recovered)
+	}
+	if recovered == nil {
+		return newLocalSession(v)
+	}
+	spec, _, _ := v.m.Spec(v.gs)
+	fx, err := iterative.OpenFixpoint(spec, nil, v.cfg.Config)
+	if err != nil {
 		return nil, err
 	}
-	return v, nil
+	fx.Solution().Init(recovered)
+	return adoptLocalSession(v, fx, spec), nil
 }
 
 // withObsDefaults mints the view's trace identity when a telemetry
@@ -402,26 +430,13 @@ func (c ViewConfig) withAutoDefaults() ViewConfig {
 }
 
 // assembleView wires a LiveView around already-recovered state: the
-// graph, the open fixpoint (with its solution set loaded), and the spec
-// the fixpoint was opened with. Used by recovery, where the cold build
-// is replaced by a snapshot load plus WAL replay.
-func assembleView(name string, m Maintainer, cfg ViewConfig, gs *GraphState, fx *iterative.Fixpoint, spec iterative.IncrementalSpec) *LiveView {
-	v := &LiveView{name: name, m: m, cfg: cfg, gs: gs, fx: fx, spec: spec}
+// graph and a session provider whose solution state is already loaded.
+// Used by recovery, where the cold build is replaced by a snapshot load
+// plus WAL replay.
+func assembleView(name string, m Maintainer, cfg ViewConfig, gs *GraphState, sess SessionProvider) *LiveView {
+	v := &LiveView{name: name, m: m, cfg: cfg, gs: gs, sess: sess}
 	v.bindObs()
-	v.rebindSources(spec)
-	v.planEdges = gs.NumEdges()
 	return v
-}
-
-// rebindSources records the plan's Source nodes, in construction order,
-// so refreshSources can swap their data after graph mutations.
-func (v *LiveView) rebindSources(spec iterative.IncrementalSpec) {
-	v.sources = v.sources[:0]
-	for _, n := range spec.Plan.Nodes() {
-		if n.Contract == dataflow.Source {
-			v.sources = append(v.sources, n)
-		}
-	}
 }
 
 // Name returns the view's name.
@@ -431,51 +446,33 @@ func (v *LiveView) Name() string { return v.name }
 // the view was built without a telemetry registry).
 func (v *LiveView) TraceID() obs.TraceID { return v.cfg.TraceID }
 
-// look reads the resident solution set by key.
-func (v *LiveView) look(k int64) (record.Record, bool) {
-	sol := v.fx.Solution()
-	return sol.Lookup(sol.PartitionFor(k), k)
-}
-
-// solReader exposes the resident solution to maintainers. Because flushes
-// force-store region resets before building insert deltas, lookups during
-// delta construction always see repaired labels, never stale ones.
-type solReader struct {
-	v *LiveView
-}
-
-func (r solReader) Lookup(k int64) (record.Record, bool) {
-	return r.v.look(k)
-}
-
-func (r solReader) Each(f func(record.Record)) {
-	r.v.fx.Solution().Each(f)
-}
-
 // Query returns the solution record for key k (e.g. a vertex's component
 // id or distance). It sees converged state only: flushes in progress
-// block it, queued-but-unflushed mutations do not affect it.
+// block it, queued-but-unflushed mutations do not affect it. On a
+// sharded view the lookup is routed to the host owning the key's
+// partition.
 func (v *LiveView) Query(k int64) (record.Record, bool) {
 	if h := v.qHist; h != nil {
 		defer h.ObserveSince(time.Now())
 	}
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	return v.look(k)
+	return v.sess.Lookup(k)
 }
 
-// Snapshot copies the converged solution set out.
+// Snapshot copies the converged solution set out (scatter-gathered over
+// every host for a sharded view).
 func (v *LiveView) Snapshot() []record.Record {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	return v.fx.Solution().Snapshot()
+	return v.sess.Snapshot()
 }
 
 // Bytes reports the solution set's resident in-memory footprint.
 func (v *LiveView) Bytes() int64 {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	return v.fx.Solution().Bytes()
+	return v.sess.Bytes()
 }
 
 // Stats reports the view's maintenance counters.
@@ -484,9 +481,9 @@ func (v *LiveView) Stats() ViewStats {
 	st := v.stats
 	st.Vertices = v.gs.NumVertices()
 	st.Edges = v.gs.NumEdges()
-	sol := v.fx.Solution()
-	st.SolutionRecords = sol.Size()
-	st.SolutionBytes = sol.Bytes()
+	st.SolutionRecords = v.sess.Records()
+	st.SolutionBytes = v.sess.Bytes()
+	st.Shards = v.sess.Shards()
 	if d := v.dur; d != nil {
 		st.Durable = true
 		st.WALBytes = d.wal.SizeBytes()
@@ -633,323 +630,18 @@ type insertedEdge struct {
 	w        float64
 }
 
-// applyLocked absorbs one mutation batch under the exclusive lock.
+// applyLocked absorbs one mutation batch under the exclusive lock: the
+// session provider does the maintenance work (graph apply, delta
+// classification, warm restart), this wrapper keeps the view-level
+// counters. The batch counts as applied once the graph mutation phase
+// ran, which the provider performs unconditionally before any restart.
 func (v *LiveView) applyLocked(batch []Mutation) error {
-	sol := v.fx.Solution()
-
-	// Phase 1: apply the batch to the graph, classifying the work. The
-	// solution set is untouched here, so every impact classification
-	// below reads a consistent pre-batch state.
-	var (
-		inserts   []insertedEdge
-		newVerts  []int64
-		dropVerts []int64
-		affected  map[int64]struct{}
-		full      bool
-		hasDelete bool
-	)
-	reader := solReader{v: v}
-	noteDelete := func(src, dst int64) {
-		hasDelete = true
-		if full {
-			return
-		}
-		// Affected regions are unions of whole components: once an
-		// endpoint is in the set, its component's region is already fully
-		// included, so re-expanding it (an O(V) solution scan) is skipped.
-		if _, seen := affected[src]; seen {
-			return
-		}
-		if _, seen := affected[dst]; seen {
-			return
-		}
-		region, ok := v.m.DeleteImpact(v.gs, src, dst, reader)
-		if !ok {
-			full = true
-			return
-		}
-		if affected == nil {
-			affected = make(map[int64]struct{})
-		}
-		for _, a := range region {
-			affected[a] = struct{}{}
-		}
-	}
-	for _, mut := range batch {
-		switch mut.Op {
-		case OpInsertEdge:
-			for _, e := range []int64{mut.Src, mut.Dst} {
-				if v.gs.AddVertex(e) {
-					newVerts = append(newVerts, e)
-				}
-			}
-			oldW, existed := v.gs.EdgeWeight(mut.Src, mut.Dst)
-			if v.gs.AddEdge(mut.Src, mut.Dst, mut.Weight) {
-				inserts = append(inserts, insertedEdge{mut.Src, mut.Dst, mut.Weight})
-				if existed && oldW != mut.Weight {
-					// Re-weighting an existing edge is not monotone (the
-					// weight may have increased, lengthening paths through
-					// it): repair like a deletion of the old edge.
-					noteDelete(mut.Src, mut.Dst)
-				}
-			}
-		case OpDeleteEdge:
-			if _, ok := v.gs.RemoveEdge(mut.Src, mut.Dst); ok {
-				noteDelete(mut.Src, mut.Dst)
-			}
-		case OpAddVertex:
-			if v.gs.AddVertex(mut.Src) {
-				newVerts = append(newVerts, mut.Src)
-			}
-		case OpDeleteVertex:
-			if !v.gs.HasVertex(mut.Src) {
-				continue
-			}
-			// Classify each incident edge's impact before it disappears.
-			for _, e := range v.gs.IncidentEdges(mut.Src) {
-				noteDelete(e.Src, e.Dst)
-			}
-			v.gs.RemoveVertex(mut.Src)
-			dropVerts = append(dropVerts, mut.Src)
-			hasDelete = true
-		default:
-			return fmt.Errorf("live: unknown mutation op %v", mut.Op)
-		}
-	}
 	if m := v.cfg.Metrics; m != nil {
 		m.DeltasApplied.Add(int64(len(batch)))
 	}
 	v.stats.DeltasApplied += int64(len(batch))
 	v.stats.Flushes++
-
-	// Dropped vertices leave the solution immediately (and must not be
-	// resurrected by region resets).
-	for _, d := range dropVerts {
-		sol.Delete(d)
-		delete(affected, d)
-	}
-	if !full && len(affected) > 0 &&
-		float64(len(affected)) > v.cfg.RecomputeFraction*float64(sol.Size()) {
-		full = true
-	}
-
-	// New edges join the overlay; whether they also reach the plan's
-	// cached edge table depends on the fold decision below.
-	for _, ie := range inserts {
-		v.overlay = append(v.overlay, WEdge{Src: ie.src, Dst: ie.dst, Weight: ie.w})
-	}
-
-	if full {
-		return v.fullRecomputeLocked()
-	}
-
-	// Phase 2 (fold): deletions must be reflected in the plan's edge
-	// table before any repair propagates through it — stale edges would
-	// resurrect retracted state — and an oversized overlay is folded so
-	// the outer loop below stays cheap. Insert-only batches under the
-	// threshold skip this entirely: the O(E) constant caches stay warm,
-	// which is what makes small-delta maintenance fast.
-	if hasDelete || len(v.overlay)*8 > v.gs.NumEdges() {
-		if err := v.refreshPlan(); err != nil {
-			return err
-		}
-	}
-
-	// Phase 3: bounded recompute of the affected region — resets plus a
-	// candidate seed over the region's surviving edges.
-	var workset []record.Record
-	if len(affected) > 0 {
-		region := make([]int64, 0, len(affected))
-		for a := range affected {
-			region = append(region, a)
-		}
-		sort.Slice(region, func(i, j int) bool { return region[i] < region[j] })
-		resets, seed, drops := v.m.RecomputeSeed(v.gs, region)
-		for _, d := range drops {
-			sol.Delete(d)
-		}
-		for _, r := range resets {
-			sol.ForceStore(r)
-		}
-		workset = append(workset, seed...)
-		if m := v.cfg.Metrics; m != nil {
-			m.PartialRecomputes.Add(1)
-		}
-		v.stats.PartialRecomputes++
-	}
-	for _, nv := range newVerts {
-		if r, ok := v.m.VertexRecord(nv); ok {
-			sol.Update(r)
-		}
-	}
-	// Monotone insert candidates. Region resets are already force-stored,
-	// so lookups see the re-initialized labels, never stale ones.
-	for _, ie := range inserts {
-		workset = append(workset, v.m.InsertDelta(ie.src, ie.dst, ie.w, reader)...)
-	}
-
-	// Phase 4: drive to the fixpoint over N ∪ overlay. Each inner Run
-	// converges over the plan's (possibly stale) edge table N; overlay
-	// edges are then re-examined — any candidate the comparator says
-	// still improves the solution seeds another round. Candidates only
-	// move entries down the CPO, so the loop terminates.
-	for {
-		workset = v.filterImproving(workset)
-		if len(workset) == 0 {
-			return nil
-		}
-		if err := v.warmRestartLocked(workset); err != nil {
-			return err
-		}
-		if len(v.overlay) == 0 {
-			return nil
-		}
-		workset = workset[:0]
-		for _, e := range v.overlay {
-			workset = append(workset, v.m.InsertDelta(e.Src, e.Dst, e.Weight, reader)...)
-		}
-	}
-}
-
-// filterImproving keeps only workset candidates that would actually
-// advance the solution in the CPO — the comparator-based no-op check that
-// lets the overlay loop detect convergence.
-func (v *LiveView) filterImproving(ws []record.Record) []record.Record {
-	out := ws[:0]
-	for _, r := range ws {
-		old, ok := v.look(v.spec.SolutionKey(r))
-		switch {
-		case !ok:
-			out = append(out, r)
-		case v.spec.Comparator != nil:
-			if v.spec.Comparator(r, old) > 0 {
-				out = append(out, r)
-			}
-		case !old.Equal(r):
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-// warmRestartLocked drives the resident fixpoint from the given workset.
-func (v *LiveView) warmRestartLocked(workset []record.Record) error {
-	res, err := v.fx.Run(workset)
-	if res != nil {
-		if m := v.cfg.Metrics; m != nil {
-			m.WarmRestarts.Add(1)
-			m.MaintenanceSupersteps.Add(int64(res.Supersteps))
-		}
-		v.stats.WarmRestarts++
-		v.stats.Supersteps += int64(res.Supersteps)
-	}
-	return err
-}
-
-// fullRecomputeLocked is the last resort: reset the solution set and
-// re-run the fixpoint from S0/W0 over the current graph — still inside
-// the resident session, so even this path reuses workers and state.
-func (v *LiveView) fullRecomputeLocked() error {
-	spec, s0, w0 := v.m.Spec(v.gs)
-	if v.cfg.AutoEngine {
-		return v.autoRecomputeLocked(spec, s0, w0)
-	}
-	if err := v.fx.Rebind(spec); err != nil {
-		return err
-	}
-	v.spec = spec
-	v.rebindSources(spec)
-	v.planEdges = v.gs.NumEdges()
-	v.overlay = v.overlay[:0]
-	v.stats.Rebinds++
-	sol := v.fx.Solution()
-	sol.Reset()
-	sol.Init(s0)
-	if m := v.cfg.Metrics; m != nil {
-		m.FullRecomputes.Add(1)
-	}
-	v.stats.FullRecomputes++
-	return v.warmRestartLocked(w0)
-}
-
-// autoRecomputeLocked is the AutoEngine full recompute: the fixpoint is
-// recomputed through iterative.RunAuto — the cost model (calibrated from
-// this view's measured supersteps) picks the engine and may switch to
-// microsteps mid-run — and the converged result is installed into the
-// resident session, which is re-bound to the new spec for subsequent
-// maintenance.
-func (v *LiveView) autoRecomputeLocked(spec iterative.IncrementalSpec, s0, w0 []record.Record) error {
-	// The resident set is about to be overwritten anyway; dropping it
-	// before the runner builds its own keeps peak solution memory at
-	// ~1× instead of transiently doubling the admitted footprint. (On
-	// error the view is left empty — the same state a failed non-auto
-	// recompute leaves behind.)
-	v.fx.Solution().Reset()
-	res, err := iterative.RunAuto(iterative.AutoSpec{Incremental: spec}, s0, w0, v.cfg.Config)
-	if err != nil {
-		return err
-	}
-	if err := v.fx.Rebind(spec); err != nil {
-		return err
-	}
-	v.spec = spec
-	v.rebindSources(spec)
-	v.planEdges = v.gs.NumEdges()
-	v.overlay = v.overlay[:0]
-	v.stats.Rebinds++
-	sol := v.fx.Solution()
-	sol.Init(res.Solution)
-	if res.Set != nil {
-		// Drop the runner's scratch solution set (under a spill budget it
-		// may hold disk-backed partitions).
-		res.Set.Reset()
-	}
-	if m := v.cfg.Metrics; m != nil {
-		m.FullRecomputes.Add(1)
-	}
-	v.stats.FullRecomputes++
-	v.stats.EngineSwitches += int64(res.Switches)
-	v.stats.Supersteps += int64(res.Supersteps)
-	return nil
-}
-
-// refreshPlan folds the current graph (including any overlay edges) into
-// the Δ plan's Source nodes. In the common case the spec is rebuilt only
-// to harvest fresh source data, which is copied into the live plan in
-// place — the session and its workers survive, and InvalidateConstants
-// makes the next superstep re-materialize the edge caches. When the edge
-// count has drifted 4x from what the physical plan was costed with, the
-// view re-optimizes instead.
-func (v *LiveView) refreshPlan() error {
-	edges := v.gs.NumEdges()
-	drifted := edges > 4*v.planEdges || (edges > 0 && v.planEdges > 4*edges)
-	spec, _, _ := v.m.Spec(v.gs)
-	v.overlay = v.overlay[:0]
-	if drifted {
-		if err := v.fx.Rebind(spec); err != nil {
-			return err
-		}
-		v.spec = spec
-		v.rebindSources(spec)
-		v.planEdges = edges
-		v.stats.Rebinds++
-		return nil
-	}
-	fresh := make([]*dataflow.Node, 0, len(v.sources))
-	for _, n := range spec.Plan.Nodes() {
-		if n.Contract == dataflow.Source {
-			fresh = append(fresh, n)
-		}
-	}
-	if len(fresh) != len(v.sources) {
-		return fmt.Errorf("live: maintainer %s produced %d sources, plan has %d",
-			v.m.Name(), len(fresh), len(v.sources))
-	}
-	for i, n := range v.sources {
-		n.Data = fresh[i].Data
-	}
-	v.fx.InvalidateConstants()
-	return nil
+	return v.sess.Apply(batch)
 }
 
 // Close flushes pending mutations, releases the session, and drops the
@@ -986,8 +678,9 @@ func (v *LiveView) Close() error {
 			err = cerr
 		}
 	}
-	v.fx.Solution().Reset()
-	v.fx.Close()
+	if cerr := v.sess.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -1013,8 +706,7 @@ func (v *LiveView) Kill() {
 	if d := v.dur; d != nil {
 		d.wal.Close()
 	}
-	v.fx.Solution().Reset()
-	v.fx.Close()
+	v.sess.Kill()
 }
 
 // Checkpoint forces a streaming snapshot of the current converged state

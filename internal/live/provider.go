@@ -1,0 +1,492 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataflow"
+	"repro/internal/iterative"
+	"repro/internal/record"
+)
+
+// ShardStat reports one host's share of a sharded view's resident
+// solution set.
+type ShardStat struct {
+	// Host is the session host ID (0 is the serving process itself).
+	Host int `json:"host"`
+	// Records counts the records in the partitions this host owns. Bytes
+	// is the host's whole resident solution footprint: every host keeps a
+	// full replica set (hosted partitions exact, the rest stale), and the
+	// backend accounts bytes for the set as a whole.
+	Records int   `json:"records"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// SessionProvider is the execution backend of a LiveView: the thing that
+// holds the resident fixpoint and absorbs mutation batches into it. The
+// view keeps the mutable graph, the micro-batching, the durability
+// lifecycle, and the serving locks; the provider decides *where* the
+// fixpoint lives — in this process (localSession, the default) or spread
+// over `spinflow worker` processes by partition range (distSession).
+//
+// Every method is called under the view's maintenance lock except Lookup
+// and Snapshot, which run under the shared read lock and must therefore
+// be safe for concurrent use with each other.
+type SessionProvider interface {
+	// Apply absorbs one acknowledged mutation batch: the graph replica(s)
+	// advance and the resident solution set is maintained back to a
+	// converged fixpoint before Apply returns.
+	Apply(batch []Mutation) error
+	// Lookup returns the converged solution record for key k.
+	Lookup(k int64) (record.Record, bool)
+	// Snapshot copies the converged solution set out.
+	Snapshot() []record.Record
+	// Records and Bytes report the resident solution footprint (summed
+	// over every host for a sharded session).
+	Records() int
+	Bytes() int64
+	// EachSolution streams this process's resident solution records in
+	// ascending partition order — everything for an in-process session,
+	// the coordinator's hosted partitions for a sharded one. It feeds the
+	// streaming snapshot writer.
+	EachSolution(f func(record.Record) error) error
+	// RemoteShards returns each remote host's hosted partitions as
+	// concatenated record frames, keyed by host ID — the payload of the
+	// per-host snapshot shard files. In-process sessions return nil.
+	RemoteShards() (map[int][]byte, error)
+	// Shards reports per-host occupancy (nil for in-process sessions).
+	Shards() []ShardStat
+	// Close releases the session; Kill abandons it crash-style (no
+	// graceful remote teardown).
+	Close() error
+	Kill()
+}
+
+// localSession is the default in-process provider: one resident
+// iterative.Fixpoint plus the plan bookkeeping the maintenance paths
+// mutate (overlay edges, source bindings, the edge count the plan was
+// costed with).
+type localSession struct {
+	v         *LiveView
+	fx        *iterative.Fixpoint
+	spec      iterative.IncrementalSpec
+	sources   []*dataflow.Node
+	planEdges int
+	// overlay holds edges live in gs but not yet folded into the plan's
+	// cached edge table: the insert fast path leaves the O(E) caches
+	// untouched and instead re-derives candidates over these edges until
+	// the solution is a fixpoint over N ∪ overlay. Deletions, drift, or
+	// overlay growth fold them in (source refresh + cache invalidation).
+	overlay []WEdge
+}
+
+// newLocalSession runs the cold build: spec over the view's graph, one
+// cold fixpoint, everything left resident.
+func newLocalSession(v *LiveView) (*localSession, error) {
+	spec, s0, w0 := v.m.Spec(v.gs)
+	fx, err := iterative.OpenFixpoint(spec, nil, v.cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	s := &localSession{v: v, fx: fx}
+	s.setSpec(spec)
+	fx.Solution().Init(s0)
+	if _, err := fx.Run(w0); err != nil {
+		fx.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// adoptLocalSession wires a provider around already-recovered state: an
+// open fixpoint with its solution set loaded, and the spec it was opened
+// with (the snapshot-load path).
+func adoptLocalSession(v *LiveView, fx *iterative.Fixpoint, spec iterative.IncrementalSpec) *localSession {
+	s := &localSession{v: v, fx: fx}
+	s.setSpec(spec)
+	return s
+}
+
+// setSpec installs a (re)bound spec: records the plan's Source nodes in
+// construction order so refreshPlan can swap their data after graph
+// mutations, and the edge count the plan was costed with.
+func (s *localSession) setSpec(spec iterative.IncrementalSpec) {
+	s.spec = spec
+	s.sources = s.sources[:0]
+	for _, n := range spec.Plan.Nodes() {
+		if n.Contract == dataflow.Source {
+			s.sources = append(s.sources, n)
+		}
+	}
+	s.planEdges = s.v.gs.NumEdges()
+}
+
+func (s *localSession) Lookup(k int64) (record.Record, bool) {
+	sol := s.fx.Solution()
+	return sol.Lookup(sol.PartitionFor(k), k)
+}
+
+func (s *localSession) Snapshot() []record.Record { return s.fx.Solution().Snapshot() }
+
+func (s *localSession) Records() int { return s.fx.Solution().Size() }
+
+func (s *localSession) Bytes() int64 { return s.fx.Solution().Bytes() }
+
+func (s *localSession) EachSolution(f func(record.Record) error) error {
+	sol := s.fx.Solution()
+	for p := 0; p < sol.Parallelism(); p++ {
+		var perr error
+		sol.EachPartition(p, func(r record.Record) {
+			if perr == nil {
+				perr = f(r)
+			}
+		})
+		if perr != nil {
+			return perr
+		}
+	}
+	return nil
+}
+
+func (s *localSession) RemoteShards() (map[int][]byte, error) { return nil, nil }
+
+func (s *localSession) Shards() []ShardStat { return nil }
+
+func (s *localSession) Close() error {
+	s.fx.Solution().Reset()
+	s.fx.Close()
+	return nil
+}
+
+func (s *localSession) Kill() {
+	s.fx.Solution().Reset()
+	s.fx.Close()
+}
+
+// solReader exposes the resident solution to maintainers. Because flushes
+// force-store region resets before building insert deltas, lookups during
+// delta construction always see repaired labels, never stale ones.
+type solReader struct {
+	s *localSession
+}
+
+func (r solReader) Lookup(k int64) (record.Record, bool) {
+	return r.s.Lookup(k)
+}
+
+func (r solReader) Each(f func(record.Record)) {
+	r.s.fx.Solution().Each(f)
+}
+
+// Apply absorbs one mutation batch into the resident fixpoint.
+func (s *localSession) Apply(batch []Mutation) error {
+	v := s.v
+	sol := s.fx.Solution()
+
+	// Phase 1: apply the batch to the graph, classifying the work. The
+	// solution set is untouched here, so every impact classification
+	// below reads a consistent pre-batch state.
+	var (
+		inserts   []insertedEdge
+		newVerts  []int64
+		dropVerts []int64
+		affected  map[int64]struct{}
+		full      bool
+		hasDelete bool
+	)
+	reader := solReader{s: s}
+	noteDelete := func(src, dst int64) {
+		hasDelete = true
+		if full {
+			return
+		}
+		// Affected regions are unions of whole components: once an
+		// endpoint is in the set, its component's region is already fully
+		// included, so re-expanding it (an O(V) solution scan) is skipped.
+		if _, seen := affected[src]; seen {
+			return
+		}
+		if _, seen := affected[dst]; seen {
+			return
+		}
+		region, ok := v.m.DeleteImpact(v.gs, src, dst, reader)
+		if !ok {
+			full = true
+			return
+		}
+		if affected == nil {
+			affected = make(map[int64]struct{})
+		}
+		for _, a := range region {
+			affected[a] = struct{}{}
+		}
+	}
+	for _, mut := range batch {
+		switch mut.Op {
+		case OpInsertEdge:
+			for _, e := range []int64{mut.Src, mut.Dst} {
+				if v.gs.AddVertex(e) {
+					newVerts = append(newVerts, e)
+				}
+			}
+			oldW, existed := v.gs.EdgeWeight(mut.Src, mut.Dst)
+			if v.gs.AddEdge(mut.Src, mut.Dst, mut.Weight) {
+				inserts = append(inserts, insertedEdge{mut.Src, mut.Dst, mut.Weight})
+				if existed && oldW != mut.Weight {
+					// Re-weighting an existing edge is not monotone (the
+					// weight may have increased, lengthening paths through
+					// it): repair like a deletion of the old edge.
+					noteDelete(mut.Src, mut.Dst)
+				}
+			}
+		case OpDeleteEdge:
+			if _, ok := v.gs.RemoveEdge(mut.Src, mut.Dst); ok {
+				noteDelete(mut.Src, mut.Dst)
+			}
+		case OpAddVertex:
+			if v.gs.AddVertex(mut.Src) {
+				newVerts = append(newVerts, mut.Src)
+			}
+		case OpDeleteVertex:
+			if !v.gs.HasVertex(mut.Src) {
+				continue
+			}
+			// Classify each incident edge's impact before it disappears.
+			for _, e := range v.gs.IncidentEdges(mut.Src) {
+				noteDelete(e.Src, e.Dst)
+			}
+			v.gs.RemoveVertex(mut.Src)
+			dropVerts = append(dropVerts, mut.Src)
+			hasDelete = true
+		default:
+			return fmt.Errorf("live: unknown mutation op %v", mut.Op)
+		}
+	}
+
+	// Dropped vertices leave the solution immediately (and must not be
+	// resurrected by region resets).
+	for _, d := range dropVerts {
+		sol.Delete(d)
+		delete(affected, d)
+	}
+	if !full && len(affected) > 0 &&
+		float64(len(affected)) > v.cfg.RecomputeFraction*float64(sol.Size()) {
+		full = true
+	}
+
+	// New edges join the overlay; whether they also reach the plan's
+	// cached edge table depends on the fold decision below.
+	for _, ie := range inserts {
+		s.overlay = append(s.overlay, WEdge{Src: ie.src, Dst: ie.dst, Weight: ie.w})
+	}
+
+	if full {
+		return s.fullRecompute()
+	}
+
+	// Phase 2 (fold): deletions must be reflected in the plan's edge
+	// table before any repair propagates through it — stale edges would
+	// resurrect retracted state — and an oversized overlay is folded so
+	// the outer loop below stays cheap. Insert-only batches under the
+	// threshold skip this entirely: the O(E) constant caches stay warm,
+	// which is what makes small-delta maintenance fast.
+	if hasDelete || len(s.overlay)*8 > v.gs.NumEdges() {
+		if err := s.refreshPlan(); err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: bounded recompute of the affected region — resets plus a
+	// candidate seed over the region's surviving edges.
+	var workset []record.Record
+	if len(affected) > 0 {
+		region := make([]int64, 0, len(affected))
+		for a := range affected {
+			region = append(region, a)
+		}
+		sort.Slice(region, func(i, j int) bool { return region[i] < region[j] })
+		resets, seed, drops := v.m.RecomputeSeed(v.gs, region)
+		for _, d := range drops {
+			sol.Delete(d)
+		}
+		for _, r := range resets {
+			sol.ForceStore(r)
+		}
+		workset = append(workset, seed...)
+		if m := v.cfg.Metrics; m != nil {
+			m.PartialRecomputes.Add(1)
+		}
+		v.stats.PartialRecomputes++
+	}
+	for _, nv := range newVerts {
+		if r, ok := v.m.VertexRecord(nv); ok {
+			sol.Update(r)
+		}
+	}
+	// Monotone insert candidates. Region resets are already force-stored,
+	// so lookups see the re-initialized labels, never stale ones.
+	for _, ie := range inserts {
+		workset = append(workset, v.m.InsertDelta(ie.src, ie.dst, ie.w, reader)...)
+	}
+
+	// Phase 4: drive to the fixpoint over N ∪ overlay. Each inner Run
+	// converges over the plan's (possibly stale) edge table N; overlay
+	// edges are then re-examined — any candidate the comparator says
+	// still improves the solution seeds another round. Candidates only
+	// move entries down the CPO, so the loop terminates.
+	for {
+		workset = s.filterImproving(workset)
+		if len(workset) == 0 {
+			return nil
+		}
+		if err := s.warmRestart(workset); err != nil {
+			return err
+		}
+		if len(s.overlay) == 0 {
+			return nil
+		}
+		workset = workset[:0]
+		for _, e := range s.overlay {
+			workset = append(workset, v.m.InsertDelta(e.Src, e.Dst, e.Weight, reader)...)
+		}
+	}
+}
+
+// filterImproving keeps only workset candidates that would actually
+// advance the solution in the CPO — the comparator-based no-op check that
+// lets the overlay loop detect convergence.
+func (s *localSession) filterImproving(ws []record.Record) []record.Record {
+	out := ws[:0]
+	for _, r := range ws {
+		old, ok := s.Lookup(s.spec.SolutionKey(r))
+		switch {
+		case !ok:
+			out = append(out, r)
+		case s.spec.Comparator != nil:
+			if s.spec.Comparator(r, old) > 0 {
+				out = append(out, r)
+			}
+		case !old.Equal(r):
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// warmRestart drives the resident fixpoint from the given workset.
+func (s *localSession) warmRestart(workset []record.Record) error {
+	res, err := s.fx.Run(workset)
+	if res != nil {
+		v := s.v
+		if m := v.cfg.Metrics; m != nil {
+			m.WarmRestarts.Add(1)
+			m.MaintenanceSupersteps.Add(int64(res.Supersteps))
+		}
+		v.stats.WarmRestarts++
+		v.stats.Supersteps += int64(res.Supersteps)
+	}
+	return err
+}
+
+// fullRecompute is the last resort: reset the solution set and re-run
+// the fixpoint from S0/W0 over the current graph — still inside the
+// resident session, so even this path reuses workers and state.
+func (s *localSession) fullRecompute() error {
+	v := s.v
+	spec, s0, w0 := v.m.Spec(v.gs)
+	if v.cfg.AutoEngine {
+		return s.autoRecompute(spec, s0, w0)
+	}
+	if err := s.fx.Rebind(spec); err != nil {
+		return err
+	}
+	s.setSpec(spec)
+	s.overlay = s.overlay[:0]
+	v.stats.Rebinds++
+	sol := s.fx.Solution()
+	sol.Reset()
+	sol.Init(s0)
+	if m := v.cfg.Metrics; m != nil {
+		m.FullRecomputes.Add(1)
+	}
+	v.stats.FullRecomputes++
+	return s.warmRestart(w0)
+}
+
+// autoRecompute is the AutoEngine full recompute: the fixpoint is
+// recomputed through iterative.RunAuto — the cost model (calibrated from
+// this view's measured supersteps) picks the engine and may switch to
+// microsteps mid-run — and the converged result is installed into the
+// resident session, which is re-bound to the new spec for subsequent
+// maintenance.
+func (s *localSession) autoRecompute(spec iterative.IncrementalSpec, s0, w0 []record.Record) error {
+	v := s.v
+	// The resident set is about to be overwritten anyway; dropping it
+	// before the runner builds its own keeps peak solution memory at
+	// ~1× instead of transiently doubling the admitted footprint. (On
+	// error the view is left empty — the same state a failed non-auto
+	// recompute leaves behind.)
+	s.fx.Solution().Reset()
+	res, err := iterative.RunAuto(iterative.AutoSpec{Incremental: spec}, s0, w0, v.cfg.Config)
+	if err != nil {
+		return err
+	}
+	if err := s.fx.Rebind(spec); err != nil {
+		return err
+	}
+	s.setSpec(spec)
+	s.overlay = s.overlay[:0]
+	v.stats.Rebinds++
+	sol := s.fx.Solution()
+	sol.Init(res.Solution)
+	if res.Set != nil {
+		// Drop the runner's scratch solution set (under a spill budget it
+		// may hold disk-backed partitions).
+		res.Set.Reset()
+	}
+	if m := v.cfg.Metrics; m != nil {
+		m.FullRecomputes.Add(1)
+	}
+	v.stats.FullRecomputes++
+	v.stats.EngineSwitches += int64(res.Switches)
+	v.stats.Supersteps += int64(res.Supersteps)
+	return nil
+}
+
+// refreshPlan folds the current graph (including any overlay edges) into
+// the Δ plan's Source nodes. In the common case the spec is rebuilt only
+// to harvest fresh source data, which is copied into the live plan in
+// place — the session and its workers survive, and InvalidateConstants
+// makes the next superstep re-materialize the edge caches. When the edge
+// count has drifted 4x from what the physical plan was costed with, the
+// view re-optimizes instead.
+func (s *localSession) refreshPlan() error {
+	v := s.v
+	edges := v.gs.NumEdges()
+	drifted := edges > 4*s.planEdges || (edges > 0 && s.planEdges > 4*edges)
+	spec, _, _ := v.m.Spec(v.gs)
+	s.overlay = s.overlay[:0]
+	if drifted {
+		if err := s.fx.Rebind(spec); err != nil {
+			return err
+		}
+		s.setSpec(spec)
+		v.stats.Rebinds++
+		return nil
+	}
+	fresh := make([]*dataflow.Node, 0, len(s.sources))
+	for _, n := range spec.Plan.Nodes() {
+		if n.Contract == dataflow.Source {
+			fresh = append(fresh, n)
+		}
+	}
+	if len(fresh) != len(s.sources) {
+		return fmt.Errorf("live: maintainer %s produced %d sources, plan has %d",
+			v.m.Name(), len(fresh), len(s.sources))
+	}
+	for i, n := range s.sources {
+		n.Data = fresh[i].Data
+	}
+	s.fx.InvalidateConstants()
+	return nil
+}

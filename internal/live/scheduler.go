@@ -134,6 +134,11 @@ func (s *Scheduler) collect(emit func(name, labels string, value float64)) {
 		emit("view_wal_bytes", l, float64(vs.WALBytes))
 		emit("view_snapshots_written", l, float64(vs.SnapshotsWritten))
 		emit("view_recovered_frames", l, float64(vs.RecoveredFrames))
+		for _, sh := range vs.Shards {
+			sl := fmt.Sprintf("view=%q,host=\"%d\"", name, sh.Host)
+			emit("view_shard_records", sl, float64(sh.Records))
+			emit("view_shard_bytes", sl, float64(sh.Bytes))
+		}
 		errSet := 0.0
 		if vs.LastError != "" {
 			errSet = 1
@@ -184,6 +189,11 @@ func (s *Scheduler) Create(name string, m Maintainer, initial []Mutation, cfg *V
 		if vcfg.Metrics == nil {
 			vcfg.Metrics = s.cfg.Obs.Counters()
 		}
+	}
+	// A scheduler serving over workers shards every view by default; an
+	// explicit per-view worker set still wins.
+	if vcfg.Workers == nil {
+		vcfg.Workers = s.cfg.DefaultView.Workers
 	}
 	if err := vcfg.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,513 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"repro/internal/distrib"
+	"repro/internal/iterative"
+	"repro/internal/record"
+)
+
+// wireIdentity maps a Maintainer to the (algorithm, source) pair a worker
+// rebuilds it from. Only the built-in maintainers can cross the wire.
+func wireIdentity(m Maintainer) (string, int64, error) {
+	switch m.Name() {
+	case "cc":
+		return "cc", 0, nil
+	case "sssp":
+		src, ok := m.(interface{ Source() int64 })
+		if !ok {
+			return "", 0, fmt.Errorf("live: sssp maintainer %T has no source", m)
+		}
+		return "sssp", src.Source(), nil
+	}
+	return "", 0, fmt.Errorf("live: maintainer %q cannot shard (not wire-identifiable)", m.Name())
+}
+
+// shardConn is one coordinator→worker control connection. Its own lock
+// serializes request/response exchanges: concurrent Query calls (shared
+// view lock) multiplex safely over the single connection.
+type shardConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// call performs one locked request/response exchange, surfacing a
+// view_error reply as an error.
+func (c *shardConn) call(msg shardMsg, wantKind string) (shardMsg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(msg); err != nil {
+		return shardMsg{}, err
+	}
+	var reply shardMsg
+	if err := c.dec.Decode(&reply); err != nil {
+		return shardMsg{}, err
+	}
+	if reply.Kind == viewError {
+		return shardMsg{}, fmt.Errorf("live: worker: %s", reply.Err)
+	}
+	if reply.Kind != wantKind {
+		return shardMsg{}, fmt.Errorf("live: worker sent %q, want %q", reply.Kind, wantKind)
+	}
+	return reply, nil
+}
+
+// send fires a request without awaiting the reply (barrier release); the
+// matching recv must follow under the same external ordering.
+func (c *shardConn) send(msg shardMsg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(msg)
+}
+
+// recv awaits one reply of the given kind.
+func (c *shardConn) recv(wantKind string) (shardMsg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var reply shardMsg
+	if err := c.dec.Decode(&reply); err != nil {
+		return shardMsg{}, err
+	}
+	if reply.Kind == viewError {
+		return shardMsg{}, fmt.Errorf("live: worker: %s", reply.Err)
+	}
+	if reply.Kind != wantKind {
+		return shardMsg{}, fmt.Errorf("live: worker sent %q, want %q", reply.Kind, wantKind)
+	}
+	return reply, nil
+}
+
+func (c *shardConn) close() { c.conn.Close() }
+
+// distSession is the sharded SessionProvider: the coordinator's own
+// shardCore (host 0, graph aliased to the view's) plus one control
+// connection per worker host 1..H-1. Maintenance runs the coordinated
+// flush protocol; reads route by partition placement.
+type distSession struct {
+	v     *LiveView
+	core  *shardCore
+	conns []*shardConn // conns[i] is host i+1
+}
+
+// openDistSession builds the sharded session: local core, worker dials
+// (bounded-backoff — workers may still be starting), remote session opens
+// with the full graph dump, digest cross-check, then the data-plane mesh.
+// A non-nil recovered solution initializes every host's replica set from
+// it (hosted partitions become authoritative); otherwise the cold
+// fixpoint runs across the mesh before the session is handed out.
+func openDistSession(v *LiveView, recovered []record.Record) (*distSession, error) {
+	algo, src, err := wireIdentity(v.m)
+	if err != nil {
+		return nil, err
+	}
+	hosts := 1 + len(v.cfg.Workers)
+	cfg := v.cfg.Config
+	cfg.Hosts = hosts
+	cfg.Host = 0
+
+	core, addr, err := newShardCore(v.name, v.m, cfg, 0, v.gs, recovered, cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
+	s := &distSession{v: v, core: core, conns: make([]*shardConn, len(v.cfg.Workers))}
+	ok := false
+	defer func() {
+		if !ok {
+			s.teardown()
+		}
+	}()
+
+	spec := &shardSpec{
+		Name: v.name, Algorithm: algo, Source: src,
+		Parallelism: cfg.Parallelism, Hosts: hosts, BatchSize: cfg.BatchSize,
+		Backend:              string(cfg.SolutionBackend),
+		SolutionMemoryBudget: cfg.SolutionMemoryBudget,
+		Planner:              int(cfg.Planner),
+		DisableFusion:        cfg.DisableFusion,
+		WireCompression:      cfg.WireCompression,
+		TraceID:              uint64(cfg.TraceID), TraceLabel: cfg.TraceLabel,
+	}
+	graph := dumpGraph(v.gs)
+	var sol []byte
+	if recovered != nil {
+		sol = recordsToFrames(recovered)
+	}
+	dataAddrs := make([]string, hosts)
+	dataAddrs[0] = addr
+	for i, waddr := range v.cfg.Workers {
+		conn, err := distrib.DialWorker(waddr, distrib.MeshTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("live: view %q worker %s: %w", v.name, waddr, err)
+		}
+		s.conns[i] = &shardConn{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}
+		ready, err := s.conns[i].call(shardMsg{
+			Kind: viewOpen, Spec: spec, HostID: i + 1, Frames: graph, Sol: sol,
+		}, viewReady)
+		if err != nil {
+			return nil, fmt.Errorf("live: view %q open on %s: %w", v.name, waddr, err)
+		}
+		if ready.Digest != core.digest {
+			return nil, fmt.Errorf("live: view %q host %d planned digest %s, coordinator has %s",
+				v.name, i+1, ready.Digest, core.digest)
+		}
+		dataAddrs[i+1] = ready.DataAddr
+	}
+
+	// Workers mesh first (host 0 is already listening; higher hosts dial
+	// lower ones), then the coordinator connects and the cold workset is
+	// driven through the barrier.
+	for i, c := range s.conns {
+		if err := c.send(shardMsg{Kind: viewStart, DataAddrs: dataAddrs}); err != nil {
+			return nil, fmt.Errorf("live: view %q start host %d: %w", v.name, i+1, err)
+		}
+	}
+	if err := core.mesh(dataAddrs, false); err != nil {
+		return nil, err
+	}
+	for i, c := range s.conns {
+		if _, err := c.recv(viewMeshed); err != nil {
+			return nil, fmt.Errorf("live: view %q mesh host %d: %w", v.name, i+1, err)
+		}
+	}
+	if recovered == nil {
+		if err := s.runDriven(core.w0); err != nil {
+			return nil, err
+		}
+	}
+	core.w0 = nil
+	ok = true
+	return s, nil
+}
+
+// shardBarrier globalizes superstep convergence across the session's
+// hosts: release fans view_step out, collect sums every host's
+// next-workset count. The coordinator's RunDriven drives it.
+type shardBarrier struct{ s *distSession }
+
+func (b shardBarrier) Release(step int) error {
+	for i, c := range b.s.conns {
+		if err := c.send(shardMsg{Kind: viewStep}); err != nil {
+			return fmt.Errorf("live: superstep %d release host %d: %w", step, i+1, err)
+		}
+	}
+	return nil
+}
+
+func (b shardBarrier) Collect(step, localNext int) (int, error) {
+	total := localNext
+	for i, c := range b.s.conns {
+		reply, err := c.recv(viewStepDone)
+		if err != nil {
+			return 0, fmt.Errorf("live: superstep %d host %d: %w", step, i+1, err)
+		}
+		total += reply.Count
+	}
+	return total, nil
+}
+
+// runDriven drives the coordinator's resident fixpoint from the workset
+// with every worker stepping in lockstep, and folds the run into the
+// view's maintenance counters.
+func (s *distSession) runDriven(workset []record.Record) error {
+	res, err := s.core.fx.RunDriven(workset, iterative.DriveHooks{Barrier: shardBarrier{s: s}})
+	if res != nil {
+		v := s.v
+		if m := v.cfg.Metrics; m != nil {
+			m.WarmRestarts.Add(1)
+			m.MaintenanceSupersteps.Add(int64(res.Supersteps))
+		}
+		v.stats.WarmRestarts++
+		v.stats.Supersteps += int64(res.Supersteps)
+	}
+	return err
+}
+
+// replanAll re-plans every host over its (identical) graph replica and
+// cross-checks the plan digests. full=true is the coordinated full
+// recompute: the returned workset is W0, which the caller drives.
+func (s *distSession) replanAll(full bool) ([]record.Record, error) {
+	for i, c := range s.conns {
+		if err := c.send(shardMsg{Kind: viewReplan, Full: full}); err != nil {
+			return nil, fmt.Errorf("live: replan host %d: %w", i+1, err)
+		}
+	}
+	w0, err := s.core.replan(full)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range s.conns {
+		reply, err := c.recv(viewReplanned)
+		if err != nil {
+			return nil, fmt.Errorf("live: replan host %d: %w", i+1, err)
+		}
+		if reply.Digest != s.core.digest {
+			return nil, fmt.Errorf("live: replan host %d digest %s, coordinator has %s",
+				i+1, reply.Digest, s.core.digest)
+		}
+	}
+	return w0, nil
+}
+
+// Apply coordinates one mutation batch across the session. Every host
+// applies the identical batch to its replica and classifies it
+// identically; the coordinator cross-checks the verdicts and then either
+// drives a full recompute (non-monotone batches — the partitioned session
+// cannot run the in-process bounded repair, which needs whole-solution
+// scans) or the monotone candidate rounds: each host derives insert
+// candidates from the labels it owns, the coordinator merges and
+// re-broadcasts them, owners count how many still improve, and the meshed
+// fixpoint absorbs them — repeating over the edge overlay until nothing
+// improves anywhere.
+func (s *distSession) Apply(batch []Mutation) error {
+	frames := packRecords(mutationsToRecords(batch))
+	for i, c := range s.conns {
+		if err := c.send(shardMsg{Kind: viewApply, Frames: frames}); err != nil {
+			return fmt.Errorf("live: apply host %d: %w", i+1, err)
+		}
+	}
+	full, err := s.core.applyBatch(batch)
+	if err != nil {
+		return err
+	}
+	for i, c := range s.conns {
+		reply, rerr := c.recv(viewApplied)
+		if rerr != nil {
+			return fmt.Errorf("live: apply host %d: %w", i+1, rerr)
+		}
+		if reply.Full != full {
+			return fmt.Errorf("live: host %d classified the batch full=%v, coordinator full=%v (replica divergence)",
+				i+1, reply.Full, full)
+		}
+	}
+
+	if full {
+		w0, err := s.replanAll(true)
+		if err != nil {
+			return err
+		}
+		v := s.v
+		if m := v.cfg.Metrics; m != nil {
+			m.FullRecomputes.Add(1)
+		}
+		v.stats.FullRecomputes++
+		v.stats.Rebinds++
+		return s.runDriven(w0)
+	}
+
+	// Fold an oversized overlay into the plan's edge table before the
+	// candidate rounds, exactly when the in-process session would.
+	if s.core.overlayOverflow() {
+		if _, err := s.replanAll(false); err != nil {
+			return err
+		}
+		s.v.stats.Rebinds++
+	}
+
+	for round := 0; ; round++ {
+		// Gather: every host derives candidates from its hosted labels
+		// and keeps the ones keyed to partitions it owns; only
+		// remote-keyed candidates travel, and the coordinator routes
+		// each straight to its owner. Workers report how many they
+		// retained so a globally empty round is still detectable.
+		for i, c := range s.conns {
+			if err := c.send(shardMsg{Kind: viewGather, Round: round}); err != nil {
+				return fmt.Errorf("live: gather host %d: %w", i+1, err)
+			}
+		}
+		shares := s.core.splitByHost(s.core.gather(round))
+		total := 0
+		for _, sh := range shares {
+			total += len(sh)
+		}
+		var inbound []record.Record
+		for i, c := range s.conns {
+			reply, err := c.recv(viewCand)
+			if err != nil {
+				return fmt.Errorf("live: gather host %d: %w", i+1, err)
+			}
+			recs, err := unpackRecords(reply.Frames)
+			if err != nil {
+				return err
+			}
+			inbound = append(inbound, recs...)
+			total += reply.Count + len(recs)
+		}
+		if total == 0 {
+			return nil
+		}
+		for h, sh := range s.core.splitByHost(inbound) {
+			shares[h] = append(shares[h], sh...)
+		}
+
+		// Seed: each host merges its retained candidates with its routed
+		// share, and owners report how many still improve; zero globally
+		// means the solution is already a fixpoint over them.
+		for i, c := range s.conns {
+			if err := c.send(shardMsg{Kind: viewSeed, Frames: packRecords(shares[i+1])}); err != nil {
+				return fmt.Errorf("live: seed host %d: %w", i+1, err)
+			}
+		}
+		own := s.core.collapseCandidates(shares[0])
+		improving := s.core.countImproving(own)
+		for i, c := range s.conns {
+			reply, err := c.recv(viewSeeded)
+			if err != nil {
+				return fmt.Errorf("live: seed host %d: %w", i+1, err)
+			}
+			improving += reply.Count
+		}
+		if improving == 0 {
+			return nil
+		}
+		if err := s.runDriven(own); err != nil {
+			return err
+		}
+		if len(s.core.overlay) == 0 {
+			return nil
+		}
+	}
+}
+
+// Lookup routes the key to the host owning its partition.
+func (s *distSession) Lookup(k int64) (record.Record, bool) {
+	host := s.core.place[s.core.sol.PartitionFor(k)]
+	if host == 0 {
+		return s.core.lookup(k)
+	}
+	reply, err := s.conns[host-1].call(shardMsg{Kind: viewQuery, Key: k}, viewValue)
+	if err != nil || !reply.Found {
+		return record.Record{}, false
+	}
+	recs, err := framesToRecords(reply.Frames)
+	if err != nil || len(recs) != 1 {
+		return record.Record{}, false
+	}
+	return recs[0], true
+}
+
+// Snapshot scatter-gathers the converged solution: the coordinator's
+// hosted partitions plus every worker's, merged and canonically sorted.
+// Worker spans travel back with the shards on traced views, so the
+// cross-process maintenance timeline assembles in one ring.
+func (s *distSession) Snapshot() []record.Record {
+	var out []record.Record
+	hr := hostedReader{c: s.core}
+	hr.Each(func(r record.Record) { out = append(out, r) })
+	for _, c := range s.conns {
+		reply, err := c.call(shardMsg{Kind: viewCollect}, viewSolution)
+		if err != nil {
+			continue
+		}
+		s.foldSpans(reply)
+		recs, err := framesToRecords(reply.Frames)
+		if err != nil {
+			continue
+		}
+		out = append(out, recs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return record.Less(out[i], out[j]) })
+	return out
+}
+
+// foldSpans records worker-shipped spans into the view's ring.
+func (s *distSession) foldSpans(reply shardMsg) {
+	if s.v.ring == nil {
+		return
+	}
+	for _, sp := range reply.Spans {
+		s.v.ring.RecordSpan(sp)
+	}
+}
+
+func (s *distSession) Records() int {
+	n := s.core.hostedRecords()
+	for _, c := range s.conns {
+		if reply, err := c.call(shardMsg{Kind: viewStats}, viewStatted); err == nil {
+			n += reply.Count
+		}
+	}
+	return n
+}
+
+func (s *distSession) Bytes() int64 {
+	b := s.core.sol.Bytes()
+	for _, c := range s.conns {
+		if reply, err := c.call(shardMsg{Kind: viewStats}, viewStatted); err == nil {
+			b += reply.Bytes
+		}
+	}
+	return b
+}
+
+func (s *distSession) EachSolution(f func(record.Record) error) error {
+	var err error
+	hostedReader{c: s.core}.Each(func(r record.Record) {
+		if err == nil {
+			err = f(r)
+		}
+	})
+	return err
+}
+
+// RemoteShards collects each worker's hosted partitions for the per-host
+// snapshot shard files.
+func (s *distSession) RemoteShards() (map[int][]byte, error) {
+	out := make(map[int][]byte, len(s.conns))
+	for i, c := range s.conns {
+		reply, err := c.call(shardMsg{Kind: viewCollect}, viewSolution)
+		if err != nil {
+			return nil, fmt.Errorf("live: collect host %d: %w", i+1, err)
+		}
+		s.foldSpans(reply)
+		out[i+1] = reply.Frames
+	}
+	return out, nil
+}
+
+func (s *distSession) Shards() []ShardStat {
+	out := []ShardStat{{Host: 0, Records: s.core.hostedRecords(), Bytes: s.core.sol.Bytes()}}
+	for i, c := range s.conns {
+		st := ShardStat{Host: i + 1}
+		if reply, err := c.call(shardMsg{Kind: viewStats}, viewStatted); err == nil {
+			st.Records = reply.Count
+			st.Bytes = reply.Bytes
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Close ends every remote session gracefully, then tears down the local
+// core. Workers survive a close — the control connection returns to the
+// distrib loop for the next session.
+func (s *distSession) Close() error {
+	var err error
+	for i, c := range s.conns {
+		if _, cerr := c.call(shardMsg{Kind: viewClose}, viewClosed); cerr != nil && err == nil {
+			err = fmt.Errorf("live: close host %d: %w", i+1, cerr)
+		}
+	}
+	s.teardown()
+	return err
+}
+
+// Kill abandons the session crash-style: connections drop without a
+// close handshake, so workers see the error path a dead coordinator
+// causes — and stay accepting (the recovery tests rely on it).
+func (s *distSession) Kill() { s.teardown() }
+
+func (s *distSession) teardown() {
+	for _, c := range s.conns {
+		if c != nil {
+			c.close()
+		}
+	}
+	s.core.close()
+}

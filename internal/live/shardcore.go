@@ -1,0 +1,707 @@
+package live
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/distrib"
+	"repro/internal/iterative"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
+	"repro/internal/record"
+	"repro/internal/runtime"
+)
+
+// Sharded maintenance sessions: a LiveView whose ViewConfig.Workers is
+// set spreads its partition ranges over 1+len(Workers) processes. The
+// serving process is host 0 (the coordinator); every `spinflow worker`
+// process hosts one range through a long-lived *maintenance session* —
+// the live tier's counterpart of a distrib batch job, layered on the
+// same control-plane JSON protocol (distrib.ViewHost hands view_*
+// messages to this package) and the same TCP data plane.
+//
+// The protocol keeps a strong invariant: every host holds an identical
+// replica of the graph and applies every mutation batch to it, so the
+// spec, the physical plan (digest-verified at open and after every
+// re-plan), the placement, and all maintenance *decisions* (full
+// recompute or not, overlay fold or not) are derived independently on
+// each host and must agree byte-for-byte. Only two things actually
+// travel per flush: the mutation batch, and the merged insert-candidate
+// workset. Solution state is partitioned — each host's hosted
+// partitions are exact, its non-hosted partitions are stale — which is
+// why candidate derivation goes through hostedReader below: a stale
+// label may *mask* a propagation the fixpoint needs, so a host only
+// reads labels it owns and lets the maintainer's fallback produce a
+// sound (CPO-upper-bound) candidate for the rest. The owners emit the
+// exact candidates, the coordinator merges all of them, and junk
+// candidates are rejected by the ∪̇ comparator.
+//
+// Deletions (and re-weights and vertex drops) are not monotone; the
+// in-process bounded-recompute repair needs whole-solution scans that a
+// partitioned session cannot do, so sharded sessions route every
+// non-monotone batch to a coordinated full recompute — still warm: the
+// mesh, the processes, and the transport all survive, only the plan and
+// the solution state rebuild.
+
+// The view-session control verbs (rides the distrib worker control
+// connection; every kind is prefixed view_ so distrib can dispatch
+// without knowing the schema).
+const (
+	viewOpen      = "view_open"      // coordinator → worker: spec + graph dump (+ solution on recovery)
+	viewReady     = "view_ready"     // worker → coordinator: data addr + plan digest
+	viewStart     = "view_start"     // coordinator → worker: all data addrs; mesh now
+	viewMeshed    = "view_meshed"    // worker → coordinator: mesh is up, fixpoint open
+	viewApply     = "view_apply"     // coordinator → worker: one mutation batch
+	viewApplied   = "view_applied"   // worker → coordinator: batch applied; Full = wants full recompute
+	viewReplan    = "view_replan"    // coordinator → worker: rebuild spec/plan/session (Full = reset + S0/W0)
+	viewReplanned = "view_replanned" // worker → coordinator: new plan digest
+	viewGather    = "view_gather"    // coordinator → worker: derive insert candidates (Round 0 = fresh batch)
+	viewCand      = "view_cand"      // worker → coordinator: candidate frames
+	viewSeed      = "view_seed"      // coordinator → worker: merged workset; seed it
+	viewSeeded    = "view_seeded"    // worker → coordinator: Count = hosted candidates that improve
+	viewStep      = "view_step"      // coordinator → worker: run one superstep (barrier release)
+	viewStepDone  = "view_step_done" // worker → coordinator: local next-workset count
+	viewQuery     = "view_query"     // coordinator → worker: lookup Key in a hosted partition
+	viewValue     = "view_value"     // worker → coordinator: Found + the record
+	viewCollect   = "view_collect"   // coordinator → worker: ship hosted partitions (+ spans)
+	viewSolution  = "view_solution"  // worker → coordinator: hosted partition frames
+	viewStats     = "view_stats"     // coordinator → worker: report hosted occupancy
+	viewStatted   = "view_statted"   // worker → coordinator: Count records / Bytes resident
+	viewClose     = "view_close"     // coordinator → worker: end the session
+	viewClosed    = "view_closed"    // worker → coordinator: session torn down
+	viewError     = "view_error"     // worker → coordinator: verb failed
+)
+
+// shardSpec is everything a worker needs to build its identical share of
+// the session: the maintainer, the topology, and the execution config.
+type shardSpec struct {
+	Name                 string `json:"name"`
+	Algorithm            string `json:"algorithm"`
+	Source               int64  `json:"source,omitempty"`
+	Parallelism          int    `json:"parallelism"`
+	Hosts                int    `json:"hosts"`
+	BatchSize            int    `json:"batch_size,omitempty"`
+	Backend              string `json:"backend,omitempty"`
+	SolutionMemoryBudget int64  `json:"solution_memory_budget,omitempty"`
+	Planner              int    `json:"planner,omitempty"`
+	DisableFusion        bool   `json:"disable_fusion,omitempty"`
+	WireCompression      bool   `json:"wire_compression,omitempty"`
+	TraceID              uint64 `json:"trace_id,omitempty"`
+	TraceLabel           string `json:"trace_label,omitempty"`
+}
+
+// shardMsg is one view-session control message (JSON, same codec as the
+// distrib control plane).
+type shardMsg struct {
+	Kind      string     `json:"kind"`
+	Spec      *shardSpec `json:"spec,omitempty"`
+	HostID    int        `json:"host_id,omitempty"`
+	DataAddr  string     `json:"data_addr,omitempty"`
+	DataAddrs []string   `json:"data_addrs,omitempty"`
+	Digest    string     `json:"digest,omitempty"`
+	Count     int        `json:"count,omitempty"`
+	Round     int        `json:"round,omitempty"`
+	Full      bool       `json:"full,omitempty"`
+	Found     bool       `json:"found,omitempty"`
+	Key       int64      `json:"key,omitempty"`
+	Bytes     int64      `json:"bytes,omitempty"`
+	Frames    []byte     `json:"frames,omitempty"`
+	Sol       []byte     `json:"sol,omitempty"`
+	Spans     []obs.Span `json:"spans,omitempty"`
+	Err       string     `json:"err,omitempty"`
+}
+
+// maintainerFor rebuilds a Maintainer from its wire identity.
+func maintainerFor(algorithm string, source int64) (Maintainer, error) {
+	switch algorithm {
+	case "cc":
+		return CC(), nil
+	case "sssp":
+		return SSSP(source), nil
+	}
+	return nil, fmt.Errorf("live: unknown sharded algorithm %q", algorithm)
+}
+
+// --- frame codecs --------------------------------------------------------
+
+// recordsToFrames packs records into one CRC-framed batch.
+func recordsToFrames(recs []record.Record) []byte {
+	return record.AppendFrame(nil, recs)
+}
+
+// packRecords is the compact wire form for transient control-plane
+// payloads (mutation batches, candidate worksets): a flags byte plus
+// varint fields, skipping zero B/X/Tag — a quarter of the framed record
+// encoding, which matters because these payloads dominate what a sharded
+// flush ships. Durable payloads (graph dumps, solution shards) stay on
+// the CRC-framed codec the WAL and snapshots share.
+func packRecords(recs []record.Record) []byte {
+	out := make([]byte, 0, 8*len(recs)+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(len(recs)))
+	var xb [8]byte
+	for _, r := range recs {
+		var flags byte
+		if r.B != 0 {
+			flags |= 1
+		}
+		if r.X != 0 {
+			flags |= 2
+		}
+		if r.Tag != 0 {
+			flags |= 4
+		}
+		out = append(out, flags)
+		out = binary.AppendUvarint(out, uint64(r.A))
+		if flags&1 != 0 {
+			out = binary.AppendUvarint(out, uint64(r.B))
+		}
+		if flags&2 != 0 {
+			binary.LittleEndian.PutUint64(xb[:], math.Float64bits(r.X))
+			out = append(out, xb[:]...)
+		}
+		if flags&4 != 0 {
+			out = append(out, r.Tag)
+		}
+	}
+	return out
+}
+
+// unpackRecords decodes a packRecords payload.
+func unpackRecords(p []byte) ([]record.Record, error) {
+	bad := fmt.Errorf("live: malformed packed records")
+	n, w := binary.Uvarint(p)
+	if w <= 0 {
+		return nil, bad
+	}
+	p = p[w:]
+	out := make([]record.Record, 0, min(int(n), 1<<16))
+	for i := uint64(0); i < n; i++ {
+		if len(p) == 0 {
+			return nil, bad
+		}
+		flags := p[0]
+		p = p[1:]
+		var r record.Record
+		a, w := binary.Uvarint(p)
+		if w <= 0 {
+			return nil, bad
+		}
+		r.A = int64(a)
+		p = p[w:]
+		if flags&1 != 0 {
+			b, w := binary.Uvarint(p)
+			if w <= 0 {
+				return nil, bad
+			}
+			r.B = int64(b)
+			p = p[w:]
+		}
+		if flags&2 != 0 {
+			if len(p) < 8 {
+				return nil, bad
+			}
+			r.X = math.Float64frombits(binary.LittleEndian.Uint64(p))
+			p = p[8:]
+		}
+		if flags&4 != 0 {
+			if len(p) < 1 {
+				return nil, bad
+			}
+			r.Tag = p[0]
+			p = p[1:]
+		}
+		out = append(out, r)
+	}
+	if len(p) != 0 {
+		return nil, bad
+	}
+	return out, nil
+}
+
+// framesToRecords decodes concatenated record frames into a flat slice.
+func framesToRecords(frames []byte) ([]record.Record, error) {
+	fr := record.NewFrameReader(bytes.NewReader(frames))
+	var out []record.Record
+	for {
+		b, err := fr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("live: shard payload: %w", err)
+		}
+		out = append(out, b...)
+	}
+}
+
+// dumpGraph serializes the graph replica: one vertices frame plus one
+// edges frame *in edge-slice order*. Replicas rebuild by replaying
+// AddVertex/AddEdge in this order and then apply every later mutation
+// batch in arrival order, so their internal edge slices — and therefore
+// the specs derived from them — stay identical to the coordinator's.
+func dumpGraph(gs *GraphState) []byte {
+	verts := make(record.Batch, 0, gs.NumVertices())
+	for _, v := range gs.Vertices() {
+		verts = append(verts, record.Record{A: v})
+	}
+	out := record.AppendFrame(nil, verts)
+	edges := make(record.Batch, 0, len(gs.edges))
+	for _, e := range gs.edges {
+		edges = append(edges, record.Record{A: e.Src, B: e.Dst, X: e.Weight})
+	}
+	return record.AppendFrame(out, edges)
+}
+
+// loadGraph rebuilds a graph replica from dumpGraph frames.
+func loadGraph(frames []byte) (*GraphState, error) {
+	fr := record.NewFrameReader(bytes.NewReader(frames))
+	verts, err := fr.Next()
+	if err != nil {
+		return nil, fmt.Errorf("live: graph dump vertices: %w", err)
+	}
+	edges, err := fr.Next()
+	if err != nil {
+		return nil, fmt.Errorf("live: graph dump edges: %w", err)
+	}
+	gs := NewGraphState()
+	for _, r := range verts {
+		gs.AddVertex(r.A)
+	}
+	for _, r := range edges {
+		gs.AddVertex(r.A)
+		gs.AddVertex(r.B)
+		gs.AddEdge(r.A, r.B, r.X)
+	}
+	return gs, nil
+}
+
+// --- per-host session core ----------------------------------------------
+
+// shardCore is one host's share of a sharded maintenance session: the
+// graph replica, the locally derived spec and plan, the meshed transport,
+// and a resident Fixpoint hosting this host's partition range. The
+// coordinator owns core 0 (its gs aliases the LiveView's); each worker
+// owns one with a replica gs.
+type shardCore struct {
+	name  string
+	m     Maintainer
+	cfg   iterative.Config
+	host  int
+	gs    *GraphState
+	place runtime.Placement
+	mtr   *metrics.Counters
+	reg   *obs.Registry
+
+	tr   *runtime.TCPTransport
+	sol  *runtime.SolutionSet
+	fx   *iterative.Fixpoint
+	spec iterative.IncrementalSpec
+	phys *optimizer.PhysPlan
+	// dataAddr is the transport's listen address (workers echo it in
+	// view_ready so the coordinator can assemble the mesh).
+	dataAddr string
+	// w0 is the cold initial workset, kept until the mesh is up (workers
+	// seed it at view_start; the coordinator runs it). Nil on recovery.
+	w0 []record.Record
+	// overlay holds edges in gs but not yet folded into the plan's edge
+	// table; fresh holds the *current* batch's inserts, the round-0
+	// candidate source. Both evolve identically on every host.
+	overlay []WEdge
+	fresh   []WEdge
+	digest  string
+	// pending buffers this host's own-keyed candidates between the
+	// gather and seed verbs of one round: candidates a host emits for
+	// keys it owns never travel — only remote-keyed ones go up to the
+	// coordinator, which routes every candidate straight to its owner.
+	pending []record.Record
+}
+
+// specFor assembles the per-host iterative.Config a shardSpec describes.
+func specFor(ss shardSpec, hostID int, reg *obs.Registry, mtr *metrics.Counters) iterative.Config {
+	cfg := iterative.Config{
+		Parallelism:          ss.Parallelism,
+		BatchSize:            ss.BatchSize,
+		Hosts:                ss.Hosts,
+		Host:                 hostID,
+		Metrics:              mtr,
+		SolutionBackend:      runtime.SolutionBackendKind(ss.Backend),
+		SolutionMemoryBudget: ss.SolutionMemoryBudget,
+		Planner:              optimizer.PlannerKind(ss.Planner),
+		DisableFusion:        ss.DisableFusion,
+		WireCompression:      ss.WireCompression,
+	}
+	if reg != nil {
+		cfg.Obs = reg
+		cfg.TraceID = obs.TraceID(ss.TraceID)
+		cfg.TraceLabel = ss.TraceLabel
+		reg.SetCounters(mtr)
+	}
+	return cfg
+}
+
+// newShardCore builds everything up to — but not including — the peer
+// mesh: the spec and plan over gs, the solution set (initialized from
+// `recovered` when non-nil, S0 otherwise), and the transport listening on
+// an ephemeral port. The fixpoint opens in mesh(), once all data addrs
+// are known.
+func newShardCore(name string, m Maintainer, cfg iterative.Config, hostID int,
+	gs *GraphState, recovered []record.Record, reg *obs.Registry) (*shardCore, string, error) {
+	spec, s0, w0 := m.Spec(gs)
+	phys, err := iterative.PlanIncremental(spec, cfg, spec.ExpectedIterations)
+	if err != nil {
+		return nil, "", err
+	}
+	c := &shardCore{
+		name: name, m: m, cfg: cfg, host: hostID, gs: gs,
+		place: runtime.ContiguousPlacement(cfg.Parallelism, cfg.Hosts),
+		mtr:   cfg.Metrics, reg: reg,
+		spec: spec, phys: phys,
+		digest: distrib.PlanDigest(phys),
+	}
+	c.sol = runtime.NewSolutionSetWith(cfg.Parallelism, spec.SolutionKey, spec.Comparator, c.mtr,
+		runtime.SolutionOptions{Backend: cfg.SolutionBackend, MemoryBudget: cfg.SolutionMemoryBudget})
+	if recovered != nil {
+		c.sol.Init(recovered)
+	} else {
+		c.sol.Init(s0)
+		c.w0 = w0
+	}
+	c.tr = runtime.NewTCPTransport(hostID, c.place, phys.NumEdges, c.mtr)
+	c.tr.SetCompression(cfg.WireCompression)
+	if reg != nil {
+		c.tr.SetObs(cfg.TraceID, reg.Histogram("transport_send_duration"))
+	}
+	addr, err := c.tr.Listen("127.0.0.1:0")
+	if err != nil {
+		c.sol.Reset()
+		return nil, "", err
+	}
+	return c, addr, nil
+}
+
+// mesh connects the data plane and opens the resident fixpoint on it.
+// Workers additionally seed their share of the cold workset here; the
+// coordinator drives its own through the barrier.
+func (c *shardCore) mesh(dataAddrs []string, seedCold bool) error {
+	if err := c.tr.ConnectPeers(dataAddrs, distrib.MeshTimeout); err != nil {
+		return err
+	}
+	fx, err := iterative.OpenFixpointOn(c.spec, c.sol, c.cfg, c.phys, c.tr)
+	if err != nil {
+		return err
+	}
+	c.fx = fx
+	if seedCold && c.w0 != nil {
+		fx.SeedWorkset(c.w0)
+	}
+	return nil
+}
+
+// applyBatch advances the graph replica by one mutation batch and
+// reports whether the batch demands a coordinated full recompute. The
+// classification is a pure function of (replica state, batch), so every
+// host reaches the same verdict — the coordinator cross-checks anyway.
+// Insertions queue on the overlay for candidate derivation; fresh
+// isolated vertices enter the solution directly (deterministic on every
+// host, no coordination needed).
+func (c *shardCore) applyBatch(muts []Mutation) (full bool, err error) {
+	c.fresh = c.fresh[:0]
+	addVertex := func(vid int64) {
+		if c.gs.AddVertex(vid) {
+			if r, ok := c.m.VertexRecord(vid); ok {
+				c.sol.Update(r)
+			}
+		}
+	}
+	for _, mut := range muts {
+		switch mut.Op {
+		case OpInsertEdge:
+			addVertex(mut.Src)
+			addVertex(mut.Dst)
+			oldW, existed := c.gs.EdgeWeight(mut.Src, mut.Dst)
+			if c.gs.AddEdge(mut.Src, mut.Dst, mut.Weight) {
+				e := WEdge{Src: mut.Src, Dst: mut.Dst, Weight: mut.Weight}
+				c.overlay = append(c.overlay, e)
+				c.fresh = append(c.fresh, e)
+				if existed && oldW != mut.Weight {
+					// Re-weighting is not monotone: repair like a deletion.
+					full = true
+				}
+			}
+		case OpDeleteEdge:
+			if _, ok := c.gs.RemoveEdge(mut.Src, mut.Dst); ok {
+				full = true
+			}
+		case OpAddVertex:
+			addVertex(mut.Src)
+		case OpDeleteVertex:
+			if c.gs.HasVertex(mut.Src) {
+				c.gs.RemoveVertex(mut.Src)
+				c.sol.Delete(mut.Src)
+				full = true
+			}
+		default:
+			return false, fmt.Errorf("live: unknown mutation op %v", mut.Op)
+		}
+	}
+	return full, nil
+}
+
+// overlayOverflow reports whether the unfolded edge overlay has outgrown
+// the fast path. Sharded sessions tolerate a far larger overlay than the
+// in-process session (which folds at overlay*8 > edges): folding here
+// means every replica re-derives the spec and re-plans — work that
+// duplicates per host and serializes against the digest cross-check —
+// while an un-folded edge costs only its share of a gather round, which
+// ships nothing once nothing improves. The fixpoint answer is identical
+// either way; the rounds loop re-examines the overlay until quiescence.
+func (c *shardCore) overlayOverflow() bool {
+	return len(c.overlay)*2 > c.gs.NumEdges()
+}
+
+// replan rebuilds the spec and plan over the current graph replica and
+// swaps the session onto it, keeping the mesh. Fixpoint.Rebind cannot be
+// used here: it re-plans without rebinding the transport's per-edge
+// routing state, so a meshed session must tear down the old fixpoint,
+// Rebind the transport to the new plan's edge count, and open a fresh
+// fixpoint on it. full=true additionally resets the solution to S0 and
+// seeds W0 (the coordinated full-recompute path); full=false adopts the
+// converged solution as-is (the overlay fold path). Returns the workset
+// the coordinator should drive (nil unless full).
+func (c *shardCore) replan(full bool) ([]record.Record, error) {
+	spec, s0, w0 := c.m.Spec(c.gs)
+	phys, err := iterative.PlanIncremental(spec, c.cfg, spec.ExpectedIterations)
+	if err != nil {
+		return nil, err
+	}
+	c.fx.Close()
+	c.tr.Rebind(phys.NumEdges)
+	if full {
+		c.sol.Reset()
+		c.sol.Init(s0)
+	}
+	fx, err := iterative.OpenFixpointOn(spec, c.sol, c.cfg, phys, c.tr)
+	if err != nil {
+		return nil, err
+	}
+	c.fx = fx
+	c.spec = spec
+	c.phys = phys
+	c.digest = distrib.PlanDigest(phys)
+	c.overlay = c.overlay[:0]
+	if !full {
+		return nil, nil
+	}
+	c.fresh = c.fresh[:0]
+	if c.host != 0 {
+		// Workers seed their share now; the coordinator drives w0 through
+		// RunDriven, which seeds on entry.
+		fx.SeedWorkset(w0)
+	}
+	return w0, nil
+}
+
+// hostedReader is the maintainer's solution access during sharded
+// candidate derivation: lookups hit only partitions this host owns.
+// Non-hosted partitions hold stale replicas — and a stale label can mask
+// a propagation the fixpoint still needs — so misses are reported as
+// absent and the maintainer's fallback produces a sound upper-bound
+// candidate (CC: a vertex proposes its own id; SSSP: no candidate). The
+// owning host emits the exact candidate for the same edge, and the
+// merged workset contains both; ∪̇ keeps whichever improves.
+type hostedReader struct{ c *shardCore }
+
+func (r hostedReader) Lookup(k int64) (record.Record, bool) {
+	p := r.c.sol.PartitionFor(k)
+	if r.c.place[p] != r.c.host {
+		return record.Record{}, false
+	}
+	return r.c.sol.Lookup(p, k)
+}
+
+func (r hostedReader) Each(f func(record.Record)) {
+	for _, p := range r.c.place.HostedBy(r.c.host) {
+		r.c.sol.EachPartition(p, f)
+	}
+}
+
+// gather derives this host's insert candidates: round 0 covers the
+// current batch's inserts, later rounds re-examine the whole overlay
+// (the converged solution may have moved, re-arming older overlay
+// edges). Two source-side filters keep dead weight off the wire:
+//
+//   - A candidate keyed on one endpoint was derived from the *other*
+//     endpoint's label; only that label's owner emits it. The owner's
+//     exact candidate dominates any non-owner fallback under ∪̇ (CC
+//     labels only decrease from the self-id a fallback proposes; SSSP
+//     fallbacks emit nothing), so non-owner emissions are dropped.
+//   - When this host also owns the candidate's own key it can run the
+//     improvement check right here; a non-improving candidate is a ∪̇
+//     no-op in superstep 1, so it never ships. Remote-keyed candidates
+//     still ship unfiltered — only the key's owner can judge them.
+func (c *shardCore) gather(round int) []record.Record {
+	edges := c.fresh
+	if round > 0 {
+		edges = c.overlay
+	}
+	reader := hostedReader{c: c}
+	var out []record.Record
+	for _, e := range edges {
+		ownsSrc, ownsDst := c.ownsKey(e.Src), c.ownsKey(e.Dst)
+		if !ownsSrc && !ownsDst {
+			continue
+		}
+		for _, r := range c.m.InsertDelta(e.Src, e.Dst, e.Weight, reader) {
+			k := c.spec.SolutionKey(r)
+			if (k == e.Dst && !ownsSrc) || (k == e.Src && !ownsDst) {
+				continue // the other endpoint's owner emits the exact one
+			}
+			if c.ownsKey(k) {
+				if !c.improves(r) {
+					continue
+				}
+			} else if init, ok := c.m.VertexRecord(k); ok && c.spec.Comparator != nil &&
+				c.spec.Comparator(r, init) <= 0 {
+				// The monotone path only ever advances a label from its
+				// initial vertex record; a candidate that does not beat
+				// even that can never beat the owner's current label.
+				continue
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ownsKey reports whether this host hosts the solution partition of k.
+func (c *shardCore) ownsKey(k int64) bool {
+	return c.place[c.sol.PartitionFor(k)] == c.host
+}
+
+// improves reports whether r would advance the current solution entry
+// for its key (callers ensure the key's partition is hosted here).
+func (c *shardCore) improves(r record.Record) bool {
+	k := c.spec.SolutionKey(r)
+	old, ok := c.sol.Lookup(c.sol.PartitionFor(k), k)
+	if !ok {
+		return true
+	}
+	if c.spec.Comparator != nil {
+		return c.spec.Comparator(r, old) > 0
+	}
+	return !old.Equal(r)
+}
+
+// collapseCandidates canonicalizes the merged candidate workset: sorted
+// by solution key, and collapsed to the single best candidate per key.
+// Owners emit exact candidates and non-owners emit sound fallbacks for
+// the same edges, so the raw merge carries duplicates ∪̇ would discard in
+// the first superstep anyway — collapsing them here keeps the dead
+// weight off the wire and out of the seed scans.
+func (c *shardCore) collapseCandidates(ws []record.Record) []record.Record {
+	key := c.spec.SolutionKey
+	sort.Slice(ws, func(i, j int) bool {
+		ki, kj := key(ws[i]), key(ws[j])
+		if ki != kj {
+			return ki < kj
+		}
+		return record.Less(ws[i], ws[j])
+	})
+	cmp := c.spec.Comparator
+	if cmp == nil {
+		// Without an improvement order there is no "best": keep every
+		// distinct candidate and let ∪̇ arbitrate.
+		return ws
+	}
+	out := ws[:0]
+	for _, r := range ws {
+		if len(out) > 0 && key(out[len(out)-1]) == key(r) {
+			if cmp(r, out[len(out)-1]) > 0 {
+				out[len(out)-1] = r
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// splitByHost routes a candidate workset to the hosts that will read it:
+// each record goes to the owner of its solution partition (the improving
+// check) and, if different, the owner of its workset partition (the
+// engine's seed). For the built-in maintainers both keys are the vertex
+// id, so every record lands on exactly one host.
+func (c *shardCore) splitByHost(ws []record.Record) [][]record.Record {
+	out := make([][]record.Record, c.cfg.Hosts)
+	for _, r := range ws {
+		hs := c.place[c.sol.PartitionFor(c.spec.SolutionKey(r))]
+		out[hs] = append(out[hs], r)
+		if hw := c.place[record.PartitionOf(c.spec.WorksetKey(r), c.cfg.Parallelism)]; hw != hs {
+			out[hw] = append(out[hw], r)
+		}
+	}
+	return out
+}
+
+// countImproving counts merged-workset candidates that would advance a
+// partition this host owns — the distributed form of the in-process
+// filterImproving convergence check. The global sum across hosts is
+// exact: every key has exactly one owner.
+func (c *shardCore) countImproving(ws []record.Record) int {
+	n := 0
+	for _, r := range ws {
+		if c.ownsKey(c.spec.SolutionKey(r)) && c.improves(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// lookup probes a hosted partition (callers route by placement).
+func (c *shardCore) lookup(k int64) (record.Record, bool) {
+	p := c.sol.PartitionFor(k)
+	if c.place[p] != c.host {
+		return record.Record{}, false
+	}
+	return c.sol.Lookup(p, k)
+}
+
+// collect serializes the hosted partitions, one frame per partition in
+// ascending partition order, records sorted canonically within each.
+func (c *shardCore) collect() []byte {
+	var out []byte
+	for _, p := range c.place.HostedBy(c.host) {
+		var b record.Batch
+		c.sol.EachPartition(p, func(r record.Record) {
+			b = append(b, r)
+		})
+		sort.Slice(b, func(x, y int) bool { return record.Less(b[x], b[y]) })
+		out = record.AppendFrame(out, b)
+	}
+	return out
+}
+
+// hostedRecords counts the records in this host's partitions.
+func (c *shardCore) hostedRecords() int {
+	n := 0
+	for _, p := range c.place.HostedBy(c.host) {
+		c.sol.EachPartition(p, func(record.Record) { n++ })
+	}
+	return n
+}
+
+// close tears the session down: fixpoint, transport, solution state.
+func (c *shardCore) close() {
+	if c.fx != nil {
+		c.fx.Close()
+		c.fx = nil
+	}
+	c.tr.Close()
+	c.sol.Reset()
+}

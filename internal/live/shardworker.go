@@ -1,0 +1,198 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/record"
+)
+
+// WorkerHost hosts sharded view maintenance sessions inside a `spinflow
+// worker` process: it implements distrib.ViewHost, so the distrib control
+// loop hands it every view_* message. One ServeView call runs one session
+// — open, mesh, then coordinator-driven verbs until close — and the
+// control connection returns to distrib afterwards for the next session
+// (or batch job).
+type WorkerHost struct {
+	reg *obs.Registry
+}
+
+// NewWorkerHost builds a view host reporting into the worker's telemetry
+// registry (nil disables telemetry).
+func NewWorkerHost(reg *obs.Registry) *WorkerHost { return &WorkerHost{reg: reg} }
+
+// ServeView runs one maintenance session. A failed open reports
+// view_error and returns nil — the connection stays usable. A mid-session
+// failure reports view_error and returns the error: the connection is
+// torn down (the coordinator's session is broken anyway) while the worker
+// process keeps accepting — which is what lets a restarted coordinator
+// recover onto the same workers.
+func (h *WorkerHost) ServeView(open json.RawMessage, dec *json.Decoder, enc *json.Encoder) error {
+	var msg shardMsg
+	if err := json.Unmarshal(open, &msg); err != nil {
+		return fmt.Errorf("live: malformed view message: %w", err)
+	}
+	if msg.Kind != viewOpen {
+		return fmt.Errorf("live: view session must open with %q, got %q", viewOpen, msg.Kind)
+	}
+	if msg.Spec == nil {
+		return fmt.Errorf("live: %s without a spec", viewOpen)
+	}
+	core, err := h.openCore(msg)
+	if err != nil {
+		return enc.Encode(shardMsg{Kind: viewError, Err: err.Error()})
+	}
+	defer core.close()
+	if err := enc.Encode(shardMsg{Kind: viewReady, DataAddr: core.dataAddr, Digest: core.digest}); err != nil {
+		return err
+	}
+
+	var start shardMsg
+	if err := dec.Decode(&start); err != nil {
+		return err
+	}
+	if start.Kind != viewStart {
+		return fmt.Errorf("live: expected %q, got %q", viewStart, start.Kind)
+	}
+	if err := core.mesh(start.DataAddrs, true); err != nil {
+		if serr := enc.Encode(shardMsg{Kind: viewError, Err: err.Error()}); serr != nil {
+			return serr
+		}
+		return err
+	}
+	if err := enc.Encode(shardMsg{Kind: viewMeshed}); err != nil {
+		return err
+	}
+
+	fail := func(err error) error {
+		if serr := enc.Encode(shardMsg{Kind: viewError, Err: err.Error()}); serr != nil {
+			return serr
+		}
+		return err
+	}
+	for {
+		var req shardMsg
+		if err := dec.Decode(&req); err != nil {
+			return err
+		}
+		switch req.Kind {
+		case viewApply:
+			recs, err := unpackRecords(req.Frames)
+			if err != nil {
+				return fail(err)
+			}
+			muts, err := recordsToMutations(recs)
+			if err != nil {
+				return fail(err)
+			}
+			full, err := core.applyBatch(muts)
+			if err != nil {
+				return fail(err)
+			}
+			if err := enc.Encode(shardMsg{Kind: viewApplied, Full: full}); err != nil {
+				return err
+			}
+		case viewReplan:
+			if _, err := core.replan(req.Full); err != nil {
+				return fail(err)
+			}
+			if err := enc.Encode(shardMsg{Kind: viewReplanned, Digest: core.digest}); err != nil {
+				return err
+			}
+		case viewGather:
+			// Own-keyed candidates stay here (buffered for the seed verb);
+			// only remote-keyed ones travel, with Count telling the
+			// coordinator how many were retained so it can detect a
+			// globally empty round.
+			shares := core.splitByHost(core.gather(req.Round))
+			core.pending = shares[core.host]
+			var outbound []record.Record
+			for i, sh := range shares {
+				if i != core.host {
+					outbound = append(outbound, sh...)
+				}
+			}
+			if err := enc.Encode(shardMsg{Kind: viewCand,
+				Frames: packRecords(outbound), Count: len(core.pending)}); err != nil {
+				return err
+			}
+		case viewSeed:
+			recs, err := unpackRecords(req.Frames)
+			if err != nil {
+				return fail(err)
+			}
+			recs = core.collapseCandidates(append(recs, core.pending...))
+			core.pending = nil
+			n := core.countImproving(recs)
+			core.fx.SeedWorkset(recs)
+			if err := enc.Encode(shardMsg{Kind: viewSeeded, Count: n}); err != nil {
+				return err
+			}
+		case viewStep:
+			count, err := core.fx.StepOnce()
+			if err != nil {
+				return fail(err)
+			}
+			if err := enc.Encode(shardMsg{Kind: viewStepDone, Count: count}); err != nil {
+				return err
+			}
+		case viewQuery:
+			reply := shardMsg{Kind: viewValue}
+			if r, ok := core.lookup(req.Key); ok {
+				reply.Found = true
+				reply.Frames = recordsToFrames([]record.Record{r})
+			}
+			if err := enc.Encode(reply); err != nil {
+				return err
+			}
+		case viewCollect:
+			var spans []obs.Span
+			if h.reg != nil && core.cfg.TraceID != 0 {
+				spans = h.reg.Trace().SpansFor(core.cfg.TraceID)
+			}
+			if err := enc.Encode(shardMsg{Kind: viewSolution, Frames: core.collect(), Spans: spans}); err != nil {
+				return err
+			}
+		case viewStats:
+			if err := enc.Encode(shardMsg{Kind: viewStatted, Count: core.hostedRecords(), Bytes: core.sol.Bytes()}); err != nil {
+				return err
+			}
+		case viewClose:
+			return enc.Encode(shardMsg{Kind: viewClosed})
+		default:
+			return fmt.Errorf("live: unexpected view message %q", req.Kind)
+		}
+	}
+}
+
+// openCore builds this host's session share from the opening message:
+// maintainer, graph replica, config, and the listening shardCore.
+func (h *WorkerHost) openCore(msg shardMsg) (*shardCore, error) {
+	ss := *msg.Spec
+	m, err := maintainerFor(ss.Algorithm, ss.Source)
+	if err != nil {
+		return nil, err
+	}
+	if msg.HostID <= 0 || msg.HostID >= ss.Hosts {
+		return nil, fmt.Errorf("live: worker host id %d outside 1..%d", msg.HostID, ss.Hosts-1)
+	}
+	gs, err := loadGraph(msg.Frames)
+	if err != nil {
+		return nil, err
+	}
+	var recovered []record.Record
+	if msg.Sol != nil {
+		if recovered, err = framesToRecords(msg.Sol); err != nil {
+			return nil, err
+		}
+	}
+	cfg := specFor(ss, msg.HostID, h.reg, &metrics.Counters{})
+	core, addr, err := newShardCore(ss.Name, m, cfg, msg.HostID, gs, recovered, h.reg)
+	if err != nil {
+		return nil, err
+	}
+	core.dataAddr = addr
+	return core, nil
+}

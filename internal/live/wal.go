@@ -58,6 +58,13 @@ const (
 	// snapshotKindPrefix tags snapshot files with the maintainer that
 	// wrote them, so recovery with the wrong algorithm fails loudly.
 	snapshotKindPrefix = "live:"
+	// Sharded views split a snapshot across files: the base file (kind
+	// live-sharded:) carries the graph, the coordinator-hosted partitions,
+	// and the host count; each worker's hosted partitions land in a
+	// .shard<h> sibling (kind live-shard:). The base file is written last,
+	// so a seq that lists is a seq whose shards are all on disk.
+	snapshotShardedKindPrefix = "live-sharded:"
+	snapshotShardKindPrefix   = "live-shard:"
 )
 
 var errWALClosed = errors.New("live: wal is closed")
@@ -302,6 +309,13 @@ func snapshotName(seq uint64) string {
 	return fmt.Sprintf("%s%020d%s", snapshotPrefix, seq, snapshotSuffix)
 }
 
+// shardSnapshotName names host h's partition file of the sharded snapshot
+// at seq. listSnapshots skips these (the embedded ".shard<h>" fails the
+// seq parse), so only complete base files name recovery points.
+func shardSnapshotName(seq uint64, host int) string {
+	return fmt.Sprintf("%s%020d.shard%d%s", snapshotPrefix, seq, host, snapshotSuffix)
+}
+
 // listSnapshots returns the seqs of the directory's snapshot files in
 // descending order (newest first).
 func listSnapshots(dir string) ([]uint64, error) {
@@ -330,25 +344,51 @@ func listSnapshots(dir string) ([]uint64, error) {
 
 // pruneSnapshots deletes all snapshots older than the newest two: the one
 // just written plus its predecessor, kept as the fallback recovery reads
-// when the newest proves unreadable.
+// when the newest proves unreadable. Shard files are pruned with their
+// base file by seq.
 func pruneSnapshots(dir string) {
 	seqs, err := listSnapshots(dir)
 	if err != nil {
 		return
 	}
-	for _, s := range seqs[min(2, len(seqs)):] {
-		os.Remove(filepath.Join(dir, snapshotName(s)))
+	keep := make(map[uint64]bool, 2)
+	for _, s := range seqs[:min(2, len(seqs))] {
+		keep[s] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+			continue
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix)
+		seqStr, _, _ := strings.Cut(body, ".")
+		s, perr := strconv.ParseUint(seqStr, 10, 64)
+		if perr != nil || keep[s] {
+			continue
+		}
+		os.Remove(filepath.Join(dir, name))
 	}
 }
 
-// writeSnapshotTo streams the view's durable state — graph vertices,
-// graph edges, and the resident solution set — in checkpoint format.
-// The solution section is written partition by partition through
-// SolutionSet.EachPartition: peak memory is one frame plus the writer's
-// buffer, never a second copy of the solution (spilled partitions stream
-// from disk to disk).
-func (v *LiveView) writeSnapshotTo(w io.Writer, seq uint64) error {
-	cw, err := iterative.NewCheckpointWriter(w, snapshotKindPrefix+v.m.Name(), seq)
+// writeSnapshotTo streams the view's durable base state — graph
+// vertices, graph edges, and this process's resident solution records —
+// in checkpoint format. The solution section is streamed through
+// SessionProvider.EachSolution: peak memory is one frame plus the
+// writer's buffer, never a second copy of the solution (spilled
+// partitions stream from disk to disk). For a sharded view (workerShards
+// > 0) the kind switches to live-sharded:, the solution section holds
+// only the coordinator-hosted partitions, and a trailing meta section
+// records the host count so recovery knows which shard files to demand.
+func (v *LiveView) writeSnapshotTo(w io.Writer, seq uint64, workerShards int) error {
+	kind := snapshotKindPrefix + v.m.Name()
+	if workerShards > 0 {
+		kind = snapshotShardedKindPrefix + v.m.Name()
+	}
+	cw, err := iterative.NewCheckpointWriter(w, kind, seq)
 	if err != nil {
 		return err
 	}
@@ -368,16 +408,33 @@ func (v *LiveView) writeSnapshotTo(w io.Writer, seq uint64) error {
 	if err := cw.EndSection(); err != nil {
 		return err
 	}
-	sol := v.fx.Solution()
-	for p := 0; p < sol.Parallelism(); p++ {
-		var perr error
-		sol.EachPartition(p, func(r record.Record) {
-			if perr == nil {
-				perr = cw.Append(r)
-			}
-		})
-		if perr != nil {
-			return perr
+	if err := v.sess.EachSolution(cw.Append); err != nil {
+		return err
+	}
+	if err := cw.EndSection(); err != nil {
+		return err
+	}
+	if workerShards > 0 {
+		if err := cw.Append(record.Record{A: int64(1 + workerShards)}); err != nil {
+			return err
+		}
+		if err := cw.EndSection(); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
+}
+
+// writeShardTo writes one worker host's hosted partitions as a
+// single-section checkpoint file.
+func writeShardTo(w io.Writer, kind string, seq uint64, recs []record.Record) error {
+	cw, err := iterative.NewCheckpointWriter(w, kind, seq)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := cw.Append(r); err != nil {
+			return err
 		}
 	}
 	if err := cw.EndSection(); err != nil {
@@ -388,14 +445,39 @@ func (v *LiveView) writeSnapshotTo(w io.Writer, seq uint64) error {
 
 // snapshotLocked persists a snapshot covering WAL frames 1..flushedSeq,
 // prunes obsolete snapshots, and rotates the log when possible. Caller
-// holds the maintenance lock, so the solution set is converged.
+// holds the maintenance lock, so the solution set is converged. A
+// sharded view's snapshot is a file family: each worker's hosted
+// partitions are pulled over the session and written as shard files
+// *before* the base file — the base names the recovery point, so a crash
+// mid-snapshot never leaves a listed seq with a missing shard.
 func (v *LiveView) snapshotLocked() error {
 	snapStart := time.Now()
 	d := v.dur
 	seq := d.flushedSeq
+	shards, err := v.sess.RemoteShards()
+	if err != nil {
+		return fmt.Errorf("live: view %q shard collect: %w", v.name, err)
+	}
+	hostIDs := make([]int, 0, len(shards))
+	for h := range shards {
+		hostIDs = append(hostIDs, h)
+	}
+	sort.Ints(hostIDs)
+	for _, h := range hostIDs {
+		recs, err := framesToRecords(shards[h])
+		if err != nil {
+			return fmt.Errorf("live: view %q shard %d payload: %w", v.name, h, err)
+		}
+		path := filepath.Join(d.dir, shardSnapshotName(seq, h))
+		if err := iterative.WriteFileDurable(path, func(w io.Writer) error {
+			return writeShardTo(w, snapshotShardKindPrefix+v.m.Name(), seq, recs)
+		}); err != nil {
+			return fmt.Errorf("live: view %q shard %d snapshot: %w", v.name, h, err)
+		}
+	}
 	path := filepath.Join(d.dir, snapshotName(seq))
 	if err := iterative.WriteFileDurable(path, func(w io.Writer) error {
-		return v.writeSnapshotTo(w, seq)
+		return v.writeSnapshotTo(w, seq, len(shards))
 	}); err != nil {
 		return fmt.Errorf("live: view %q snapshot: %w", v.name, err)
 	}
@@ -470,6 +552,113 @@ func loadSnapshot(path string, m Maintainer, cfg ViewConfig) (gs *GraphState, fx
 		return nil, nil, spec, 0, fmt.Errorf("live: trailing data after snapshot solution")
 	}
 	return gs, fx, spec, seq, nil
+}
+
+// loadSnapshotRecords loads a snapshot of either format — plain (live:)
+// or sharded (live-sharded: base plus its .shard<h> siblings) — into the
+// graph and the full materialized solution record set. This is the
+// topology-independent loader: the records re-partition under whatever
+// session the recovering view opens, so worker counts may change across
+// restarts. Any missing or mismatched shard file fails the whole seq, and
+// the caller falls back to an older snapshot.
+func loadSnapshotRecords(dir string, seq uint64, m Maintainer) (*GraphState, []record.Record, error) {
+	f, err := os.Open(filepath.Join(dir, snapshotName(seq)))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	cr, err := iterative.NewCheckpointReader(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sharded bool
+	switch cr.Kind() {
+	case snapshotKindPrefix + m.Name():
+	case snapshotShardedKindPrefix + m.Name():
+		sharded = true
+	default:
+		return nil, nil, fmt.Errorf("live: snapshot kind %q, view wants %q", cr.Kind(), m.Name())
+	}
+	gs := NewGraphState()
+	if err := cr.ReadSection(func(b record.Batch) error {
+		for _, r := range b {
+			gs.AddVertex(r.A)
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, fmt.Errorf("live: snapshot vertices: %w", err)
+	}
+	if err := cr.ReadSection(func(b record.Batch) error {
+		for _, r := range b {
+			gs.AddEdge(r.A, r.B, r.X)
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, fmt.Errorf("live: snapshot edges: %w", err)
+	}
+	recs := []record.Record{} // non-nil: an empty solution still recovers
+	if err := cr.ReadSection(func(b record.Batch) error {
+		recs = append(recs, b...)
+		return nil
+	}); err != nil {
+		return nil, nil, fmt.Errorf("live: snapshot solution: %w", err)
+	}
+	hosts := 1
+	if sharded {
+		var meta []record.Record
+		if err := cr.ReadSection(func(b record.Batch) error {
+			meta = append(meta, b...)
+			return nil
+		}); err != nil {
+			return nil, nil, fmt.Errorf("live: snapshot shard meta: %w", err)
+		}
+		if len(meta) != 1 || meta[0].A < 1 {
+			return nil, nil, fmt.Errorf("live: malformed snapshot shard meta")
+		}
+		hosts = int(meta[0].A)
+	}
+	if err := cr.ReadSection(func(record.Batch) error { return nil }); err != io.EOF {
+		return nil, nil, fmt.Errorf("live: trailing data after snapshot")
+	}
+	for h := 1; h < hosts; h++ {
+		shard, err := readShardFile(filepath.Join(dir, shardSnapshotName(seq, h)), snapshotShardKindPrefix+m.Name(), seq)
+		if err != nil {
+			return nil, nil, fmt.Errorf("live: snapshot shard %d: %w", h, err)
+		}
+		recs = append(recs, shard...)
+	}
+	return gs, recs, nil
+}
+
+// readShardFile loads one worker host's hosted partitions back out of its
+// shard file, validating the kind and covered seq.
+func readShardFile(path, wantKind string, seq uint64) ([]record.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr, err := iterative.NewCheckpointReader(f)
+	if err != nil {
+		return nil, err
+	}
+	if cr.Kind() != wantKind {
+		return nil, fmt.Errorf("live: shard kind %q, want %q", cr.Kind(), wantKind)
+	}
+	if cr.Iteration() != seq {
+		return nil, fmt.Errorf("live: shard covers seq %d, base snapshot %d", cr.Iteration(), seq)
+	}
+	var recs []record.Record
+	if err := cr.ReadSection(func(b record.Batch) error {
+		recs = append(recs, b...)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := cr.ReadSection(func(record.Batch) error { return nil }); err != io.EOF {
+		return nil, fmt.Errorf("live: trailing data after shard records")
+	}
+	return recs, nil
 }
 
 // --- open / create / recover --------------------------------------------
@@ -580,28 +769,51 @@ func recoverView(name string, m Maintainer, cfg ViewConfig, dir string) (*LiveVi
 	}
 
 	var (
-		gs      *GraphState
-		fx      *iterative.Fixpoint
-		spec    iterative.IncrementalSpec
+		v       *LiveView
 		snapSeq uint64
 		loaded  bool
 	)
 	for _, s := range snaps {
-		gs, fx, spec, snapSeq, err = loadSnapshot(filepath.Join(dir, snapshotName(s)), m, cfg)
-		if err == nil {
-			loaded = true
-			break
+		if len(cfg.Workers) == 0 {
+			// In-process recovery streams the snapshot straight into the
+			// solution set — the full solution is never materialized.
+			gs, fx, spec, seq, lerr := loadSnapshot(filepath.Join(dir, snapshotName(s)), m, cfg)
+			if lerr == nil {
+				v = assembleView(name, m, cfg, gs, nil)
+				v.sess = adoptLocalSession(v, fx, spec)
+				snapSeq, loaded = seq, true
+				break
+			}
 		}
-		// An unreadable snapshot falls back to its predecessor; the WAL
-		// base check below catches the case where the log no longer
-		// reaches back that far.
+		// Sharded sessions — and topology changes in either direction (a
+		// sharded snapshot recovering in-process, or vice versa) — go
+		// through the record-materializing loader: the record set
+		// re-partitions under whichever session the config opens.
+		gs, recs, lerr := loadSnapshotRecords(dir, s, m)
+		if lerr != nil {
+			// An unreadable snapshot falls back to its predecessor; the
+			// WAL base check below catches the case where the log no
+			// longer reaches back that far.
+			continue
+		}
+		cand := assembleView(name, m, cfg, gs, nil)
+		sess, serr := cand.openSession(recs)
+		if serr != nil {
+			// Session open failure (e.g. a worker is unreachable) is an
+			// environment error, not snapshot corruption: fail now rather
+			// than silently recovering older state.
+			return nil, fmt.Errorf("live: recovering view %q: %w", name, serr)
+		}
+		cand.sess = sess
+		v, snapSeq, loaded = cand, s, true
+		break
 	}
 
 	var rebuildSeq uint64
 	var rebuildSize int64
 	if !loaded {
 		// No usable snapshot: the log must carry the full history.
-		gs = NewGraphState()
+		gs := NewGraphState()
 		base, seq, size, err := scanWAL(walPath, func(_ uint64, b record.Batch) error {
 			muts, err := recordsToMutations(b)
 			if err != nil {
@@ -619,20 +831,13 @@ func recoverView(name string, m Maintainer, cfg ViewConfig, dir string) (*LiveVi
 			return nil, fmt.Errorf("live: view %q has no readable snapshot but its wal starts at frame %d", name, base+1)
 		}
 		rebuildSeq, rebuildSize = seq, size
-		var s0, w0 []record.Record
-		spec, s0, w0 = m.Spec(gs)
-		fx, err = iterative.OpenFixpoint(spec, nil, cfg.Config)
+		v = assembleView(name, m, cfg, gs, nil)
+		sess, err := v.openSession(nil)
 		if err != nil {
 			return nil, err
 		}
-		fx.Solution().Init(s0)
-		if _, err := fx.Run(w0); err != nil {
-			fx.Close()
-			return nil, err
-		}
+		v.sess = sess
 	}
-
-	v := assembleView(name, m, cfg, gs, fx, spec)
 
 	var (
 		w        *wal
@@ -659,12 +864,12 @@ func recoverView(name string, m Maintainer, cfg ViewConfig, dir string) (*LiveVi
 			w, err = createWAL(walPath, snapSeq)
 		}
 		if err != nil {
-			fx.Close()
+			v.sess.Kill()
 			return nil, fmt.Errorf("live: recovering view %q: %w", name, err)
 		}
 		if w.base > snapSeq {
 			w.Close()
-			fx.Close()
+			v.sess.Kill()
 			return nil, fmt.Errorf("live: view %q wal starts at frame %d but the best snapshot covers only %d",
 				name, w.base+1, snapSeq)
 		}
@@ -674,7 +879,7 @@ func recoverView(name string, m Maintainer, cfg ViewConfig, dir string) (*LiveVi
 		// validated every frame and truncated any torn tail).
 		w, err = openScannedWAL(walPath, 0, rebuildSeq, rebuildSize)
 		if err != nil {
-			fx.Close()
+			v.sess.Kill()
 			return nil, err
 		}
 	}
